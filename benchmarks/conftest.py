@@ -1,0 +1,6 @@
+"""Make the benchmark directory importable (`from _common import ...`)."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,68 @@
+"""Ablation: channel coding + cross-dwell interleaving (extension).
+
+The paper evaluates packets "in absence of channel coding", which makes a
+packet only as strong as its weakest hop dwell.  This ablation quantifies
+what the natural fix buys: block codes whose codewords are interleaved
+across the hop dwells, so a single near-matched dwell decodes into
+isolated, correctable bit errors.
+
+Measured: min-SNR threshold (50 % PER) of a linear-pattern BHSS link with
+8 dwells per packet against a mid-band fixed jammer, per codec.
+
+The measured answer is double-edged, and that is the point of the
+ablation: at the 50 %-PER threshold a near-matched dwell carries *many*
+bit errors, so single-error-per-codeword Hamming codes cannot rescue it —
+while their rate loss makes the frame span MORE dwells and therefore hit
+bad bands more often (Hamming(15,11) comes out clearly negative).  Only
+genuinely strong low-rate codes (rep5) break even or better.  Conclusion:
+against power-limited band-matching jammers, bandwidth hopping earns its
+keep where coding cannot — exactly the paper's framing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import SweepResult, min_snr_for_per
+from repro.core import BHSSConfig, LinkSimulator
+from repro.jamming import BandlimitedNoiseJammer
+from repro.phy.fec import get_codec
+
+from repro.analysis import experiments
+from _common import JNR_DB, default_search, run_once, save_and_print
+
+PAYLOAD = 8
+SYMBOLS_PER_HOP = 4  # the many-dwells regime the paper's uncoded system dislikes
+JAMMER_BW = 2.5e6
+CODECS = ["none", "hamming74", "hamming1511", "rep3", "rep5"]
+
+
+def compute_ablation(*args, **kwargs):
+    """Delegate to :func:`repro.analysis.experiments.ablation_fec` —
+    the canonical, user-callable implementation of this experiment."""
+    return experiments.ablation_fec(*args, **kwargs)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_fec(benchmark):
+    result = run_once(benchmark, compute_ablation)
+    save_and_print(
+        result,
+        "ablation_fec",
+        f"Ablation: coding gain of FEC + cross-dwell interleaving (Bj = {JAMMER_BW / 1e6:.4g} MHz)",
+    )
+
+    gain = {r["fec"]: r["coding_gain_db"] for r in result.rows}
+
+    # the strongest (lowest-rate) code at least breaks even
+    assert gain["rep5"] >= -0.5
+
+    # code strength ordering: rep5 >= rep3 >= the weak Hamming(15,11)
+    assert gain["rep5"] >= gain["rep3"] - 1.0
+    assert gain["rep3"] >= gain["hamming1511"] - 1.0
+
+    # the negative result: the high-rate Hamming(15,11)'s longer frames
+    # span more dwells and lose more than the correction wins back
+    assert gain["hamming1511"] <= 0.5
+
+    # the codec choice matters by several dB
+    assert max(gain.values()) - min(gain.values()) >= 2.0

@@ -1,0 +1,83 @@
+"""Ablation: which receiver filter earns the gain where.
+
+Not a paper figure — this decomposes the BHSS receiver of Section 4.2 by
+disabling each suppression path in the control logic:
+
+* **full**     — low-pass + excision, as shipped;
+* **lpf-only** — excision disabled (peak margin set unreachably high);
+* **ef-only**  — low-pass disabled (wide-ratio set unreachably high);
+* **none**     — no interference filtering (matched filter only).
+
+Measured against a narrow jammer (excision territory) and a wide jammer
+(low-pass territory) at fixed signal bandwidths.  Expected shape: each
+filter carries its own regime — ef-only ~ full against the narrow
+jammer, lpf-only ~ full against the wide jammer — and the full receiver
+is never significantly worse than the best single-filter variant.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import SweepResult, min_snr_for_per
+from repro.core import BHSSConfig, ControlLogic, LinkSimulator
+from repro.core.receiver import BHSSReceiver
+from repro.jamming import BandlimitedNoiseJammer
+
+from repro.analysis import experiments
+from _common import JNR_DB, default_search, run_once, save_and_print
+
+PAYLOAD = 4
+SCENARIOS = [
+    # (label, signal bandwidth, jammer bandwidth)
+    ("narrow jammer", 10e6, 0.625e6),
+    ("wide jammer", 0.625e6, 10e6),
+]
+VARIANTS = ["full", "lpf-only", "ef-only", "none"]
+
+
+def make_link(bp: float, variant: str) -> LinkSimulator:
+    cfg = BHSSConfig.paper_default(seed=37, payload_bytes=PAYLOAD).with_fixed_bandwidth(bp)
+    if variant == "none":
+        return LinkSimulator(cfg.without_filtering())
+    kwargs = dict(sample_rate=cfg.sample_rate, pulse=cfg.pulse)
+    if variant == "lpf-only":
+        kwargs["peak_margin_db"] = 500.0  # excision never triggers
+    elif variant == "ef-only":
+        kwargs["wide_ratio"] = 1e6  # low-pass never triggers
+    control = ControlLogic(**kwargs)
+    link = LinkSimulator(cfg)
+    link.receiver = BHSSReceiver(cfg, control=control)
+    return link
+
+
+def compute_ablation(*args, **kwargs):
+    """Delegate to :func:`repro.analysis.experiments.ablation_filters` —
+    the canonical, user-callable implementation of this experiment."""
+    return experiments.ablation_filters(*args, **kwargs)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_filter_components(benchmark):
+    result = run_once(benchmark, compute_ablation)
+    save_and_print(
+        result,
+        "ablation_filters",
+        "Ablation: min-SNR threshold [dB] per receiver filter variant",
+    )
+
+    thr = {(r["scenario"], r["variant"]): r["threshold_db"] for r in result.rows}
+
+    # narrow jammer: the excision filter carries the gain
+    assert thr[("narrow jammer", "ef-only")] < thr[("narrow jammer", "none")] - 5.0
+    assert thr[("narrow jammer", "full")] < thr[("narrow jammer", "none")] - 5.0
+    # the low-pass alone cannot excise an in-band narrow jammer
+    assert thr[("narrow jammer", "lpf-only")] > thr[("narrow jammer", "ef-only")] + 3.0
+
+    # the full receiver matches the best single filter in each regime
+    for label, _bp, _bj in SCENARIOS:
+        best_single = min(thr[(label, "lpf-only")], thr[(label, "ef-only")])
+        assert thr[(label, "full")] <= best_single + 1.5
+
+    # wide jammer: with the matched filter already band-limiting, the
+    # explicit low-pass adds at most a modest refinement — but never hurts
+    assert thr[("wide jammer", "full")] <= thr[("wide jammer", "none")] + 1.0

@@ -1,0 +1,73 @@
+"""Figure 7: upper bound on the SNR improvement factor vs bandwidth ratio.
+
+Paper: γ_dB over ``Bp/Bj`` from 1e-2 to 1e2 for jammer powers of 10, 20
+and 30 dB(m) at σ_n² = 0.01 (eq. 11-13).  Expected shape:
+
+* for ratios below 1 (wide jammer) the bound rises roughly linearly on
+  the log axis — 10 dB per decade — and is power-independent;
+* for ratios above 1 (narrow jammer) the bound saturates near the jammer
+  power itself, after a γ=1 notch just above ratio 1 (eq. 10);
+* the curve is asymmetric around the matched point.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import SweepResult
+from repro.core import theory
+
+from repro.analysis import experiments
+from _common import run_once, save_and_print
+
+JAMMER_POWERS_DB = [10.0, 20.0, 30.0]
+NOISE_POWER = 0.01
+
+
+def compute_figure7(*args, **kwargs):
+    """Delegate to :func:`repro.analysis.experiments.figure07` —
+    the canonical, user-callable implementation of this experiment."""
+    return experiments.figure07(*args, **kwargs)
+
+
+@pytest.mark.benchmark(group="fig07")
+def test_fig07_snr_improvement_bound(benchmark):
+    result = run_once(benchmark, compute_figure7)
+    save_and_print(
+        result,
+        "fig07_snr_bound",
+        "Figure 7: upper bound on SNR improvement factor gamma [dB] vs Bp/Bj",
+    )
+
+    ratios = np.array(result.column("bp_over_bj"))
+    g20 = np.array(result.column("gamma_db_20dBm"))
+    g10 = np.array(result.column("gamma_db_10dBm"))
+    g30 = np.array(result.column("gamma_db_30dBm"))
+
+    # wide-jammer side: ~linear in log ratio, power-independent
+    wide = ratios < 0.5
+    np.testing.assert_allclose(g10[wide], g20[wide], atol=1.0)
+    np.testing.assert_allclose(g20[wide], g30[wide], atol=1.0)
+    idx_001 = np.argmin(np.abs(ratios - 0.01))
+    assert g20[idx_001] == pytest.approx(20.0, abs=1.0)  # 100x offset = 20 dB
+    idx_01 = np.argmin(np.abs(ratios - 0.1))
+    assert g20[idx_01] == pytest.approx(10.0, abs=1.0)
+
+    # matched point: no improvement
+    idx_1 = np.argmin(np.abs(ratios - 1.0))
+    assert g20[idx_1] == pytest.approx(0.0, abs=0.5)
+
+    # narrow-jammer side saturates near the jammer power
+    idx_100 = np.argmin(np.abs(ratios - 100.0))
+    assert g10[idx_100] == pytest.approx(10.0, abs=1.0)
+    assert g20[idx_100] == pytest.approx(20.0, abs=1.0)
+    assert g30[idx_100] == pytest.approx(30.0, abs=1.0)
+
+    # eq. (10) notch: gamma = 1 just above the matched ratio
+    notch = (ratios > 1.0) & (ratios < 1.01 / (1 - (10**2 - 1) / (10**2 + NOISE_POWER)))
+    assert np.all(g20[(ratios > 1.0) & (ratios < 1.005)] == pytest.approx(0.0, abs=0.1))
+
+    # asymmetry: at equal offset the narrow side beats the wide side for
+    # a 30 dB jammer
+    idx_64 = np.argmin(np.abs(ratios - 64.0))
+    idx_inv = np.argmin(np.abs(ratios - 1 / 64.0))
+    assert g30[idx_64] > g30[idx_inv]

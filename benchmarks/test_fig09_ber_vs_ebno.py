@@ -1,0 +1,81 @@
+"""Figure 9: bit error probability of BHSS vs DSSS/FHSS over Eb/N0.
+
+Paper setup: signal-to-jamming ratio −20 dB per chip, processing gain
+L = 20 dB, bandwidth hopping range 100.  Curves: DSSS/FHSS (the jammer
+matches their fixed bandwidth), BHSS against fixed jammers with
+``Bj/max(Bp)`` in {1, 0.3, 0.1, 0.03, 0.01}, and BHSS against a
+random-hopping jammer.  Expected shape:
+
+* DSSS and FHSS stay pinned near coin-flip BER across the whole Eb/N0
+  range — the matched jammer overwhelms the 20 dB processing gain;
+* every BHSS curve falls steeply with Eb/N0, the narrower the fixed
+  jammer the faster;
+* the random-hopping jammer lands between the best and worst fixed
+  jammers (better for the jammer than very narrow fixed bandwidths,
+  worse than near-matched ones).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import SweepResult
+from repro.core import theory
+
+from repro.analysis import experiments
+from _common import run_once, save_and_print
+
+SJR_DB = -20.0
+L_DB = 20.0
+#: hopping alphabet spanning the paper's range of 100, log-spaced densely
+#: (the paper hops a continuous range; a dense grid approximates it)
+BANDWIDTHS = np.logspace(0, -2, 33)
+WEIGHTS = np.full(BANDWIDTHS.size, 1.0 / BANDWIDTHS.size)
+FIXED_RATIOS = [1.0, 0.3, 0.1, 0.03, 0.01]
+
+
+def compute_figure9(*args, **kwargs):
+    """Delegate to :func:`repro.analysis.experiments.figure09` —
+    the canonical, user-callable implementation of this experiment."""
+    return experiments.figure09(*args, **kwargs)
+
+
+@pytest.mark.benchmark(group="fig09")
+def test_fig09_ber_vs_ebno(benchmark):
+    result = run_once(benchmark, compute_figure9)
+    save_and_print(
+        result,
+        "fig09_ber_vs_ebno",
+        "Figure 9: BER vs Eb/N0 (SJR -20 dB, L = 20 dB, hop range 100)",
+    )
+
+    ebno = np.array(result.column("ebno_db"))
+    dsss = np.array(result.column("dsss_fhss"))
+    idx15 = np.argmin(np.abs(ebno - 15.0))
+
+    # DSSS/FHSS pinned high: still ~1e-1 at Eb/N0 = 15 dB
+    assert dsss[idx15] > 0.05
+
+    # every BHSS curve beats DSSS at 15 dB
+    for r in FIXED_RATIOS:
+        bhss = np.array(result.column(f"bhss_bj_{r}"))
+        assert bhss[idx15] < dsss[idx15]
+
+    # narrower fixed jammers are worse for the jammer (ordering at 15 dB)
+    b_030 = result.column("bhss_bj_0.3")[idx15]
+    b_003 = result.column("bhss_bj_0.03")[idx15]
+    b_001 = result.column("bhss_bj_0.01")[idx15]
+    assert b_001 <= b_003 <= b_030
+
+    # the random jammer lies between the extremes: better for the link
+    # than the near-matched fixed jammers, worse than the narrow ones
+    rand = np.array(result.column("bhss_bj_random"))
+    fixed_at_15 = [result.column(f"bhss_bj_{r}")[idx15] for r in FIXED_RATIOS]
+    assert min(fixed_at_15) <= rand[idx15] <= max(fixed_at_15)
+    assert rand[idx15] < result.column("bhss_bj_0.3")[idx15]
+    assert rand[idx15] > result.column("bhss_bj_0.01")[idx15]
+    assert rand[idx15] < 1e-4
+
+    # all BHSS curves are monotone non-increasing in Eb/N0
+    for r in FIXED_RATIOS:
+        curve = np.array(result.column(f"bhss_bj_{r}"))
+        assert np.all(np.diff(curve) <= 1e-15)

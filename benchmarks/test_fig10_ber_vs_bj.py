@@ -1,0 +1,65 @@
+"""Figure 10: BER of BHSS vs the jammer bandwidth, per SJR.
+
+Paper setup: hop range 100, L = 20 dB, Eb/N0 fixed (high), jammer
+bandwidth swept over ``Bj/max(Bp)`` from 1e-2 to 1, one curve per SJR in
+{−10, −15, −20} dB.  Expected shape:
+
+* every curve has an interior maximum: the worst jamming bandwidth is
+  matched to the SJR (a stronger jammer does best with a wider Bj);
+* stronger jamming (more negative SJR) raises the whole curve and its
+  peak moves toward wider bandwidths;
+* a jammer that cannot estimate the SJR cannot sit at the peak — the
+  paper's argument for random-hopping jammers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import SweepResult
+from repro.core import theory
+
+from repro.analysis import experiments
+from _common import run_once, save_and_print
+
+L_DB = 20.0
+EBNO_DB = 15.0
+BANDWIDTHS = np.logspace(0, -2, 33)
+WEIGHTS = np.full(BANDWIDTHS.size, 1.0 / BANDWIDTHS.size)
+SJRS_DB = [-10.0, -15.0, -20.0]
+
+
+def compute_figure10(*args, **kwargs):
+    """Delegate to :func:`repro.analysis.experiments.figure10` —
+    the canonical, user-callable implementation of this experiment."""
+    return experiments.figure10(*args, **kwargs)
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_ber_vs_jammer_bandwidth(benchmark):
+    result = run_once(benchmark, compute_figure10)
+    save_and_print(
+        result,
+        "fig10_ber_vs_bj",
+        "Figure 10: BHSS BER vs jammer bandwidth (hop range 100, L = 20 dB)",
+    )
+
+    ratios = np.array(result.column("bj_over_max_bp"))
+    curves = {sjr: np.array(result.column(f"ber_sjr_{sjr:.0f}dB")) for sjr in SJRS_DB}
+
+    # stronger jamming raises the peak BER
+    assert curves[-20.0].max() > curves[-15.0].max() > curves[-10.0].max()
+
+    # interior maximum: for the strong jammers the peak is away from both
+    # edges of the sweep
+    for sjr in [-15.0, -20.0]:
+        peak_idx = int(np.argmax(curves[sjr]))
+        assert 0 < peak_idx < ratios.size - 1
+
+    # the peak bandwidth moves wider as the jammer gets stronger
+    peak_m10 = ratios[int(np.argmax(curves[-10.0]))]
+    peak_m20 = ratios[int(np.argmax(curves[-20.0]))]
+    assert peak_m20 >= peak_m10
+
+    # picking the wrong bandwidth costs the jammer orders of magnitude
+    strong = curves[-20.0]
+    assert strong.max() / max(strong.min(), 1e-300) > 1e3

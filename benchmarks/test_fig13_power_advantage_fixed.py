@@ -1,0 +1,82 @@
+"""Figure 13: measured power advantage vs bandwidth ratio (fixed offsets).
+
+Paper (Section 6.3): for all 49 constellations of the seven signal and
+seven jammer bandwidths — bandwidth *not* hopping — measure the minimum
+transmit power for < 50 % packet loss with and without the interference
+filtering stage, average the dB advantage per distinct ``Bp/Bj`` ratio,
+and compare to the theoretical bound of Section 5.1.  Expected shape:
+
+* for ``Bp/Bj < 1`` (wide jammer, low-pass filter) the measured advantage
+  follows the theoretical bound closely;
+* for ``1 < Bp/Bj < 10`` the implementation gives up roughly half of the
+  theoretical excision gain (finite spreading factor, non-ideal filters);
+* for ``Bp/Bj > 10`` the advantage exceeds 20 dB;
+* at the matched point the advantage vanishes.
+
+The "without filtering" baseline is eq. (5)'s receiver — chip-rate
+sampling with a wide-open front end — matching the role of the disabled
+filter stage in the paper's GNU Radio receiver (without the filter the
+decimation has no anti-aliasing, so out-of-band jamming lands in-band).
+
+Economical default: 6 packets per probed SNR; scale with REPRO_SCALE.
+"""
+
+from collections import defaultdict
+
+import numpy as np
+import pytest
+
+from repro.analysis import SweepResult, min_snr_for_per
+from repro.core import BHSSConfig, LinkSimulator, theory
+from repro.jamming import BandlimitedNoiseJammer
+
+from repro.analysis import experiments
+from _common import JNR_DB, default_search, run_once, save_and_print
+
+BANDWIDTHS = BHSSConfig.paper_default().bandwidth_set.as_array()
+PAYLOAD = 4  # short probe frames keep 49 x 2 threshold searches tractable
+
+
+def compute_figure13(*args, **kwargs):
+    """Delegate to :func:`repro.analysis.experiments.figure13` —
+    the canonical, user-callable implementation of this experiment."""
+    return experiments.figure13(*args, **kwargs)
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13_power_advantage_fixed_offsets(benchmark):
+    per_pair, by_ratio = run_once(benchmark, compute_figure13)
+    save_and_print(per_pair, "fig13_constellations", "Figure 13 raw: 49 bandwidth constellations")
+    save_and_print(
+        by_ratio,
+        "fig13_power_advantage",
+        "Figure 13: power advantage [dB] vs Bp/Bj (mean over constellations) vs theory",
+    )
+
+    ratios = np.array(by_ratio.column("ratio"))
+    adv = np.array(by_ratio.column("advantage_db"))
+    bound = np.array(by_ratio.column("theory_bound_db"))
+
+    # matched constellations: no meaningful advantage
+    idx_match = np.argmin(np.abs(ratios - 1.0))
+    assert abs(adv[idx_match]) < 4.0
+
+    # wide-jammer side follows the bound (within a few dB)
+    wide = ratios < 1.0
+    assert np.all(np.abs(adv[wide] - bound[wide]) < 6.0)
+
+    # the widest offsets buy double-digit advantages on both sides
+    assert adv[ratios == ratios.min()][0] > 10.0
+    assert adv[ratios == ratios.max()][0] > 20.0
+
+    # narrow-jammer side: tracks the bound to within a few dB.  (Our
+    # measurement can exceed the jammer-only bound slightly: the eq.-(5)
+    # baseline's wide-open front end also admits extra *noise* that the
+    # filtering receiver rejects, which the gamma bound does not model.)
+    narrow = ratios > 8.0
+    assert np.all(adv[narrow] > 10.0)
+    assert np.all(np.abs(adv[narrow] - bound[narrow]) < 6.0)
+
+    # advantage grows with offset on each side of the matched point
+    assert adv[0] >= adv[idx_match]
+    assert adv[-1] >= adv[idx_match]

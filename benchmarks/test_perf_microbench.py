@@ -1,0 +1,87 @@
+"""Performance microbenchmarks of the simulation hot paths.
+
+Not a paper experiment — these time the kernels that dominate every
+signal-level sweep, so performance regressions in the DSP substrate show
+up here before they silently double the Figure-13/14 runtimes.  These run
+with pytest-benchmark's normal multi-round statistics (unlike the
+experiment benchmarks, which execute once).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import BHSSConfig, BHSSReceiver, BHSSTransmitter, ControlLogic
+from repro.dsp import apply_fir, design_excision_filter, lowpass_taps, welch_psd
+from repro.jamming import bandlimited_noise
+from repro.phy import ChipModulator
+from repro.spread import SixteenAryDSSS
+
+FS = 20e6
+rng = np.random.default_rng(0)
+BLOCK = (rng.normal(size=262144) + 1j * rng.normal(size=262144)) / np.sqrt(2)
+TAPS_LPF = lowpass_taps(513, 2.5e6, FS)
+
+
+@pytest.mark.benchmark(group="perf-dsp")
+def test_perf_apply_fir_overlap_save(benchmark):
+    benchmark(apply_fir, BLOCK, TAPS_LPF, "compensated")
+
+
+@pytest.mark.benchmark(group="perf-dsp")
+def test_perf_welch_psd(benchmark):
+    benchmark(welch_psd, BLOCK, FS, 128)
+
+
+@pytest.mark.benchmark(group="perf-dsp")
+def test_perf_excision_design(benchmark):
+    jammed = BLOCK + 10 * bandlimited_noise(BLOCK.size, 0.625e6, FS, rng=1)
+    benchmark(design_excision_filter, jammed, FS, 257)
+
+
+@pytest.mark.benchmark(group="perf-dsp")
+def test_perf_bandlimited_noise(benchmark):
+    benchmark(bandlimited_noise, 131072, 2.5e6, FS, 2)
+
+
+@pytest.mark.benchmark(group="perf-phy")
+def test_perf_modulate(benchmark):
+    mod = ChipModulator("half_sine")
+    chips = np.where(rng.random(4096) > 0.5, 1.0, -1.0)
+    benchmark(mod.modulate, chips, 16)
+
+
+@pytest.mark.benchmark(group="perf-phy")
+def test_perf_demodulate(benchmark):
+    mod = ChipModulator("half_sine")
+    chips = np.where(rng.random(4096) > 0.5, 1.0, -1.0)
+    wave = mod.modulate(chips, 16)
+    benchmark(mod.demodulate, wave, 16)
+
+
+@pytest.mark.benchmark(group="perf-phy")
+def test_perf_despread(benchmark):
+    modem = SixteenAryDSSS(seed=1)
+    symbols = rng.integers(0, 16, size=256)
+    chips = modem.spread(symbols)
+    benchmark(modem.despread, chips)
+
+
+@pytest.mark.benchmark(group="perf-system")
+def test_perf_transmit_packet(benchmark):
+    tx = BHSSTransmitter(BHSSConfig.paper_default(seed=3, payload_bytes=16))
+    benchmark(tx.transmit, None, 0)
+
+
+@pytest.mark.benchmark(group="perf-system")
+def test_perf_receive_packet(benchmark):
+    cfg = BHSSConfig.paper_default(seed=3, payload_bytes=16)
+    packet = BHSSTransmitter(cfg).transmit()
+    receiver = BHSSReceiver(cfg)
+    benchmark(receiver.receive, packet.waveform)
+
+
+@pytest.mark.benchmark(group="perf-system")
+def test_perf_control_decision(benchmark):
+    logic = ControlLogic(sample_rate=FS)
+    jammed = BLOCK[:65536] + 5 * bandlimited_noise(65536, 0.625e6, FS, rng=4)
+    benchmark(logic.decide, jammed, 10e6)

@@ -1,0 +1,74 @@
+"""Table 1: the hop-probability distributions of the three patterns.
+
+Paper (Section 6.4.1, Table 1): per-bandwidth selection probabilities of
+the linear (uniform), exponential (equal air time) and parabolic
+(Monte-Carlo maximin) patterns over the seven experimental bandwidths,
+together with their average bandwidth utilization and throughput:
+linear → 2.83 MHz / 354 kb/s, exponential → 6.72 MHz / 840 kb/s,
+parabolic → 3.77 MHz / 471 kb/s.
+
+The benchmark regenerates the table, re-runs the Monte-Carlo maximin
+optimization from scratch, and checks that the optimizer's result (a)
+has the bathtub shape, (b) beats linear and exponential in the worst
+case, and (c) scores within a dB of the paper's published weights.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import SweepResult
+from repro.hopping import (
+    PAPER_PARABOLIC_WEIGHTS,
+    expected_bandwidth,
+    expected_throughput,
+    exponential_weights,
+    linear_weights,
+    maximin_score_db,
+    optimize_parabolic_weights,
+    paper_bandwidths,
+)
+
+from repro.analysis import experiments
+from _common import run_once, save_and_print
+
+BWS = paper_bandwidths()
+
+
+def compute_table1(*args, **kwargs):
+    """Delegate to :func:`repro.analysis.experiments.table1` —
+    the canonical, user-callable implementation of this experiment."""
+    return experiments.table1(*args, **kwargs)
+
+
+@pytest.mark.benchmark(group="tab1")
+def test_tab1_hop_distributions(benchmark):
+    result, summary = run_once(benchmark, compute_table1)
+    save_and_print(result, "tab1_hop_distributions", "Table 1: hop distributions [%] per bandwidth")
+    save_and_print(result=summary, name="tab1_summary", title="Table 1 summary: average bandwidth / throughput / worst-case gamma")
+
+    # Table 1's published rows
+    np.testing.assert_allclose(result.column("linear_pct"), 14.2857, atol=0.01)
+    np.testing.assert_allclose(
+        result.column("exponential_pct"), [50.4, 25.2, 12.6, 6.3, 3.1, 1.6, 0.8], atol=0.05
+    )
+    np.testing.assert_allclose(
+        result.column("parabolic_paper_pct"), [27.1, 15.8, 6.3, 0.1, 1.3, 22.0, 27.4], atol=0.01
+    )
+
+    # Section 6.4.1's averages
+    avg = {r["pattern"]: r for r in summary.rows}
+    assert avg["linear"]["avg_bandwidth_mhz"] == pytest.approx(2.83, abs=0.02)
+    assert avg["linear"]["throughput_kbps"] == pytest.approx(354, abs=2)
+    assert avg["exponential"]["avg_bandwidth_mhz"] == pytest.approx(6.72, abs=0.02)
+    assert avg["exponential"]["throughput_kbps"] == pytest.approx(840, abs=3)
+    assert avg["parabolic (paper)"]["avg_bandwidth_mhz"] == pytest.approx(3.77, abs=0.05)
+    assert avg["parabolic (paper)"]["throughput_kbps"] == pytest.approx(471, abs=5)
+
+    # the re-run Monte-Carlo optimization reproduces the qualitative
+    # findings: a bathtub shape that maximizes the worst case
+    opt = np.array(result.column("parabolic_optimized_pct")) / 100
+    assert opt[0] > opt[3] and opt[6] > opt[3]
+    s_opt = avg["parabolic (re-optimized)"]["maximin_gamma_db"]
+    assert s_opt >= avg["linear"]["maximin_gamma_db"]
+    assert s_opt >= avg["exponential"]["maximin_gamma_db"]
+    assert s_opt >= avg["parabolic (paper)"]["maximin_gamma_db"] - 1.0

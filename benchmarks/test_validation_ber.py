@@ -1,0 +1,59 @@
+"""Validation: the signal-level simulator against the Section-5 analysis.
+
+Not a paper figure — a cross-check that the two halves of this repository
+agree.  Two experiments:
+
+1. **Waterfall**: unjammed BER of the fixed-bandwidth link vs SNR must be
+   monotone decreasing with the familiar waterfall shape.
+2. **Processing gain**: under a *matched* jammer (the case where no
+   filtering can help, eq. 7), the measured BER at chip SJR ``s`` should
+   be comparable to the unjammed BER at ``s + processing gain`` — i.e.
+   despreading buys the 9 dB of the spreading factor and nothing more,
+   exactly the paper's premise for why BHSS is needed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import SweepResult, env_scale
+from repro.core import BHSSConfig, LinkSimulator
+from repro.jamming import BandlimitedNoiseJammer
+
+from repro.analysis import experiments
+from _common import run_once, save_and_print
+
+PAYLOAD = 16
+
+
+def measure_ber(link, snr_db, sjr_db=float("inf"), jammer=None, packets=12, seed=0):
+    stats = link.run_packets(packets, snr_db=snr_db, sjr_db=sjr_db, jammer=jammer, seed=seed)
+    return stats.bit_error_rate
+
+
+def compute_validation(*args, **kwargs):
+    """Delegate to :func:`repro.analysis.experiments.validation_ber` —
+    the canonical, user-callable implementation of this experiment."""
+    return experiments.validation_ber(*args, **kwargs)
+
+
+@pytest.mark.benchmark(group="validation")
+def test_validation_ber(benchmark):
+    waterfall, matched = run_once(benchmark, compute_validation)
+    save_and_print(waterfall, "validation_waterfall", "Validation: unjammed BER waterfall (fixed 10 MHz)")
+    save_and_print(
+        matched,
+        "validation_processing_gain",
+        "Validation: matched jammer vs equivalent-noise reference (eq. 7)",
+    )
+
+    ber = np.array(waterfall.column("ber"))
+    # monotone decreasing waterfall with a real dynamic range
+    assert np.all(np.diff(ber) <= 1e-12)
+    assert ber[0] > 0.05
+    assert ber[-1] < 0.01
+
+    # matched jamming is equivalent to in-band noise of the same power:
+    # within a small factor at every probed SJR
+    for row in matched.rows:
+        a, b = row["ber_jammed"], row["ber_unjammed_at_sjr_plus_gain"]
+        assert a == pytest.approx(b, abs=0.03) or (a > 0 and b > 0 and 0.2 < a / b < 5.0)

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""FHSS vs BHSS: two hopping dimensions, one band.
+
+Both systems occupy the same 10 MHz of spectrum.  FHSS hops a fixed
+1.25 MHz signal across 8 *frequency* channels; BHSS hops the signal's
+*bandwidth* across the seven octave values.  This example pits them
+against three attacker strategies at equal jamming power and shows where
+each hopping dimension earns its keep.
+
+Run:  python examples/fhss_comparison.py
+"""
+
+from repro import BHSSConfig, BandlimitedNoiseJammer, FHSSLink, FHSSLinkConfig, LinkSimulator
+from repro.utils import format_table
+
+
+def main() -> None:
+    fs = 20e6
+    snr_db, sjr_db, n_packets = 15.0, -10.0, 12
+
+    fhss = FHSSLink(FHSSLinkConfig(payload_bytes=8, seed=67, symbols_per_hop=4))
+    bhss = LinkSimulator(
+        BHSSConfig.paper_default(pattern="parabolic", seed=67, payload_bytes=8, symbols_per_hop=16)
+    )
+
+    print(f"FHSS: {fhss.config.num_channels} channels x "
+          f"{fhss.config.channel_bandwidth / 1e6:g} MHz, "
+          f"processing gain {fhss.config.processing_gain_db:.1f} dB")
+    print(f"BHSS: bandwidths {[b / 1e6 for b in bhss.config.bandwidth_set.bandwidths]} MHz, "
+          f"processing gain {bhss.config.processing_gain_db:.1f} dB + filtering")
+    print()
+
+    scenarios = [
+        ("full-band 10 MHz noise", BandlimitedNoiseJammer(10e6, fs)),
+        ("one-channel 1.25 MHz noise", BandlimitedNoiseJammer(1.25e6, fs, centre=2.5e6)),
+        ("narrow 0.156 MHz noise", BandlimitedNoiseJammer(0.15625e6, fs, centre=-1e6)),
+    ]
+    rows = []
+    for label, jammer in scenarios:
+        per_fhss, _ = fhss.run_packets(n_packets, snr_db=snr_db, sjr_db=sjr_db, jammer=jammer, seed=4)
+        stats = bhss.run_packets(n_packets, snr_db=snr_db, sjr_db=sjr_db, jammer=jammer, seed=4)
+        rows.append([label, f"{per_fhss:.2f}", f"{stats.packet_error_rate:.2f}"])
+
+    print(
+        format_table(
+            ["jammer (10 dB above signal)", "FHSS PER", "BHSS PER"],
+            rows,
+            title=f"SNR {snr_db:g} dB, SJR {sjr_db:g} dB, {n_packets} packets per cell",
+        )
+    )
+    print()
+    print("Full-band jamming: FHSS's 18 dB of raw processing gain shrugs it")
+    print("off, and BHSS has nothing to filter.  Concentrated jamming: FHSS")
+    print("loses every hop that lands on the jammed channel, while BHSS's")
+    print("receiver excises the jammer *inside* the band and keeps the link.")
+    print("The benchmark benchmarks/test_ext_fhss_vs_bhss.py runs the same")
+    print("duel as min-SNR thresholds.")
+
+
+if __name__ == "__main__":
+    main()

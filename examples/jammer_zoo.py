@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Jammer zoo: every attacker model against the same BHSS link.
+
+Runs the full bestiary — fixed-band noise of three widths, tone, comb,
+sweep, pulsed, bandwidth-hopping and the bandwidth-matching reactive
+jammer — against one parabolic-pattern BHSS link at a fixed operating
+point, and shows each jammer's measured spectrum occupancy next to the
+damage it does and the filters the receiver chose against it.
+
+Run:  python examples/jammer_zoo.py
+"""
+
+from repro import (
+    BHSSConfig,
+    BandlimitedNoiseJammer,
+    HoppingJammer,
+    LinkSimulator,
+    MatchedReactiveJammer,
+    PulsedJammer,
+    SweepJammer,
+    ToneJammer,
+)
+from repro.dsp import welch_psd
+from repro.dsp.spectral import occupied_bandwidth
+from repro.jamming import CombJammer
+from repro.utils import format_table
+
+
+def measured_occupancy_mhz(jammer, fs, n=131072):
+    wave = jammer.waveform(n, rng=0)
+    freqs, psd = welch_psd(wave, fs, nperseg=512)
+    return occupied_bandwidth(freqs, psd, fraction=0.95) / 1e6
+
+
+def main() -> None:
+    config = BHSSConfig.paper_default(pattern="parabolic", seed=12, payload_bytes=8)
+    link = LinkSimulator(config)
+    fs = config.sample_rate
+    bands = config.bandwidth_set.as_array()
+    snr_db, sjr_db, n_packets = 16.0, -10.0, 12
+
+    zoo = [
+        BandlimitedNoiseJammer(10e6, fs),
+        BandlimitedNoiseJammer(2.5e6, fs),
+        BandlimitedNoiseJammer(0.15625e6, fs),
+        ToneJammer(1.5e6, fs),
+        CombJammer([-4e6, -1e6, 2e6, 5e6], fs, seed=1),
+        SweepJammer(-5e6, 5e6, fs, sweep_duration=2e-3),
+        PulsedJammer(BandlimitedNoiseJammer(10e6, fs), duty_cycle=0.2, period_samples=20000),
+        HoppingJammer(bands, fs, dwell_samples=16384, seed=2),
+        MatchedReactiveJammer(fs, reaction_samples=0, initial_bandwidth=10e6, reaction_fraction=1.0),
+    ]
+
+    rows = []
+    for jammer in zoo:
+        occupancy = measured_occupancy_mhz(jammer, fs)
+        jammer.reset()
+        stats = link.run_packets(
+            n_packets, snr_db=snr_db, sjr_db=sjr_db, jammer=jammer, seed=4
+        )
+        usage = stats.filter_usage
+        total = max(sum(usage.values()), 1)
+        dominant = max(usage, key=usage.get)
+        lo, hi = stats.per_confidence_interval()
+        rows.append(
+            [
+                jammer.description[:46],
+                f"{occupancy:.3g}",
+                f"{stats.packet_error_rate:.2f}",
+                f"[{lo:.2f},{hi:.2f}]",
+                f"{dominant} ({usage[dominant] * 100 // total}%)",
+            ]
+        )
+
+    print(
+        format_table(
+            ["jammer", "95% occupancy (MHz)", "PER", "95% CI", "dominant filter"],
+            rows,
+            title=(
+                f"BHSS (parabolic) vs the jammer zoo — SNR {snr_db:.0f} dB, "
+                f"SJR {sjr_db:.0f} dB, {n_packets} packets each"
+            ),
+        )
+    )
+    print()
+    print("Tone, comb and sweep jammers are harmless here: the excision filter")
+    print("whitens their concentrated spectra away.  The dangerous attackers")
+    print("park their power where the parabolic pattern transmits most — note")
+    print("the matched 10 MHz and 0.156 MHz noise jammers at the top; that is")
+    print("exactly the Figure-14 worst-case structure.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Hopping-pattern duel: signal pattern vs jammer pattern (mini Table 2).
+
+Both sides hop their bandwidth randomly over the same seven-value set —
+the transmitter because fixed-bandwidth links are matched by reactive
+jammers, the jammer because fixed-bandwidth jamming is countered by an
+adaptive transmitter (Section 6.4.3).  Which *distribution* should each
+side use?
+
+This example measures the power advantage (the min-SNR saving at 50 %
+packet loss relative to the fixed 10 MHz signal + 10 MHz jammer baseline)
+for all 3 x 3 pattern pairings at a reduced packet budget, reproducing
+Table 2's game-theoretic structure: exponential is great against linear
+jammers but collapses against its own pattern; parabolic maximizes the
+worst case.
+
+Run:  python examples/pattern_duel.py            (takes a couple of minutes)
+"""
+
+from repro import BHSSConfig, BandlimitedNoiseJammer, HoppingJammer, LinkSimulator
+from repro.analysis import ThresholdSearch, min_snr_for_per
+from repro.hopping import pattern_weights
+from repro.utils import format_table
+
+PATTERNS = ["linear", "exponential", "parabolic"]
+JNR_DB = 25.0
+
+
+def main() -> None:
+    search = ThresholdSearch(
+        snr_low=-10.0, snr_high=40.0, tolerance_db=1.5, packets_per_point=10
+    )
+
+    def base_config(**kw):
+        return BHSSConfig.paper_default(seed=5, payload_bytes=8, symbols_per_hop=16, **kw)
+
+    bands = base_config().bandwidth_set
+    fs = bands.sample_rate
+
+    baseline = LinkSimulator(base_config().with_fixed_bandwidth(10e6))
+    t_base = min_snr_for_per(
+        baseline,
+        jnr_db=JNR_DB,
+        jammer=BandlimitedNoiseJammer(10e6, fs),
+        search=search,
+        seed=1,
+    )
+    print(f"baseline threshold (fixed 10 MHz signal and jammer): {t_base:.1f} dB SNR")
+    print()
+
+    dwell = 16 * 16 * 4  # one hop dwell at the widest bandwidth, in samples
+    rows = []
+    worst = {}
+    for sig_pattern in PATTERNS:
+        link = LinkSimulator(base_config(pattern=sig_pattern))
+        row = [sig_pattern]
+        for jam_pattern in PATTERNS:
+            jammer = HoppingJammer(
+                bands.as_array(),
+                fs,
+                dwell_samples=dwell,
+                weights=pattern_weights(jam_pattern, bands.as_array()),
+                seed=77,
+            )
+            t = min_snr_for_per(link, jnr_db=JNR_DB, jammer=jammer, search=search, seed=1)
+            adv = t_base - t
+            row.append(f"{adv:+.1f}")
+            worst[sig_pattern] = min(worst.get(sig_pattern, 99.0), adv)
+        rows.append(row)
+
+    print(
+        format_table(
+            ["signal \\ jammer", *PATTERNS],
+            rows,
+            title=f"Power advantage (dB) over the fixed baseline, jammer {JNR_DB:.0f} dB above noise",
+        )
+    )
+    print()
+    best = max(worst, key=worst.get)
+    print(f"Worst-case advantage per signal pattern: "
+          + ", ".join(f"{p}: {worst[p]:+.1f} dB" for p in PATTERNS))
+    print(f"Maximin choice: the {best} pattern — the paper reaches the same "
+          f"conclusion (Table 2: parabolic, worst case 11.4 dB).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: a BHSS link under a narrow-band jammer.
+
+Builds the paper's default system (7 octave-spaced bandwidths at 20 MS/s,
+16-ary DSSS PHY), runs packets through a jammed AWGN channel, and shows
+how the filtering receiver recovers packets a conventional spread-spectrum
+receiver loses.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import BHSSConfig, BandlimitedNoiseJammer, LinkSimulator
+from repro.utils import format_table
+
+
+def main() -> None:
+    # One config describes the whole link; transmitter and receiver share
+    # its seed (the pre-shared secret) for hop schedule + PN scrambler.
+    config = BHSSConfig.paper_default(pattern="parabolic", seed=42, payload_bytes=16)
+    print("BHSS link configuration")
+    print(f"  sample rate        : {config.sample_rate / 1e6:.0f} MS/s")
+    print(f"  hop bandwidths     : {[b / 1e6 for b in config.bandwidth_set.bandwidths]} MHz")
+    print(f"  hop range          : {config.bandwidth_set.hop_range:.0f}x")
+    print(f"  processing gain    : {config.processing_gain_db:.1f} dB (spreading factor 8)")
+    print()
+
+    # A 0.625 MHz Gaussian-noise jammer, 12 dB stronger than the signal.
+    jammer = BandlimitedNoiseJammer(bandwidth=0.625e6, sample_rate=config.sample_rate)
+    snr_db, sjr_db, n = 15.0, -10.0, 20
+
+    rows = []
+    for label, link_config in [
+        ("BHSS (hopping + filtering)", config),
+        ("conventional SS (no filtering)", config.without_filtering()),
+    ]:
+        stats = LinkSimulator(link_config).run_packets(
+            n, snr_db=snr_db, sjr_db=sjr_db, jammer=jammer, seed=7
+        )
+        rows.append(
+            [
+                label,
+                f"{stats.packet_error_rate:.2f}",
+                f"{stats.bit_error_rate:.4f}",
+                f"{stats.throughput_bps / 1e3:.0f} kb/s",
+            ]
+        )
+
+    print(
+        format_table(
+            ["receiver", "PER", "BER", "goodput"],
+            rows,
+            title=f"{n} packets, SNR {snr_db:.0f} dB, SJR {sjr_db:.0f} dB, "
+            f"jammer {jammer.description}",
+        )
+    )
+    print()
+    print("The BHSS receiver spectrally estimates the jammer per hop and")
+    print("whitens it away (eq. 3) or low-pass filters it (eq. 4) before")
+    print("despreading; the conventional receiver eats the full jammer power.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""UAV control downlink under a reactive jammer.
+
+The paper's motivating scenario (Section 2): a ground station sends
+control frames to a UAV while a reactive jammer overhears the channel and
+matches its noise bandwidth to whatever it senses.  A bandwidth estimate
+costs the jammer "a couple of symbols" — modelled here as the fraction of
+each hop dwell the jammer needs before it can re-match.
+
+The sweep below varies that reaction speed at a fixed, strong jamming
+level, comparing a fixed-bandwidth DSSS link against BHSS:
+
+* reaction fraction 0 — an instantaneous (unrealistically fast) jammer is
+  always matched, and neither system survives;
+* reaction fraction 1 — the jammer is slower than the hop rate, so it is
+  permanently one dwell stale against BHSS, which is exactly the
+  bandwidth-offset condition the receiver's filters exploit.  The fixed
+  link never changes bandwidth, so the jammer stays matched to it at
+  *any* reaction speed.
+
+Run:  python examples/uav_downlink.py
+"""
+
+from repro import BHSSConfig, LinkSimulator, MatchedReactiveJammer
+from repro.utils import format_table
+
+
+def main() -> None:
+    snr_db, sjr_db, n_packets = 25.0, -10.0, 16
+    fs = 20e6
+
+    fixed = LinkSimulator(
+        BHSSConfig.paper_default(seed=8, payload_bytes=8, symbols_per_hop=16).with_fixed_bandwidth(10e6)
+    )
+    bhss = LinkSimulator(
+        BHSSConfig.paper_default(pattern="parabolic", seed=8, payload_bytes=8, symbols_per_hop=16)
+    )
+
+    rows = []
+    for fraction in [0.0, 0.25, 0.5, 0.75, 1.0]:
+        def jammer():
+            return MatchedReactiveJammer(
+                fs, reaction_samples=0, initial_bandwidth=10e6, reaction_fraction=fraction
+            )
+
+        per_fixed = fixed.run_packets(
+            n_packets, snr_db=snr_db, sjr_db=sjr_db, jammer=jammer(), seed=3
+        ).packet_error_rate
+        per_bhss = bhss.run_packets(
+            n_packets, snr_db=snr_db, sjr_db=sjr_db, jammer=jammer(), seed=3
+        ).packet_error_rate
+        label = {0.0: "instant (always matched)", 1.0: "slower than one hop"}.get(
+            fraction, f"{fraction:.0%} of a dwell"
+        )
+        rows.append([label, f"{per_fixed:.2f}", f"{per_bhss:.2f}"])
+
+    print(
+        format_table(
+            ["jammer reaction time", "fixed 10 MHz PER", "BHSS parabolic PER"],
+            rows,
+            title=(
+                f"UAV downlink: SNR {snr_db:.0f} dB, SJR {sjr_db:.0f} dB "
+                f"(jammer 10 dB above signal), {n_packets} packets per point"
+            ),
+        )
+    )
+    print()
+    print("Against any realistic reaction time the fixed-bandwidth link stays")
+    print("perfectly matched and dies.  Once the jammer cannot re-estimate the")
+    print("bandwidth within one hop dwell, BHSS's receiver sees a stale, offset")
+    print("jammer it can excise or low-pass away, and the downlink survives a")
+    print("jammer ten times stronger than the signal.")
+
+
+if __name__ == "__main__":
+    main()

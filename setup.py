@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The evaluation environment has no network access and no ``wheel`` package,
+so PEP 517 editable installs (which require building a wheel) fail.  This
+shim lets ``pip install -e . --no-build-isolation --no-use-pep517`` perform
+a legacy ``setup.py develop`` install.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,116 @@
+"""repro — Bandwidth Hopping Spread Spectrum (BHSS).
+
+A from-scratch Python reproduction of *"Jamming Mitigation by Randomized
+Bandwidth Hopping"* (Liechti, Lenders, Giustiniano — CoNEXT 2015): the BHSS
+transmitter/receiver pair, the DSSS/FHSS baselines, the jammer models, the
+channel simulator, and the full evaluation harness for every table and
+figure of the paper.
+
+Quickstart::
+
+    from repro import BHSSConfig, LinkSimulator, BandlimitedNoiseJammer
+
+    config = BHSSConfig.paper_default()
+    link = LinkSimulator(config)
+    jammer = BandlimitedNoiseJammer(bandwidth=2.5e6, sample_rate=config.sample_rate)
+    stats = link.run_packets(num_packets=20, snr_db=10.0, sjr_db=-5.0,
+                             jammer=jammer, seed=1)
+    print(stats.packet_error_rate, stats.bit_error_rate)
+
+Subpackages
+-----------
+``repro.dsp``
+    FIR design, excision/whitening filters, PSD estimation, pulse shapes.
+``repro.sync``
+    Costas loop, Gardner timing recovery, preamble detection.
+``repro.spread``
+    PN/Gold sequences, IEEE 802.15.4-style 16-ary DSSS, FHSS modem.
+``repro.phy``
+    Bit/symbol packing, CRC, QPSK chip modulation, framing.
+``repro.channel``
+    AWGN channel, impairments, multi-source medium.
+``repro.jamming``
+    Fixed-band, reactive, hopping, tone, sweep and pulsed jammers.
+``repro.hopping``
+    Bandwidth sets, hop-weight patterns (linear/exponential/parabolic),
+    maximin optimizer, seeded hop schedules.
+``repro.core``
+    BHSS transmitter/receiver, control logic, link simulator, theory.
+``repro.analysis``
+    Power-advantage threshold search and sweep utilities.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import (
+    AcquiringReceiver,
+    BHSSConfig,
+    BHSSReceiver,
+    BHSSTransmitter,
+    ControlLogic,
+    FHSSLink,
+    FHSSLinkConfig,
+    FilterDecision,
+    LinkSimulator,
+    LinkStats,
+    SeedPool,
+    UncoordinatedReceiver,
+    UncoordinatedTransmitter,
+    theory,
+)
+from repro.channel import Impairments, Medium, MultipathChannel
+from repro.jamming import (
+    BandlimitedNoiseJammer,
+    CombJammer,
+    HoppingJammer,
+    Jammer,
+    MatchedReactiveJammer,
+    NoJammer,
+    PulsedJammer,
+    SweepJammer,
+    ToneJammer,
+)
+from repro.hopping import (
+    BandwidthSet,
+    HopSchedule,
+    exponential_weights,
+    linear_weights,
+    paper_bandwidths,
+    parabolic_weights,
+)
+
+__all__ = [
+    "__version__",
+    "BHSSConfig",
+    "BHSSTransmitter",
+    "BHSSReceiver",
+    "AcquiringReceiver",
+    "FHSSLink",
+    "FHSSLinkConfig",
+    "SeedPool",
+    "UncoordinatedTransmitter",
+    "UncoordinatedReceiver",
+    "Impairments",
+    "Medium",
+    "MultipathChannel",
+    "CombJammer",
+    "ControlLogic",
+    "FilterDecision",
+    "LinkSimulator",
+    "LinkStats",
+    "theory",
+    "Jammer",
+    "NoJammer",
+    "BandlimitedNoiseJammer",
+    "MatchedReactiveJammer",
+    "HoppingJammer",
+    "ToneJammer",
+    "SweepJammer",
+    "PulsedJammer",
+    "BandwidthSet",
+    "HopSchedule",
+    "paper_bandwidths",
+    "linear_weights",
+    "exponential_weights",
+    "parabolic_weights",
+]

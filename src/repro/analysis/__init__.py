@@ -1,0 +1,16 @@
+"""Analysis harness: threshold searches (power advantage) and sweeps."""
+
+from repro.analysis.thresholds import ThresholdSearch, min_snr_for_per, power_advantage_db
+from repro.analysis.sweep import SweepResult, env_scale, run_sweep, write_csv
+from repro.analysis import experiments
+
+__all__ = [
+    "ThresholdSearch",
+    "min_snr_for_per",
+    "power_advantage_db",
+    "SweepResult",
+    "run_sweep",
+    "write_csv",
+    "env_scale",
+    "experiments",
+]

@@ -1,0 +1,101 @@
+"""Parameter-sweep utilities shared by the benchmark harnesses.
+
+Every experimental figure of the paper is a sweep (over bandwidth ratios,
+jammer bandwidths, Eb/N0, hop patterns); these helpers keep the benchmark
+files declarative: define the grid, get back a tidy list of records that
+the table formatter and the CSV writer both consume.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+__all__ = ["SweepResult", "run_sweep", "write_csv", "env_scale"]
+
+
+@dataclass
+class SweepResult:
+    """A tidy table of sweep records.
+
+    ``columns`` fixes the field order; ``rows`` holds one dict per grid
+    point.
+    """
+
+    columns: tuple[str, ...]
+    rows: list[dict] = field(default_factory=list)
+
+    def add(self, **record) -> None:
+        """Append one record (must cover every column)."""
+        missing = set(self.columns) - set(record)
+        if missing:
+            raise ValueError(f"record missing columns: {sorted(missing)}")
+        self.rows.append({c: record[c] for c in self.columns})
+
+    def column(self, name: str) -> list:
+        """Extract one column as a list (in insertion order)."""
+        if name not in self.columns:
+            raise KeyError(f"unknown column {name!r}")
+        return [r[name] for r in self.rows]
+
+    def filtered(self, **conditions) -> "SweepResult":
+        """Records matching all equality conditions, as a new result."""
+        rows = [r for r in self.rows if all(r.get(k) == v for k, v in conditions.items())]
+        out = SweepResult(columns=self.columns)
+        out.rows = rows
+        return out
+
+    def as_table_rows(self) -> list[list]:
+        """Rows in column order, for the ASCII table formatter."""
+        return [[r[c] for c in self.columns] for r in self.rows]
+
+
+def run_sweep(
+    columns: Sequence[str],
+    grid: Iterable,
+    evaluate: Callable[..., dict],
+) -> SweepResult:
+    """Evaluate a function over a grid of points.
+
+    ``grid`` yields either scalars or tuples, splatted into ``evaluate``;
+    the function returns a record dict which is appended to the result.
+    """
+    result = SweepResult(columns=tuple(columns))
+    for point in grid:
+        if isinstance(point, tuple):
+            record = evaluate(*point)
+        else:
+            record = evaluate(point)
+        result.add(**record)
+    return result
+
+
+def write_csv(result: SweepResult, path: str) -> str:
+    """Write a sweep result to CSV; returns the path."""
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=list(result.columns))
+        writer.writeheader()
+        writer.writerows(result.rows)
+    return path
+
+
+def env_scale(name: str = "REPRO_SCALE", default: float = 1.0) -> float:
+    """Experiment-size multiplier from the environment.
+
+    Benchmarks default to economical sizes (tens of packets per point);
+    ``REPRO_SCALE=10`` rescales packet counts toward the paper's 10 000
+    packets per point for final-quality numbers.
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be a number, got {raw!r}") from None
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value

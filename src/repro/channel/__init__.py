@@ -1,0 +1,18 @@
+"""Channel substrate: AWGN, front-end impairments, and the shared medium."""
+
+from repro.channel.awgn import add_awgn, complex_awgn, noise_power_for_snr
+from repro.channel.impairments import IDEAL_FRONT_END, Impairments
+from repro.channel.link_medium import Medium, ReceivedBlock
+from repro.channel.multipath import MultipathChannel, exponential_power_delay_profile
+
+__all__ = [
+    "complex_awgn",
+    "add_awgn",
+    "noise_power_for_snr",
+    "Impairments",
+    "IDEAL_FRONT_END",
+    "Medium",
+    "ReceivedBlock",
+    "MultipathChannel",
+    "exponential_power_delay_profile",
+]

@@ -1,0 +1,135 @@
+"""Radio-front-end impairment models.
+
+The paper's SDRs run on free, unsynchronized oscillators ("we do not
+synchronize the clocks of the SDRs and all of them use their own internal
+oscillator"), so a real receiver must tolerate carrier-frequency offset,
+phase offset, sampling-time offset and clock skew.  These models inject
+exactly those impairments so the Costas/Gardner chain has something to
+correct — and so the measured power advantage reflects a non-ideal
+receiver like the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dsp.mixing import frequency_shift, phase_rotate
+from repro.dsp.resample import fractional_delay, resample_linear
+from repro.utils.validation import as_complex_array, ensure_positive
+
+__all__ = ["Impairments", "IDEAL_FRONT_END"]
+
+
+@dataclass(frozen=True)
+class Impairments:
+    """A bundle of front-end impairments applied to a received waveform.
+
+    Attributes
+    ----------
+    cfo_hz:
+        Carrier-frequency offset between transmitter and receiver LOs.
+    phase_rad:
+        Static phase offset of the downconverter.
+    timing_offset_samples:
+        Fractional sampling-time offset (receiver ADC vs transmitter DAC).
+    clock_skew_ppm:
+        Sample-clock rate error in parts per million.
+    """
+
+    cfo_hz: float = 0.0
+    phase_rad: float = 0.0
+    timing_offset_samples: float = 0.0
+    clock_skew_ppm: float = 0.0
+    #: receive-chain IQ gain imbalance (1.0 = balanced); the Q rail is
+    #: scaled by this factor — creates an image at -f
+    iq_gain_imbalance: float = 1.0
+    #: IQ phase (quadrature skew) error in radians
+    iq_phase_error_rad: float = 0.0
+    #: additive DC offset at the ADC (complex leakage of the LO)
+    dc_offset: complex = 0j
+    #: phase-noise random-walk std per sample, radians (0 = clean LO)
+    phase_noise_std: float = 0.0
+    #: ADC resolution in bits per rail (0 = ideal, no quantization)
+    adc_bits: int = 0
+    #: seed for the stochastic impairments (phase noise)
+    noise_seed: int = 0
+
+    @property
+    def is_ideal(self) -> bool:
+        """True when every impairment is zero (fast path: no-op)."""
+        return (
+            self.cfo_hz == 0.0
+            and self.phase_rad == 0.0
+            and self.timing_offset_samples == 0.0
+            and self.clock_skew_ppm == 0.0
+            and self.iq_gain_imbalance == 1.0
+            and self.iq_phase_error_rad == 0.0
+            and self.dc_offset == 0j
+            and self.phase_noise_std == 0.0
+            and self.adc_bits == 0
+        )
+
+    def apply(self, waveform: np.ndarray, sample_rate: float) -> np.ndarray:
+        """Apply the impairments to a complex baseband waveform."""
+        x = as_complex_array(waveform)
+        ensure_positive(sample_rate, "sample_rate")
+        if self.adc_bits < 0:
+            raise ValueError("adc_bits must be >= 0")
+        if self.phase_noise_std < 0:
+            raise ValueError("phase_noise_std must be >= 0")
+        if self.iq_gain_imbalance <= 0:
+            raise ValueError("iq_gain_imbalance must be positive")
+        if x.size == 0 or self.is_ideal:
+            return x.copy()
+        out = x
+        if self.timing_offset_samples != 0.0:
+            out = fractional_delay(out, self.timing_offset_samples)
+        if self.clock_skew_ppm != 0.0:
+            ratio = 1.0 + self.clock_skew_ppm * 1e-6
+            out = resample_linear(out, ratio)
+        if self.cfo_hz != 0.0:
+            out = frequency_shift(out, self.cfo_hz, sample_rate)
+        if self.phase_rad != 0.0:
+            out = phase_rotate(out, self.phase_rad)
+        if self.phase_noise_std > 0.0:
+            rng = np.random.default_rng(self.noise_seed)
+            walk = np.cumsum(rng.normal(scale=self.phase_noise_std, size=out.size))
+            out = out * np.exp(1j * walk)
+        if self.iq_gain_imbalance != 1.0 or self.iq_phase_error_rad != 0.0:
+            # Q rail scaled and skewed: q' = g (q cos e + i sin e)
+            g, e = self.iq_gain_imbalance, self.iq_phase_error_rad
+            i_rail = out.real
+            q_rail = g * (out.imag * np.cos(e) + out.real * np.sin(e))
+            out = i_rail + 1j * q_rail
+        if self.dc_offset != 0j:
+            out = out + self.dc_offset
+        if self.adc_bits > 0:
+            # mid-rise uniform quantizer scaled to ~4 sigma full scale
+            scale = 4.0 * max(np.sqrt(np.mean(np.abs(out) ** 2)), 1e-30)
+            levels = 2 ** (self.adc_bits - 1)
+            step = scale / levels
+            quantize = lambda r: np.clip(np.round(r / step) * step, -scale, scale)
+            out = quantize(out.real) + 1j * quantize(out.imag)
+        return out
+
+    @classmethod
+    def typical_sdr(cls, rng=None) -> "Impairments":
+        """A random draw representative of unsynchronized USRP N210s.
+
+        ~2.5 ppm TCXO class oscillators at a 2.4 GHz-ish carrier produce
+        CFOs of a few kHz; timing offset is uniformly distributed within a
+        sample; phase is uniform.
+        """
+        gen = np.random.default_rng(rng) if not isinstance(rng, np.random.Generator) else rng
+        return cls(
+            cfo_hz=float(gen.uniform(-5e3, 5e3)),
+            phase_rad=float(gen.uniform(-np.pi, np.pi)),
+            timing_offset_samples=float(gen.uniform(0.0, 1.0)),
+            clock_skew_ppm=float(gen.uniform(-2.5, 2.5)),
+        )
+
+
+#: Shared ideal (no-impairment) front end.
+IDEAL_FRONT_END = Impairments()

@@ -1,0 +1,137 @@
+"""The shared medium: superposition of signal, jammer, and thermal noise.
+
+Replaces the paper's SMA-cable + attenuator + T-connector setup
+(Figure 12): the received waveform is
+
+    r = s * sqrt(Pj-scaling...)  -- concretely:
+    r = signal + jammer_scaled + noise
+
+with the jammer scaled so the signal-to-jammer ratio (SJR) is exact and
+the noise scaled so the signal-to-noise ratio (SNR) is exact, both against
+the *nominal* signal power (the attenuators of the testbed set average
+power levels, not instantaneous ones).  Delays model propagation and — for
+the reactive jammer — the reaction time between sensing and jamming.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.channel.awgn import complex_awgn
+from repro.utils.rng import make_rng
+from repro.utils.units import db_to_linear, signal_power
+from repro.utils.validation import as_complex_array, ensure_positive
+
+__all__ = ["Medium", "ReceivedBlock"]
+
+
+@dataclass(frozen=True)
+class ReceivedBlock:
+    """A received waveform plus the calibrated component powers.
+
+    The component fields let tests and analysis code verify SNR/SJR
+    calibration and compute "genie" quantities (e.g. residual jammer power
+    after a filter) that a real receiver could not observe.
+    """
+
+    samples: np.ndarray
+    signal_power: float
+    jammer_power: float
+    noise_power: float
+
+    @property
+    def sjr_db(self) -> float:
+        """Realized signal-to-jammer power ratio in dB (+inf if unjammed)."""
+        if self.jammer_power <= 0:
+            return float("inf")
+        return 10.0 * np.log10(self.signal_power / self.jammer_power)
+
+    @property
+    def snr_db(self) -> float:
+        """Realized signal-to-noise power ratio in dB."""
+        if self.noise_power <= 0:
+            return float("inf")
+        return 10.0 * np.log10(self.signal_power / self.noise_power)
+
+
+class Medium:
+    """AWGN superposition channel with power calibration.
+
+    Parameters
+    ----------
+    sample_rate:
+        Complex baseband sample rate in samples/second.
+    """
+
+    def __init__(self, sample_rate: float) -> None:
+        self.sample_rate = ensure_positive(sample_rate, "sample_rate")
+
+    def combine(
+        self,
+        signal: np.ndarray,
+        snr_db: float,
+        jammer: np.ndarray | None = None,
+        sjr_db: float = 0.0,
+        jammer_delay_samples: int = 0,
+        rng=None,
+        reference_power: float | None = None,
+    ) -> ReceivedBlock:
+        """Superpose signal, jammer, and noise at calibrated power ratios.
+
+        Parameters
+        ----------
+        signal:
+            Transmitted waveform (any scale; its mean power defines the
+            0 dB reference unless ``reference_power`` is given).
+        snr_db:
+            Signal-to-noise ratio at the receiver.
+        jammer:
+            Jammer waveform, or ``None`` for an unjammed channel.  It is
+            rescaled to hit ``sjr_db``; if shorter than the signal it is
+            zero-padded at the front by ``jammer_delay_samples`` and at the
+            back as needed (a late-starting reactive jammer), if longer it
+            is truncated.
+        sjr_db:
+            Signal-to-jammer ratio (negative = jammer stronger).
+        jammer_delay_samples:
+            Samples by which the jammer waveform lags the signal start —
+            the reaction time of Section 2 expressed in samples.
+        rng:
+            Seed or Generator for the thermal noise.
+        """
+        s = as_complex_array(signal, "signal")
+        if s.size == 0:
+            raise ValueError("cannot transmit an empty signal")
+        p_sig = signal_power(s) if reference_power is None else float(reference_power)
+        if p_sig <= 0:
+            raise ValueError("signal has zero power")
+        gen = make_rng(rng)
+
+        received = s.copy()
+
+        p_jam_realized = 0.0
+        if jammer is not None:
+            j = as_complex_array(jammer, "jammer")
+            if jammer_delay_samples < 0:
+                raise ValueError("jammer_delay_samples must be >= 0")
+            p_jam_target = p_sig / db_to_linear(sjr_db)
+            p_j_raw = signal_power(j)
+            if p_j_raw > 0 and p_jam_target > 0:
+                j = j * np.sqrt(p_jam_target / p_j_raw)
+                aligned = np.zeros(s.size, dtype=complex)
+                start = min(jammer_delay_samples, s.size)
+                n_fit = min(j.size, s.size - start)
+                aligned[start : start + n_fit] = j[:n_fit]
+                received = received + aligned
+                p_jam_realized = p_jam_target
+        p_noise = p_sig / db_to_linear(snr_db)
+        if p_noise > 0:
+            received = received + complex_awgn(s.size, p_noise, gen)
+        return ReceivedBlock(
+            samples=received,
+            signal_power=p_sig,
+            jammer_power=p_jam_realized,
+            noise_power=p_noise,
+        )

@@ -1,0 +1,376 @@
+"""Command-line interface for the BHSS library.
+
+Installed as ``repro-bhss`` (see ``pyproject.toml``); also runnable as
+``python -m repro.cli``.  Subcommands:
+
+``info``
+    Print the configured system's parameters (bandwidth set, hop range,
+    patterns with their expected bandwidth/throughput, processing gain).
+``simulate``
+    Run packets through the jammed link and report PER / BER / goodput.
+``threshold``
+    Bisect the minimum SNR for the 50 %-PER operating point (the paper's
+    power-advantage building block).
+``optimize``
+    Re-run the Monte-Carlo maximin hop-weight optimization (Table 1's
+    parabolic pattern).
+``record``
+    Generate one packet and write it as a ``.cf32`` recording + JSON
+    sidecar for external SDR tooling.
+``theory``
+    Evaluate the eq.-(11)/(12) improvement bound for one (Bp, Bj) pair.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis import ThresholdSearch, min_snr_for_per
+from repro.core import BHSSConfig, BHSSTransmitter, LinkSimulator, theory
+from repro.hopping import (
+    expected_bandwidth,
+    expected_throughput,
+    maximin_score_db,
+    optimize_parabolic_weights,
+    pattern_weights,
+)
+from repro.jamming import (
+    BandlimitedNoiseJammer,
+    HoppingJammer,
+    NoJammer,
+    SweepJammer,
+    ToneJammer,
+)
+from repro.utils import format_table, save_recording
+
+__all__ = ["main", "build_parser"]
+
+PATTERN_CHOICES = ["linear", "exponential", "parabolic"]
+
+
+def _add_link_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--pattern", choices=PATTERN_CHOICES, default="parabolic", help="hop distribution")
+    parser.add_argument("--fixed-bandwidth", type=float, default=None, metavar="HZ", help="disable hopping, pin to this bandwidth")
+    parser.add_argument("--payload-bytes", type=int, default=16, help="payload size per packet")
+    parser.add_argument("--symbols-per-hop", type=int, default=4, help="symbols per hop dwell")
+    parser.add_argument("--seed", type=int, default=0, help="pre-shared link seed")
+    parser.add_argument("--fec", default="none", help="channel code: none/rep3/rep5/hamming74/hamming1511")
+    parser.add_argument("--no-filtering", action="store_true", help="disable the receiver's jammer filtering")
+
+
+def _add_jammer_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jammer",
+        choices=["none", "noise", "tone", "sweep", "hopping"],
+        default="noise",
+        help="jammer type",
+    )
+    parser.add_argument("--jammer-bandwidth", type=float, default=2.5e6, metavar="HZ", help="noise-jammer bandwidth")
+    parser.add_argument("--jammer-frequency", type=float, default=1e6, metavar="HZ", help="tone-jammer frequency")
+    parser.add_argument("--jammer-pattern", choices=PATTERN_CHOICES, default="linear", help="hopping-jammer distribution")
+    parser.add_argument("--jammer-seed", type=int, default=1234, help="the attacker's own random seed")
+
+
+def _build_config(args) -> BHSSConfig:
+    config = BHSSConfig.paper_default(
+        pattern=args.pattern,
+        seed=args.seed,
+        payload_bytes=args.payload_bytes,
+        symbols_per_hop=args.symbols_per_hop,
+        fec=args.fec,
+    )
+    if args.fixed_bandwidth is not None:
+        config = config.with_fixed_bandwidth(args.fixed_bandwidth)
+    if args.no_filtering:
+        config = config.without_filtering()
+    return config
+
+
+def _build_jammer(args, config: BHSSConfig):
+    fs = config.sample_rate
+    if args.jammer == "none":
+        return NoJammer()
+    if args.jammer == "noise":
+        return BandlimitedNoiseJammer(args.jammer_bandwidth, fs)
+    if args.jammer == "tone":
+        return ToneJammer(args.jammer_frequency, fs)
+    if args.jammer == "sweep":
+        half = min(args.jammer_bandwidth, fs * 0.9) / 2
+        return SweepJammer(-half, half, fs, sweep_duration=1e-3)
+    bands = config.bandwidth_set.as_array()
+    return HoppingJammer(
+        bands,
+        fs,
+        dwell_samples=16384,
+        weights=pattern_weights(args.jammer_pattern, bands),
+        seed=args.jammer_seed,
+    )
+
+
+def cmd_info(args) -> int:
+    config = _build_config(args)
+    bands = config.bandwidth_set
+    print("BHSS system configuration")
+    print(f"  sample rate       : {config.sample_rate / 1e6:g} MS/s")
+    print(f"  bandwidths (MHz)  : {[round(b / 1e6, 5) for b in bands.bandwidths]}")
+    print(f"  hop range         : {bands.hop_range:g}x")
+    print(f"  processing gain   : {config.processing_gain_db:.2f} dB")
+    print(f"  symbols per hop   : {config.symbols_per_hop}")
+    print(f"  FEC               : {config.fec}")
+    print(f"  frame symbols     : {config.frame_symbols()} (air: {config.air_symbols()})")
+    rows = []
+    for name in PATTERN_CHOICES:
+        w = pattern_weights(name, bands.as_array())
+        rows.append(
+            [
+                name,
+                f"{expected_bandwidth(bands.as_array(), w) / 1e6:.3f}",
+                f"{expected_throughput(bands.as_array(), w) / 1e3:.0f}",
+                f"{maximin_score_db(w, bands.as_array()):.2f}",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["pattern", "avg BW (MHz)", "throughput (kb/s)", "worst-case gamma (dB)"],
+            rows,
+            title="Hop patterns (Table 1)",
+        )
+    )
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    config = _build_config(args)
+    link = LinkSimulator(config)
+    jammer = _build_jammer(args, config)
+    stats = link.run_packets(
+        args.packets,
+        snr_db=args.snr,
+        sjr_db=args.sjr,
+        jammer=jammer,
+        seed=args.run_seed,
+    )
+    print(f"jammer        : {jammer.description}")
+    print(f"packets       : {stats.num_packets} ({stats.num_accepted} accepted)")
+    print(f"PER           : {stats.packet_error_rate:.3f}")
+    print(f"BER           : {stats.bit_error_rate:.5f}")
+    print(f"goodput       : {stats.throughput_bps / 1e3:.1f} kb/s")
+    if any(stats.filter_usage.values()):
+        print(f"filter usage  : {stats.filter_usage}")
+    return 0
+
+
+def cmd_threshold(args) -> int:
+    config = _build_config(args)
+    link = LinkSimulator(config)
+    jammer = _build_jammer(args, config)
+    search = ThresholdSearch(
+        snr_low=args.snr_low,
+        snr_high=args.snr_high,
+        tolerance_db=args.tolerance,
+        packets_per_point=args.packets,
+    )
+    threshold = min_snr_for_per(
+        link, jnr_db=args.jnr, jammer=jammer, search=search, seed=args.run_seed
+    )
+    print(f"jammer               : {jammer.description} at JNR {args.jnr:g} dB")
+    print(f"min SNR for <50% PER : {threshold:.2f} dB")
+    if threshold >= args.snr_high:
+        print("  (censored at the top of the search bracket — link is jammer-bound)")
+    return 0
+
+
+def cmd_optimize(args) -> int:
+    config = _build_config(args)
+    bands = config.bandwidth_set.as_array()
+    best = optimize_parabolic_weights(bands, num_trials=args.trials, seed=args.run_seed)
+    rows = [
+        [f"{bands[i] / 1e6:.5g}", f"{100 * best.weights[i]:.2f}"] for i in range(bands.size)
+    ]
+    print(format_table(["bandwidth (MHz)", "probability (%)"], rows, title="Maximin hop weights"))
+    print(f"worst-case expected gamma : {best.score_db:.2f} dB")
+    print(f"worst jammer bandwidth    : {best.worst_jammer_bandwidth / 1e6:.5g} MHz")
+    return 0
+
+
+def cmd_record(args) -> int:
+    config = _build_config(args)
+    packet = BHSSTransmitter(config).transmit(packet_index=args.packet_index)
+    save_recording(
+        args.output,
+        packet.waveform,
+        sample_rate=config.sample_rate,
+        annotations={
+            "pattern": str(config.pattern if isinstance(config.pattern, str) else "custom"),
+            "payload_bytes": config.payload_bytes,
+            "packet_index": args.packet_index,
+            "hop_profile_mhz": [bw / 1e6 for _n, bw in packet.bandwidth_profile()],
+        },
+    )
+    print(f"wrote {packet.num_samples} samples to {args.output} (+ .json sidecar)")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    config = _build_config(args)
+    link = LinkSimulator(config)
+    jammer = _build_jammer(args, config)
+    sjrs = [float(s) for s in args.sjr_list.split(",")]
+    rows = []
+    csv_lines = ["sjr_db,per,per_lo,per_hi,ber"]
+    for sjr in sjrs:
+        stats = link.run_packets(
+            args.packets, snr_db=args.snr, sjr_db=sjr, jammer=jammer, seed=args.run_seed
+        )
+        lo, hi = stats.per_confidence_interval()
+        rows.append(
+            [f"{sjr:g}", f"{stats.packet_error_rate:.3f}", f"[{lo:.2f},{hi:.2f}]", f"{stats.bit_error_rate:.5f}"]
+        )
+        csv_lines.append(
+            f"{sjr:g},{stats.packet_error_rate:.6f},{lo:.6f},{hi:.6f},{stats.bit_error_rate:.6f}"
+        )
+    print(
+        format_table(
+            ["SJR (dB)", "PER", "95% CI", "BER"],
+            rows,
+            title=f"PER/BER vs SJR at SNR {args.snr:g} dB — {jammer.description}",
+        )
+    )
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write("\n".join(csv_lines) + "\n")
+        print(f"\nwrote {args.output}")
+    return 0
+
+
+def cmd_reproduce(args) -> int:
+    from repro.analysis import SweepResult
+    from repro.analysis.experiments import REGISTRY
+
+    if args.list or args.experiment is None:
+        rows = [[name, desc] for name, (_fn, desc) in sorted(REGISTRY.items())]
+        print(format_table(["experiment", "reproduces"], rows, title="Available experiments"))
+        return 0
+    try:
+        fn, desc = REGISTRY[args.experiment]
+    except KeyError:
+        print(f"unknown experiment {args.experiment!r}; use --list", file=sys.stderr)
+        return 2
+    print(f"running {args.experiment}: {desc} (scale {args.scale:g}) ...")
+    kwargs = {}
+    if args.experiment not in ("fig07", "fig08", "fig09", "fig10", "fig11", "tab1"):
+        kwargs["scale"] = args.scale
+    outcome = fn(**kwargs)
+    results = outcome if isinstance(outcome, tuple) else (outcome,)
+    for i, result in enumerate(results):
+        assert isinstance(result, SweepResult)
+        print()
+        print(format_table(result.columns, result.as_table_rows()))
+        if args.output:
+            from repro.analysis import write_csv
+
+            suffix = f"_{i}" if len(results) > 1 else ""
+            base, ext = (args.output.rsplit(".", 1) + ["csv"])[:2]
+            path = write_csv(result, f"{base}{suffix}.{ext}")
+            print(f"wrote {path}")
+    return 0
+
+
+def cmd_theory(args) -> int:
+    gamma_db = theory.improvement_factor_db(args.bp, args.bj, args.jammer_power, args.noise_power)
+    print(f"Bp = {args.bp:g} Hz, Bj = {args.bj:g} Hz (ratio {args.bp / args.bj:g})")
+    print(f"gamma upper bound = {float(gamma_db):.2f} dB")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bhss",
+        description="Bandwidth Hopping Spread Spectrum (CoNEXT 2015) toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="show the configured system")
+    _add_link_options(p_info)
+    p_info.set_defaults(func=cmd_info)
+
+    p_sim = sub.add_parser("simulate", help="run packets through the jammed link")
+    _add_link_options(p_sim)
+    _add_jammer_options(p_sim)
+    p_sim.add_argument("--packets", type=int, default=20)
+    p_sim.add_argument("--snr", type=float, default=15.0, help="signal-to-noise ratio (dB)")
+    p_sim.add_argument("--sjr", type=float, default=-10.0, help="signal-to-jammer ratio (dB)")
+    p_sim.add_argument("--run-seed", type=int, default=0)
+    p_sim.set_defaults(func=cmd_simulate)
+
+    p_thr = sub.add_parser("threshold", help="min SNR for the 50%% PER point")
+    _add_link_options(p_thr)
+    _add_jammer_options(p_thr)
+    p_thr.add_argument("--jnr", type=float, default=25.0, help="jammer power over noise (dB)")
+    p_thr.add_argument("--packets", type=int, default=12)
+    p_thr.add_argument("--snr-low", type=float, default=-12.0)
+    p_thr.add_argument("--snr-high", type=float, default=45.0)
+    p_thr.add_argument("--tolerance", type=float, default=1.0)
+    p_thr.add_argument("--run-seed", type=int, default=0)
+    p_thr.set_defaults(func=cmd_threshold)
+
+    p_opt = sub.add_parser("optimize", help="Monte-Carlo maximin hop weights")
+    _add_link_options(p_opt)
+    p_opt.add_argument("--trials", type=int, default=3000)
+    p_opt.add_argument("--run-seed", type=int, default=0)
+    p_opt.set_defaults(func=cmd_optimize)
+
+    p_rec = sub.add_parser("record", help="write one packet as a .cf32 recording")
+    _add_link_options(p_rec)
+    p_rec.add_argument("--output", "-o", default="bhss_packet.cf32")
+    p_rec.add_argument("--packet-index", type=int, default=0)
+    p_rec.set_defaults(func=cmd_record)
+
+    p_swp = sub.add_parser("sweep", help="PER/BER vs SJR sweep (optionally to CSV)")
+    _add_link_options(p_swp)
+    _add_jammer_options(p_swp)
+    p_swp.add_argument("--packets", type=int, default=20)
+    p_swp.add_argument("--snr", type=float, default=15.0)
+    p_swp.add_argument("--sjr-list", default="5,0,-5,-10,-15", help="comma-separated SJR values (dB)")
+    p_swp.add_argument("--output", "-o", default=None, help="also write a CSV here")
+    p_swp.add_argument("--run-seed", type=int, default=0)
+    p_swp.set_defaults(func=cmd_sweep)
+
+    p_rep = sub.add_parser("reproduce", help="re-run a paper table/figure experiment")
+    p_rep.add_argument("experiment", nargs="?", default=None, help="experiment name (see --list)")
+    p_rep.add_argument("--list", action="store_true", help="list available experiments")
+    p_rep.add_argument("--scale", type=float, default=1.0, help="packet-budget multiplier")
+    p_rep.add_argument("--output", "-o", default=None, help="write result CSV(s) here")
+    p_rep.set_defaults(func=cmd_reproduce)
+
+    p_thy = sub.add_parser("theory", help="evaluate the SNR improvement bound")
+    p_thy.add_argument("--bp", type=float, required=True, help="signal bandwidth (Hz)")
+    p_thy.add_argument("--bj", type=float, required=True, help="jammer bandwidth (Hz)")
+    p_thy.add_argument("--jammer-power", type=float, default=20.0, help="jammer power over chip (dB)")
+    p_thy.add_argument("--noise-power", type=float, default=0.01, help="per-chip noise variance")
+    p_thy.set_defaults(func=cmd_theory)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # output piped into e.g. `head` that exited early — not an error
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""The paper's contribution: the BHSS transmitter/receiver pair, the
+control logic, the end-to-end link simulator, and the analytical results.
+"""
+
+from repro.core import theory
+from repro.core.coding import FrameCoder
+from repro.core.config import BHSSConfig
+from repro.core.fhss_link import FHSSLink, FHSSLinkConfig, FHSSPacketOutcome
+from repro.core.control import ControlLogic, FilterDecision, FilterKind
+from repro.core.link import LinkSimulator, LinkStats, PacketOutcome
+from repro.core.receiver import AcquiringReceiver, AcquisitionResult, BHSSReceiver, ReceiveResult
+from repro.core.transmitter import BHSSTransmitter, TransmittedPacket
+from repro.core.uncoordinated import (
+    SeedPool,
+    UncoordinatedReceiver,
+    UncoordinatedResult,
+    UncoordinatedTransmitter,
+)
+
+__all__ = [
+    "theory",
+    "BHSSConfig",
+    "FrameCoder",
+    "FHSSLink",
+    "FHSSLinkConfig",
+    "FHSSPacketOutcome",
+    "ControlLogic",
+    "FilterDecision",
+    "FilterKind",
+    "BHSSTransmitter",
+    "TransmittedPacket",
+    "BHSSReceiver",
+    "ReceiveResult",
+    "AcquiringReceiver",
+    "SeedPool",
+    "UncoordinatedTransmitter",
+    "UncoordinatedReceiver",
+    "UncoordinatedResult",
+    "AcquisitionResult",
+    "LinkSimulator",
+    "LinkStats",
+    "PacketOutcome",
+]

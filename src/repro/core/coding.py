@@ -1,0 +1,97 @@
+"""Frame-level FEC + interleaving glue (extension beyond the paper).
+
+Applies a block code and a frame-spanning interleaver to everything
+*after* the preamble (the preamble must stay uncoded so acquisition still
+works).  Both ends derive the coded frame geometry purely from the shared
+configuration, so the receiver knows how many symbols to capture before
+it can decode anything — same philosophy as the hop schedule.
+
+Interleaver depth is chosen automatically as the number of hop dwells the
+coded frame spans: consecutive bits of a codeword then land in different
+dwells, converting one jammed dwell into isolated single-bit errors that
+the code corrects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.phy.bits import bits_to_nibbles, nibbles_to_bits
+from repro.phy.fec import Codec, block_deinterleave, block_interleave
+
+__all__ = ["FrameCoder"]
+
+
+@dataclass(frozen=True)
+class FrameCoder:
+    """Encodes/decodes the post-preamble portion of a frame's symbols.
+
+    Parameters
+    ----------
+    codec:
+        The block code (``IdentityCode`` for the paper's uncoded system).
+    preamble_symbols:
+        Number of leading symbols left uncoded.
+    symbols_per_hop:
+        Used to auto-size the interleaver depth to the dwell count.
+    """
+
+    codec: Codec
+    preamble_symbols: int
+    symbols_per_hop: int
+
+    def coded_symbols(self, frame_symbols: int) -> int:
+        """Total on-air symbols for an uncoded frame of ``frame_symbols``."""
+        if frame_symbols < self.preamble_symbols:
+            raise ValueError("frame shorter than its preamble")
+        body_bits = 4 * (frame_symbols - self.preamble_symbols)
+        coded_bits = self.codec.encoded_length(body_bits)
+        return self.preamble_symbols + -(-coded_bits // 4)
+
+    def _depth(self, coded_bits: int) -> int:
+        # One interleaver column per hop dwell of the coded body: a fully
+        # corrupted dwell (4 * symbols_per_hop bits) then de-interleaves
+        # to at most one error every ``coded_bits/depth`` positions —
+        # i.e. at most one per codeword once dwells exceed the codeword
+        # length.
+        dwell_bits = 4 * self.symbols_per_hop
+        return max(1, coded_bits // dwell_bits)
+
+    @property
+    def is_passthrough(self) -> bool:
+        """True for the uncoded system: no expansion, no interleaving."""
+        return self.codec.n == 1 and self.codec.k == 1
+
+    def encode(self, frame_symbols: np.ndarray) -> np.ndarray:
+        """Frame symbols -> on-air symbols (preamble + coded body)."""
+        syms = np.asarray(frame_symbols, dtype=np.uint8)
+        if self.is_passthrough:
+            return syms.copy()
+        head = syms[: self.preamble_symbols]
+        body_bits = nibbles_to_bits(syms[self.preamble_symbols :])
+        coded = self.codec.encode(body_bits)
+        coded = block_interleave(coded, self._depth(coded.size))
+        pad = (-coded.size) % 4
+        if pad:
+            coded = np.concatenate([coded, np.zeros(pad, dtype=np.uint8)])
+        return np.concatenate([head, bits_to_nibbles(coded)])
+
+    def decode(self, air_symbols: np.ndarray, frame_symbols: int) -> np.ndarray:
+        """On-air symbols -> frame symbols of the original length."""
+        syms = np.asarray(air_symbols, dtype=np.uint8)
+        expected = self.coded_symbols(frame_symbols)
+        if syms.size < expected:
+            raise ValueError(
+                f"captured {syms.size} symbols, coded frame needs {expected}"
+            )
+        if self.is_passthrough:
+            return syms[:frame_symbols].copy()
+        head = syms[: self.preamble_symbols]
+        body_bits_len = 4 * (frame_symbols - self.preamble_symbols)
+        coded_bits = self.codec.encoded_length(body_bits_len)
+        air_bits = nibbles_to_bits(syms[self.preamble_symbols : expected])[:coded_bits]
+        deinterleaved = block_deinterleave(air_bits, self._depth(coded_bits))
+        decoded = self.codec.decode(deinterleaved)[:body_bits_len]
+        return np.concatenate([head, bits_to_nibbles(decoded)])

@@ -1,0 +1,200 @@
+"""BHSS system configuration.
+
+One :class:`BHSSConfig` object describes a complete link — bandwidth set,
+hop pattern, PHY parameters, shared seed, and receiver filtering knobs —
+and both the transmitter and the receiver are built from it, which is how
+the pre-shared-secret synchronization of the paper is modelled: same
+config (seed included) = same PN scrambler and same hop schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.dsp.pulse import PulseShape, get_pulse
+from repro.hopping.bands import BandwidthSet
+from repro.hopping.schedule import HopSchedule
+from repro.phy.fec import get_codec
+from repro.phy.frame import DEFAULT_FRAME_FORMAT, FrameFormat
+from repro.phy.qpsk import ChipModulator
+from repro.spread.chiptables import CHIPS_PER_SYMBOL
+from repro.spread.dsss import SixteenAryDSSS
+
+__all__ = ["BHSSConfig"]
+
+
+@dataclass(frozen=True)
+class BHSSConfig:
+    """Complete configuration of a BHSS link.
+
+    Parameters
+    ----------
+    bandwidth_set:
+        Hop bandwidth alphabet (carries the sample rate).
+    pattern:
+        Hop distribution: ``"linear"`` / ``"exponential"`` / ``"parabolic"``
+        or an explicit weight vector over the set.
+    symbols_per_hop:
+        Symbols transmitted per hop dwell.
+    pulse:
+        Chip pulse shape (name or :class:`~repro.dsp.pulse.PulseShape`);
+        the paper uses the half-sine.
+    seed:
+        The pre-shared random seed (hop schedule + PN scrambler).
+    payload_bytes:
+        Default payload size for simulated packets.
+    frame_format:
+        Frame layout (preamble/SFD/length/CRC).
+    filtering:
+        Whether the receiver runs the jammer estimation + EF/LPF stage.
+        Disabling it turns the receiver into the conventional
+        fixed-structure SS receiver the paper compares against.
+    excision_taps:
+        Length K of the eq.-3 whitening FIR (odd keeps the group delay an
+        integer number of samples).
+    lpf_transition_fraction:
+        Low-pass transition width as a fraction of the hop bandwidth.
+    fixed_bandwidth:
+        When set, disables hopping and pins the link to this bandwidth
+        (the DSSS baseline and the adaptive stop-hopping mode).
+    matched_filter:
+        Whether the receiver matched-filters before chip sampling.
+        Disabling it (together with ``filtering``) yields the theory
+        model's eq.-(5) receiver — chip-rate sampling with a wide-open
+        front end — the baseline of the Section-6.3 power advantage.
+    fec:
+        Channel code applied to the post-preamble frame (extension beyond
+        the paper, which evaluates uncoded): ``"none"`` (default),
+        ``"rep3"``, ``"rep5"``, ``"hamming74"``, or ``"hamming1511"``.
+        Coded frames are interleaved across hop dwells.
+    """
+
+    bandwidth_set: BandwidthSet
+    pattern: str | np.ndarray = "linear"
+    symbols_per_hop: int = 4
+    pulse: PulseShape | str = "half_sine"
+    seed: int = 0
+    payload_bytes: int = 16
+    frame_format: FrameFormat = field(default_factory=lambda: DEFAULT_FRAME_FORMAT)
+    filtering: bool = True
+    excision_taps: int = 257
+    lpf_transition_fraction: float = 0.2
+    fixed_bandwidth: float | None = None
+    matched_filter: bool = True
+    fec: str = "none"
+
+    def __post_init__(self) -> None:
+        if self.symbols_per_hop < 1:
+            raise ValueError("symbols_per_hop must be >= 1")
+        if self.payload_bytes < 0 or self.payload_bytes > self.frame_format.max_payload:
+            raise ValueError(
+                f"payload_bytes must be in 0..{self.frame_format.max_payload}"
+            )
+        if self.excision_taps < 9 or self.excision_taps % 2 == 0:
+            raise ValueError("excision_taps must be an odd integer >= 9")
+        if not 0.01 <= self.lpf_transition_fraction <= 1.0:
+            raise ValueError("lpf_transition_fraction must be in [0.01, 1]")
+        if self.fixed_bandwidth is not None:
+            self.bandwidth_set.index_of(self.fixed_bandwidth)  # validates membership
+        object.__setattr__(self, "pulse", get_pulse(self.pulse))
+        get_codec(self.fec)  # validate the codec name early
+
+    # -- derived properties --------------------------------------------------
+
+    @property
+    def sample_rate(self) -> float:
+        """Baseband sample rate in Hz."""
+        return self.bandwidth_set.sample_rate
+
+    @property
+    def chips_per_symbol(self) -> int:
+        """Binary chips per 4-bit symbol (32)."""
+        return CHIPS_PER_SYMBOL
+
+    @property
+    def processing_gain_db(self) -> float:
+        """Spreading processing gain (~9 dB for the 16-ary PHY)."""
+        return SixteenAryDSSS().processing_gain_db
+
+    # -- factories ------------------------------------------------------------
+
+    @classmethod
+    def paper_default(
+        cls,
+        pattern: str | np.ndarray = "linear",
+        seed: int = 0,
+        payload_bytes: int = 16,
+        **overrides,
+    ) -> "BHSSConfig":
+        """The paper's SDR configuration: 7 octave bandwidths at 20 MS/s."""
+        return cls(
+            bandwidth_set=BandwidthSet.paper_default(),
+            pattern=pattern,
+            seed=seed,
+            payload_bytes=payload_bytes,
+            **overrides,
+        )
+
+    def with_fixed_bandwidth(self, bandwidth: float) -> "BHSSConfig":
+        """A copy pinned to one bandwidth (hopping disabled)."""
+        return replace(self, fixed_bandwidth=float(bandwidth))
+
+    def without_filtering(self) -> "BHSSConfig":
+        """A copy with the receiver's interference filtering disabled."""
+        return replace(self, filtering=False)
+
+    def as_theory_baseline(self) -> "BHSSConfig":
+        """A copy mimicking eq. (5)'s unfiltered correlation receiver.
+
+        No interference filtering *and* no matched filter: chips are read
+        by direct chip-rate sampling, so wide-band interference aliases
+        fully into the decision variable.  This is the "without filter"
+        receiver of the paper's Section-6.3 power-advantage measurements.
+        """
+        return replace(self, filtering=False, matched_filter=False)
+
+    def with_pattern(self, pattern: str | np.ndarray) -> "BHSSConfig":
+        """A copy using a different hop distribution."""
+        return replace(self, pattern=pattern, fixed_bandwidth=None)
+
+    # -- component builders ---------------------------------------------------
+
+    def build_schedule(self) -> HopSchedule:
+        """The hop schedule shared by transmitter and receiver."""
+        if self.fixed_bandwidth is not None:
+            return HopSchedule.fixed(self.bandwidth_set, self.fixed_bandwidth, seed=self.seed)
+        return HopSchedule(
+            bandwidth_set=self.bandwidth_set,
+            weights=self.pattern,
+            symbols_per_hop=self.symbols_per_hop,
+            seed=self.seed,
+        )
+
+    def build_modem(self) -> SixteenAryDSSS:
+        """The (scrambled) 16-ary DSSS modem for this link's seed."""
+        return SixteenAryDSSS(seed=self.seed)
+
+    def build_modulator(self) -> ChipModulator:
+        """The pulse-shaping chip modulator."""
+        return ChipModulator(self.pulse)
+
+    def frame_symbols(self, payload_len: int | None = None) -> int:
+        """Total frame symbols for a payload (default payload size)."""
+        n = self.payload_bytes if payload_len is None else payload_len
+        return self.frame_format.frame_symbols(n)
+
+    def build_frame_coder(self):
+        """The FEC + interleaving stage shared by transmitter and receiver."""
+        from repro.core.coding import FrameCoder
+
+        return FrameCoder(
+            codec=get_codec(self.fec),
+            preamble_symbols=self.frame_format.preamble_symbols,
+            symbols_per_hop=self.symbols_per_hop,
+        )
+
+    def air_symbols(self, payload_len: int | None = None) -> int:
+        """On-air symbols per frame, accounting for the FEC expansion."""
+        return self.build_frame_coder().coded_symbols(self.frame_symbols(payload_len))

@@ -1,0 +1,121 @@
+"""The BHSS transmitter (Section 3, Figure 4).
+
+The conventional DSSS chain — symbols → PN spreading → pulse shaping — is
+kept intact; the single change that makes it BHSS is that the pulse shape
+duration is rescaled per hop (``g(t) → g(αt)``), which by eq. (1)
+compresses the spectrum by the same factor.  The hop factor sequence comes
+from the seeded :class:`~repro.hopping.schedule.HopSchedule`, so the
+bandwidth changes *during* the packet, faster than a reactive jammer's
+reaction time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import BHSSConfig
+from repro.hopping.schedule import HopSegment
+
+__all__ = ["BHSSTransmitter", "TransmittedPacket"]
+
+
+@dataclass(frozen=True)
+class TransmittedPacket:
+    """A transmitted waveform plus everything the analysis layer needs.
+
+    Attributes
+    ----------
+    waveform:
+        Complex baseband samples, unit average power.
+    symbols:
+        The frame's 4-bit symbols (ground truth for BER accounting),
+        *before* any FEC expansion.
+    air_symbols:
+        The symbols actually spread on air (equal to ``symbols`` for the
+        uncoded system; longer when a codec is configured).
+    segments:
+        The hop segments (symbol ranges, bandwidths, stretch factors).
+    sample_counts:
+        Waveform samples per hop segment (aligned with ``segments``).
+    payload:
+        The payload bytes carried.
+    packet_index:
+        Sequence number (selects the per-packet hop substream).
+    """
+
+    waveform: np.ndarray
+    symbols: np.ndarray
+    air_symbols: np.ndarray
+    segments: tuple[HopSegment, ...]
+    sample_counts: tuple[int, ...]
+    payload: bytes
+    packet_index: int
+
+    @property
+    def num_samples(self) -> int:
+        """Total waveform length in samples."""
+        return int(self.waveform.size)
+
+    def bandwidth_profile(self) -> list[tuple[int, float]]:
+        """``(num_samples, bandwidth)`` pairs — what a sensing jammer observes."""
+        return [
+            (count, seg.bandwidth)
+            for count, seg in zip(self.sample_counts, self.segments)
+        ]
+
+    @property
+    def duration_symbols(self) -> int:
+        """Frame length in symbols."""
+        return int(self.symbols.size)
+
+
+class BHSSTransmitter:
+    """Builds BHSS packets from payload bytes.
+
+    With a ``fixed_bandwidth`` config this is exactly a conventional DSSS
+    transmitter (one hop covering the whole packet), which is how the
+    baselines are generated "using the same code base as BHSS but with
+    bandwidth hopping disabled" (Section 6.4).
+    """
+
+    def __init__(self, config: BHSSConfig) -> None:
+        self.config = config
+        self.schedule = config.build_schedule()
+        self.modem = config.build_modem()
+        self.modulator = config.build_modulator()
+        self.coder = config.build_frame_coder()
+
+    def transmit(self, payload: bytes | None = None, packet_index: int = 0) -> TransmittedPacket:
+        """Encode, spread, and modulate one packet.
+
+        ``payload`` defaults to a deterministic pattern of the configured
+        size (packet index baked in, so consecutive packets differ).
+        """
+        if payload is None:
+            n = self.config.payload_bytes
+            payload = bytes((packet_index + i) & 0xFF for i in range(n))
+        frame = self.config.frame_format.build(payload)
+        symbols = self.coder.encode(frame)
+        segments = tuple(self.schedule.segments(symbols.size, packet_index))
+
+        cps = self.config.chips_per_symbol
+        pieces: list[np.ndarray] = []
+        counts: list[int] = []
+        for seg in segments:
+            seg_symbols = symbols[seg.start_symbol : seg.start_symbol + seg.num_symbols]
+            chips = self.modem.spread(seg_symbols, start_chip=seg.start_symbol * cps)
+            wave = self.modulator.modulate(chips, seg.sps)
+            pieces.append(wave)
+            counts.append(wave.size)
+        waveform = np.concatenate(pieces) if pieces else np.zeros(0, dtype=complex)
+        return TransmittedPacket(
+            waveform=waveform,
+            symbols=frame,
+            air_symbols=symbols,
+            segments=segments,
+            sample_counts=tuple(counts),
+            payload=bytes(payload),
+            packet_index=packet_index,
+        )

@@ -1,0 +1,116 @@
+"""Uncoordinated seed discovery (UDSSS-style, paper Section 4.1).
+
+The paper assumes transmitter and receiver share the random seed "since
+it is present in any SS system", citing pre-shared keys and
+*uncoordinated* discovery schemes (Pöpper et al.'s UDSSS).  This module
+implements the uncoordinated variant for BHSS: the spreading/hopping seed
+is drawn per packet from a **public pool**; the receiver, which knows the
+pool but not the draw, trial-decodes against every candidate and keeps
+the one whose CRC verifies.  An eavesdropping jammer faces the same
+search *per reaction time* — with a large enough pool and fast hops it
+cannot converge within a packet.
+
+Complexity is linear in the pool size (UDSSS's classic trade-off:
+larger pools mean more jam resistance and more receiver work).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.config import BHSSConfig
+from repro.core.receiver import BHSSReceiver, ReceiveResult
+from repro.core.transmitter import BHSSTransmitter, TransmittedPacket
+from repro.utils.rng import derive_seed, make_rng
+
+__all__ = ["SeedPool", "UncoordinatedTransmitter", "UncoordinatedReceiver", "UncoordinatedResult"]
+
+
+@dataclass(frozen=True)
+class SeedPool:
+    """A public pool of candidate link seeds.
+
+    Derived deterministically from a (public) master seed, so every party
+    — including the attacker — can enumerate it; the security comes from
+    not knowing *which* entry the transmitter drew for this packet.
+    """
+
+    master_seed: int
+    size: int = 16
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError(f"pool size must be >= 1, got {self.size}")
+
+    def seed(self, index: int) -> int:
+        """The pool entry at ``index``."""
+        if not 0 <= index < self.size:
+            raise ValueError(f"index must be in 0..{self.size - 1}, got {index}")
+        return derive_seed(self.master_seed, "seed-pool", str(index))
+
+    def seeds(self) -> list[int]:
+        """All pool entries, in order."""
+        return [self.seed(i) for i in range(self.size)]
+
+
+class UncoordinatedTransmitter:
+    """Transmits each packet under a randomly drawn pool seed."""
+
+    def __init__(self, base_config: BHSSConfig, pool: SeedPool, draw_seed=None) -> None:
+        self.base_config = base_config
+        self.pool = pool
+        self._rng = make_rng(draw_seed)
+
+    def transmit(self, payload: bytes | None = None, packet_index: int = 0) -> tuple[TransmittedPacket, int]:
+        """Build a packet under a fresh draw; returns (packet, pool index).
+
+        The pool index is returned for instrumentation/tests only — a
+        real receiver never learns it out of band.
+        """
+        index = int(self._rng.integers(0, self.pool.size))
+        config = replace(self.base_config, seed=self.pool.seed(index))
+        packet = BHSSTransmitter(config).transmit(payload, packet_index)
+        return packet, index
+
+
+@dataclass(frozen=True)
+class UncoordinatedResult:
+    """Outcome of an uncoordinated trial-decoding pass."""
+
+    #: the pool index whose decode verified (None if none did)
+    pool_index: int | None
+    #: the winning receive result (best-quality failure if none verified)
+    result: ReceiveResult | None
+    #: how many candidates were trial-decoded before success
+    attempts: int
+
+    @property
+    def acquired(self) -> bool:
+        """Whether some pool entry produced a CRC-verified frame."""
+        return self.pool_index is not None
+
+
+class UncoordinatedReceiver:
+    """Trial-decodes a packet against every pool seed until a CRC passes."""
+
+    def __init__(self, base_config: BHSSConfig, pool: SeedPool) -> None:
+        self.pool = pool
+        # one pre-built receiver per candidate seed (filter caches warm)
+        self._receivers = [
+            BHSSReceiver(replace(base_config, seed=s)) for s in pool.seeds()
+        ]
+
+    def receive(
+        self, waveform: np.ndarray, payload_len: int | None = None, packet_index: int = 0
+    ) -> UncoordinatedResult:
+        """Try every pool seed; stop at the first CRC-verified decode."""
+        best: ReceiveResult | None = None
+        for index, receiver in enumerate(self._receivers):
+            result = receiver.receive(waveform, payload_len=payload_len, packet_index=packet_index)
+            if result.accepted:
+                return UncoordinatedResult(pool_index=index, result=result, attempts=index + 1)
+            if best is None or result.quality > best.quality:
+                best = result
+        return UncoordinatedResult(pool_index=None, result=best, attempts=self.pool.size)

@@ -1,0 +1,70 @@
+"""Fractional delay and simple resampling.
+
+Needed by the channel impairment model (a receiver whose sampling clock is
+offset from the transmitter's samples the waveform *between* the
+transmitter's sample instants) and by the Gardner timing-recovery tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import as_complex_array, ensure_positive
+
+__all__ = ["fractional_delay", "linear_interpolate", "resample_linear"]
+
+
+def fractional_delay(x: np.ndarray, delay: float) -> np.ndarray:
+    """Delay a signal by a (possibly fractional) number of samples.
+
+    Implemented exactly in the frequency domain: multiply the spectrum by
+    ``exp(-j 2 pi f d)``.  This is the ideal band-limited interpolator, so
+    it introduces no amplitude distortion.  The output has the same length
+    as the input; samples shifted in from beyond the edges wrap around
+    (blocks are long relative to the delays used, so callers treat the few
+    edge samples as guard).
+
+    A negative ``delay`` advances the signal.
+    """
+    x = as_complex_array(x)
+    if x.size == 0:
+        return x.copy()
+    freqs = np.fft.fftfreq(x.size)
+    spectrum = np.fft.fft(x) * np.exp(-2j * np.pi * freqs * delay)
+    return np.fft.ifft(spectrum)
+
+
+def linear_interpolate(x: np.ndarray, positions: np.ndarray) -> np.ndarray:
+    """Evaluate a sampled signal at fractional sample ``positions``.
+
+    First-order (linear) interpolation, the same interpolator the Gardner
+    timing loop uses.  Positions outside ``[0, len(x)-1]`` are clamped to
+    the edge samples.
+    """
+    x = np.asarray(x)
+    pos = np.asarray(positions, dtype=float)
+    if x.size == 0:
+        raise ValueError("cannot interpolate an empty signal")
+    pos = np.clip(pos, 0.0, x.size - 1.0)
+    idx = np.floor(pos).astype(int)
+    idx = np.minimum(idx, x.size - 2) if x.size > 1 else idx * 0
+    frac = pos - idx
+    if x.size == 1:
+        return np.full(pos.shape, x[0])
+    return x[idx] * (1 - frac) + x[idx + 1] * frac
+
+
+def resample_linear(x: np.ndarray, ratio: float) -> np.ndarray:
+    """Resample a signal by ``ratio`` (output rate / input rate) linearly.
+
+    Used to model sample-clock skew between transmitter and receiver.  For
+    the small skews of interest (tens of ppm) linear interpolation is
+    accurate; it is not an anti-aliased general-purpose resampler.
+    """
+    ensure_positive(ratio, "ratio")
+    x = np.asarray(x)
+    if x.size < 2:
+        return x.copy()
+    n_out = int(np.floor((x.size - 1) * ratio)) + 1
+    positions = np.arange(n_out) / ratio
+    return linear_interpolate(x, positions)

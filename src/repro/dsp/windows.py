@@ -1,0 +1,103 @@
+"""Window functions for FIR design and spectral estimation.
+
+Implemented from their defining formulas (not wrapped from scipy) because
+the FIR design and Welch estimator below are part of the from-scratch DSP
+substrate.  All windows are *symmetric* by default (filter design
+convention); pass ``periodic=True`` for the DFT-even variant used in
+spectral analysis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rectangular", "hamming", "hann", "blackman", "kaiser", "get_window", "kaiser_beta"]
+
+
+def _window_positions(num: int, periodic: bool) -> np.ndarray:
+    """Sample positions n = 0..N-1 normalized by the window denominator."""
+    if num < 1:
+        raise ValueError(f"window length must be >= 1, got {num}")
+    if num == 1:
+        return np.zeros(1)
+    denom = num if periodic else num - 1
+    return np.arange(num) / denom
+
+
+def rectangular(num: int, periodic: bool = False) -> np.ndarray:
+    """Rectangular (boxcar) window."""
+    if num < 1:
+        raise ValueError(f"window length must be >= 1, got {num}")
+    return np.ones(num)
+
+
+def hamming(num: int, periodic: bool = False) -> np.ndarray:
+    """Hamming window: ``0.54 - 0.46 cos(2 pi n / (N-1))``."""
+    x = _window_positions(num, periodic)
+    return 0.54 - 0.46 * np.cos(2 * np.pi * x)
+
+
+def hann(num: int, periodic: bool = False) -> np.ndarray:
+    """Hann window: ``0.5 (1 - cos(2 pi n / (N-1)))``."""
+    x = _window_positions(num, periodic)
+    return 0.5 * (1 - np.cos(2 * np.pi * x))
+
+
+def blackman(num: int, periodic: bool = False) -> np.ndarray:
+    """Blackman window (classic a0=0.42, a1=0.5, a2=0.08)."""
+    x = _window_positions(num, periodic)
+    return 0.42 - 0.5 * np.cos(2 * np.pi * x) + 0.08 * np.cos(4 * np.pi * x)
+
+
+def kaiser(num: int, beta: float, periodic: bool = False) -> np.ndarray:
+    """Kaiser window with shape parameter ``beta`` (uses ``np.i0``)."""
+    if num < 1:
+        raise ValueError(f"window length must be >= 1, got {num}")
+    if num == 1:
+        return np.ones(1)
+    denom = num if periodic else num - 1
+    n = np.arange(num)
+    arg = beta * np.sqrt(np.maximum(0.0, 1 - (2 * n / denom - 1) ** 2))
+    return np.i0(arg) / np.i0(beta)
+
+
+def kaiser_beta(attenuation_db: float) -> float:
+    """Kaiser's empirical beta for a target stop-band attenuation in dB."""
+    a = float(attenuation_db)
+    if a > 50:
+        return 0.1102 * (a - 8.7)
+    if a >= 21:
+        return 0.5842 * (a - 21) ** 0.4 + 0.07886 * (a - 21)
+    return 0.0
+
+
+_WINDOWS = {
+    "rectangular": rectangular,
+    "boxcar": rectangular,
+    "hamming": hamming,
+    "hann": hann,
+    "hanning": hann,
+    "blackman": blackman,
+}
+
+
+def get_window(name, num: int, periodic: bool = False) -> np.ndarray:
+    """Look up a window by name, or ``("kaiser", beta)`` tuple.
+
+    ``name`` may also already be an array of length ``num`` (passed
+    through), which lets callers supply custom tapers.
+    """
+    if isinstance(name, np.ndarray):
+        if name.size != num:
+            raise ValueError(f"custom window has length {name.size}, expected {num}")
+        return name.astype(float)
+    if isinstance(name, tuple):
+        kind, *params = name
+        if kind != "kaiser" or len(params) != 1:
+            raise ValueError(f"unsupported parametric window {name!r}")
+        return kaiser(num, float(params[0]), periodic)
+    try:
+        fn = _WINDOWS[str(name).lower()]
+    except KeyError:
+        raise ValueError(f"unknown window {name!r}; choose from {sorted(_WINDOWS)}") from None
+    return fn(num, periodic)

@@ -1,0 +1,39 @@
+"""Bandwidth hopping: bandwidth sets, hop-weight patterns, the maximin
+optimizer, and seeded hop schedules."""
+
+from repro.hopping.bands import PAPER_SAMPLE_RATE, BandwidthSet, paper_bandwidths
+from repro.hopping.patterns import (
+    PAPER_PARABOLIC_WEIGHTS,
+    exponential_weights,
+    expected_bandwidth,
+    expected_throughput,
+    linear_weights,
+    parabolic_weights,
+    pattern_weights,
+)
+from repro.hopping.optimizer import (
+    OptimizedPattern,
+    maximin_score_db,
+    optimize_parabolic_weights,
+    optimize_weights,
+)
+from repro.hopping.schedule import HopSchedule, HopSegment
+
+__all__ = [
+    "BandwidthSet",
+    "paper_bandwidths",
+    "PAPER_SAMPLE_RATE",
+    "linear_weights",
+    "exponential_weights",
+    "parabolic_weights",
+    "PAPER_PARABOLIC_WEIGHTS",
+    "pattern_weights",
+    "expected_bandwidth",
+    "expected_throughput",
+    "maximin_score_db",
+    "optimize_parabolic_weights",
+    "optimize_weights",
+    "OptimizedPattern",
+    "HopSchedule",
+    "HopSegment",
+]

@@ -1,0 +1,119 @@
+"""Bandwidth sets for hopping.
+
+The paper's experiments hop among seven pre-defined bandwidths — 10, 5,
+2.5, 1.25, 0.625, 0.3125 and 0.15625 MHz — an octave-spaced set with hop
+range 64 (Section 6.2).  A :class:`BandwidthSet` owns such a set together
+with the sample rate, and converts bandwidths to the integer stretch
+factors (samples per complex chip) the modulator needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import ensure_positive
+
+__all__ = ["BandwidthSet", "paper_bandwidths", "PAPER_SAMPLE_RATE"]
+
+#: The paper's receiver processing rate: 20 MS/s on the USRP N210.
+PAPER_SAMPLE_RATE = 20e6
+
+
+def paper_bandwidths(max_bandwidth: float = 10e6, count: int = 7) -> np.ndarray:
+    """The paper's octave-spaced bandwidth set, widest first.
+
+    ``paper_bandwidths()`` returns [10, 5, 2.5, 1.25, 0.625, 0.3125,
+    0.15625] MHz; other maxima/counts scale the same geometric pattern.
+    """
+    ensure_positive(max_bandwidth, "max_bandwidth")
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    return max_bandwidth / (2.0 ** np.arange(count))
+
+
+@dataclass(frozen=True)
+class BandwidthSet:
+    """An ordered set of hop bandwidths tied to a sample rate.
+
+    Parameters
+    ----------
+    bandwidths:
+        Hop bandwidths in Hz, conventionally widest first.  Each bandwidth
+        B maps to ``sps = round(2 * sample_rate / B)`` samples per complex
+        chip (two binary chips per complex chip — the paper's convention
+        that a 10 MHz signal carries a 10 Mchip/s binary chip stream).
+    sample_rate:
+        Fixed processing sample rate; the paper deliberately keeps it
+        constant across hops "to avoid processing delays when the sampling
+        rate would be switched while hopping".
+    """
+
+    bandwidths: tuple[float, ...]
+    sample_rate: float = PAPER_SAMPLE_RATE
+
+    def __post_init__(self) -> None:
+        bws = tuple(float(b) for b in self.bandwidths)
+        if len(bws) == 0:
+            raise ValueError("bandwidths must be non-empty")
+        if any(b <= 0 for b in bws):
+            raise ValueError("bandwidths must be positive")
+        if len(set(bws)) != len(bws):
+            raise ValueError("bandwidths must be distinct")
+        ensure_positive(self.sample_rate, "sample_rate")
+        object.__setattr__(self, "bandwidths", bws)
+        for b in bws:
+            sps = 2.0 * self.sample_rate / b
+            if abs(sps - round(sps)) > 1e-9 or round(sps) < 1:
+                raise ValueError(
+                    f"bandwidth {b} does not divide into an integer "
+                    f"samples-per-chip at sample rate {self.sample_rate}"
+                )
+
+    @classmethod
+    def paper_default(cls, sample_rate: float = PAPER_SAMPLE_RATE, count: int = 7) -> "BandwidthSet":
+        """The paper's seven-bandwidth set at 20 MS/s."""
+        return cls(tuple(paper_bandwidths(sample_rate / 2.0, count)), sample_rate)
+
+    def __len__(self) -> int:
+        return len(self.bandwidths)
+
+    def __getitem__(self, index: int) -> float:
+        return self.bandwidths[index]
+
+    @property
+    def max_bandwidth(self) -> float:
+        """Widest hop bandwidth in the set."""
+        return max(self.bandwidths)
+
+    @property
+    def min_bandwidth(self) -> float:
+        """Narrowest hop bandwidth in the set."""
+        return min(self.bandwidths)
+
+    @property
+    def hop_range(self) -> float:
+        """max(Bp)/min(Bp) — 64 for the paper's set."""
+        return self.max_bandwidth / self.min_bandwidth
+
+    def sps(self, bandwidth: float) -> int:
+        """Samples per complex chip for a bandwidth in the set."""
+        if bandwidth not in self.bandwidths:
+            raise ValueError(f"bandwidth {bandwidth} not in the set")
+        return int(round(2.0 * self.sample_rate / bandwidth))
+
+    def sps_values(self) -> np.ndarray:
+        """Samples-per-chip for every bandwidth, in set order."""
+        return np.array([self.sps(b) for b in self.bandwidths], dtype=int)
+
+    def index_of(self, bandwidth: float) -> int:
+        """Position of a bandwidth within the set."""
+        try:
+            return self.bandwidths.index(float(bandwidth))
+        except ValueError:
+            raise ValueError(f"bandwidth {bandwidth} not in the set") from None
+
+    def as_array(self) -> np.ndarray:
+        """Bandwidths as a float array (set order)."""
+        return np.array(self.bandwidths)

@@ -1,0 +1,133 @@
+"""Hop-weight distributions: linear, exponential, parabolic (Table 1).
+
+The transmitter draws each hop's bandwidth i.i.d. from a distribution over
+the bandwidth set.  The paper evaluates three (Section 6.4.1):
+
+* **linear** — uniform over the set;
+* **exponential** — probability proportional to bandwidth, which equalizes
+  *air time* per bandwidth (a narrow hop takes proportionally longer to
+  carry the same number of symbols);
+* **parabolic** — a bathtub-shaped distribution favouring the extreme
+  bandwidths, tuned by Monte-Carlo search to maximize the minimum power
+  advantage over all jammer bandwidths (see
+  :mod:`repro.hopping.optimizer`).
+
+Utility metrics (expected bandwidth and throughput) reproduce the numbers
+quoted in Section 6.4.1: linear → 2.83 MHz / 354 kb/s, exponential →
+6.72 MHz / 840 kb/s on the 7-bandwidth set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import ensure_probability_vector
+
+__all__ = [
+    "linear_weights",
+    "exponential_weights",
+    "parabolic_weights",
+    "PAPER_PARABOLIC_WEIGHTS",
+    "expected_bandwidth",
+    "expected_throughput",
+    "pattern_weights",
+]
+
+#: Table 1's parabolic distribution for the 7-bandwidth set (percent
+#: values 27.1, 15.8, 6.3, 0.1, 1.3, 22.0, 27.4, normalized).
+PAPER_PARABOLIC_WEIGHTS = np.array([27.1, 15.8, 6.3, 0.1, 1.3, 22.0, 27.4]) / 100.0
+
+#: Bits per second carried per hertz of hop bandwidth in the paper's PHY:
+#: binary chip rate = bandwidth, 32 chips per 4-bit symbol -> B/8 bit/s.
+BITS_PER_HZ = 1.0 / 8.0
+
+
+def linear_weights(num_bandwidths: int) -> np.ndarray:
+    """Uniform hop distribution (the paper's "linear" pattern)."""
+    if num_bandwidths < 1:
+        raise ValueError(f"num_bandwidths must be >= 1, got {num_bandwidths}")
+    return np.full(num_bandwidths, 1.0 / num_bandwidths)
+
+
+def exponential_weights(bandwidths) -> np.ndarray:
+    """Probability proportional to bandwidth → equal air time per bandwidth.
+
+    Expected dwell time at bandwidth B for a fixed symbols-per-hop is
+    proportional to 1/B, so drawing B with probability ∝ B makes every
+    bandwidth occupy the same fraction of transmission time — the paper's
+    "exponential" pattern (50.4 %, 25.2 %, ... on the octave set).
+    """
+    b = np.asarray(bandwidths, dtype=float)
+    if b.ndim != 1 or b.size == 0:
+        raise ValueError("bandwidths must be a non-empty 1-D sequence")
+    if np.any(b <= 0):
+        raise ValueError("bandwidths must be positive")
+    return b / b.sum()
+
+
+def parabolic_weights(
+    num_bandwidths: int,
+    vertex: float | None = None,
+    floor: float = 0.001,
+    steepness: float = 1.0,
+) -> np.ndarray:
+    """A parabola-over-index distribution favouring the extreme bandwidths.
+
+    ``w_i ∝ floor + steepness * (i - vertex)^2`` over band indices
+    ``i = 0..n-1``; the default vertex is the middle of the set, which
+    yields the bathtub shape of the paper's optimized pattern (most mass
+    on the widest and narrowest bandwidths, a dip in the middle).
+
+    For the tuned weights that reproduce Table 1, use
+    :data:`PAPER_PARABOLIC_WEIGHTS` or run
+    :func:`repro.hopping.optimizer.optimize_parabolic_weights`.
+    """
+    if num_bandwidths < 1:
+        raise ValueError(f"num_bandwidths must be >= 1, got {num_bandwidths}")
+    if floor < 0:
+        raise ValueError(f"floor must be >= 0, got {floor}")
+    if steepness <= 0:
+        raise ValueError(f"steepness must be > 0, got {steepness}")
+    if vertex is None:
+        vertex = (num_bandwidths - 1) / 2.0
+    idx = np.arange(num_bandwidths, dtype=float)
+    w = floor + steepness * (idx - vertex) ** 2
+    return ensure_probability_vector(w, "parabolic weights")
+
+
+def expected_bandwidth(bandwidths, weights) -> float:
+    """Probability-weighted mean hop bandwidth (the paper's "average
+    bandwidth utilization")."""
+    b = np.asarray(bandwidths, dtype=float)
+    w = ensure_probability_vector(weights, "weights")
+    if b.size != w.size:
+        raise ValueError("bandwidths and weights must have the same length")
+    return float(np.sum(b * w))
+
+
+def expected_throughput(bandwidths, weights, bits_per_hz: float = BITS_PER_HZ) -> float:
+    """Expected data rate in bit/s for a hop distribution.
+
+    The paper's PHY carries B/8 bit/s at bandwidth B (spreading factor 8),
+    so throughput is the weighted mean bandwidth times ``bits_per_hz``.
+    """
+    return expected_bandwidth(bandwidths, weights) * bits_per_hz
+
+
+def pattern_weights(name: str, bandwidths) -> np.ndarray:
+    """Look up one of the three named paper patterns for a bandwidth set.
+
+    ``"parabolic"`` returns the paper's Table-1 weights when the set has
+    seven bandwidths, otherwise the analytic bathtub shape.
+    """
+    b = np.asarray(bandwidths, dtype=float)
+    key = name.lower()
+    if key == "linear":
+        return linear_weights(b.size)
+    if key == "exponential":
+        return exponential_weights(b)
+    if key == "parabolic":
+        if b.size == PAPER_PARABOLIC_WEIGHTS.size:
+            return PAPER_PARABOLIC_WEIGHTS.copy()
+        return parabolic_weights(b.size)
+    raise ValueError(f"unknown hopping pattern {name!r}; use linear/exponential/parabolic")

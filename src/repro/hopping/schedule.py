@@ -1,0 +1,152 @@
+"""Seeded hop schedules shared by transmitter and receiver.
+
+The schedule answers one question for both ends of the link: *which
+bandwidth is symbol k transmitted at?*  It is derived deterministically
+from the pre-shared seed (Section 4.1: the receiver derives "the
+instantaneous bandwidth at the receiver from the synchronized random
+source"), so the receiver never needs to estimate the bandwidth over the
+air — which would be jammable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hopping.bands import BandwidthSet
+from repro.hopping.patterns import pattern_weights
+from repro.utils.rng import child_rng
+from repro.utils.validation import ensure_probability_vector
+
+__all__ = ["HopSchedule", "HopSegment"]
+
+
+@dataclass(frozen=True)
+class HopSegment:
+    """One hop's worth of symbols at one bandwidth."""
+
+    #: index of the first symbol of this hop within the frame
+    start_symbol: int
+    #: number of symbols in this hop
+    num_symbols: int
+    #: hop bandwidth in Hz
+    bandwidth: float
+    #: samples per complex chip at this bandwidth
+    sps: int
+
+
+@dataclass(frozen=True)
+class HopSchedule:
+    """Deterministic per-packet bandwidth schedule.
+
+    Parameters
+    ----------
+    bandwidth_set:
+        The hop bandwidth alphabet (with its sample rate).
+    weights:
+        Hop-selection probabilities over the set, or a pattern name
+        ("linear" / "exponential" / "parabolic").
+    symbols_per_hop:
+        How many symbols are sent before re-drawing the bandwidth.  The
+        paper changes the pulse duration "after a configurable number of
+        symbols" — more than one (sub-symbol hopping is unnecessary since
+        the jammer needs a couple of symbols to react), but far fewer than
+        a packet (to out-pace reactive jammers).
+    seed:
+        The pre-shared random seed.  Packets are numbered; packet ``k``'s
+        schedule comes from an independent substream so schedules never
+        repeat across packets.
+
+    A ``fixed_bandwidth`` schedule (for the DSSS/FHSS baselines and for
+    the adaptive stop-hopping mode) is produced by
+    :meth:`HopSchedule.fixed`.
+    """
+
+    bandwidth_set: BandwidthSet
+    weights: np.ndarray | str = "linear"
+    symbols_per_hop: int = 4
+    seed: int = 0
+    _fixed_bandwidth: float | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.symbols_per_hop < 1:
+            raise ValueError(f"symbols_per_hop must be >= 1, got {self.symbols_per_hop}")
+        if isinstance(self.weights, str):
+            w = pattern_weights(self.weights, self.bandwidth_set.as_array())
+        else:
+            w = ensure_probability_vector(self.weights, "weights")
+            if w.size != len(self.bandwidth_set):
+                raise ValueError(
+                    f"weights length {w.size} != bandwidth set size {len(self.bandwidth_set)}"
+                )
+        object.__setattr__(self, "_weights", w)
+
+    @classmethod
+    def fixed(cls, bandwidth_set: BandwidthSet, bandwidth: float, seed: int = 0) -> "HopSchedule":
+        """A degenerate schedule pinned to one bandwidth (DSSS baseline)."""
+        idx = bandwidth_set.index_of(bandwidth)
+        w = np.zeros(len(bandwidth_set))
+        w[idx] = 1.0
+        return cls(
+            bandwidth_set=bandwidth_set,
+            weights=w,
+            symbols_per_hop=1_000_000,  # effectively never hops within a packet
+            seed=seed,
+            _fixed_bandwidth=float(bandwidth),
+        )
+
+    @property
+    def is_fixed(self) -> bool:
+        """Whether this schedule never changes bandwidth."""
+        return self._fixed_bandwidth is not None
+
+    @property
+    def hop_weights(self) -> np.ndarray:
+        """The normalized hop-selection probabilities."""
+        return self._weights.copy()
+
+    def bandwidth_sequence(self, num_hops: int, packet_index: int = 0) -> np.ndarray:
+        """The first ``num_hops`` hop bandwidths of packet ``packet_index``."""
+        if num_hops < 0:
+            raise ValueError(f"num_hops must be >= 0, got {num_hops}")
+        if self._fixed_bandwidth is not None:
+            return np.full(num_hops, self._fixed_bandwidth)
+        rng = child_rng(self.seed, "hop-schedule", str(packet_index))
+        bands = self.bandwidth_set.as_array()
+        idx = rng.choice(bands.size, size=num_hops, p=self._weights)
+        return bands[idx]
+
+    def segments(self, num_symbols: int, packet_index: int = 0) -> list[HopSegment]:
+        """Split a frame of ``num_symbols`` symbols into hop segments."""
+        if num_symbols < 0:
+            raise ValueError(f"num_symbols must be >= 0, got {num_symbols}")
+        num_hops = -(-num_symbols // self.symbols_per_hop) if num_symbols else 0
+        bandwidths = self.bandwidth_sequence(num_hops, packet_index)
+        segments = []
+        pos = 0
+        for bw in bandwidths:
+            take = min(self.symbols_per_hop, num_symbols - pos)
+            segments.append(
+                HopSegment(
+                    start_symbol=pos,
+                    num_symbols=take,
+                    bandwidth=float(bw),
+                    sps=self.bandwidth_set.sps(float(bw)),
+                )
+            )
+            pos += take
+        return segments
+
+    def sample_counts(self, num_symbols: int, chips_per_symbol: int, packet_index: int = 0) -> list[int]:
+        """Per-hop waveform sample counts for a frame.
+
+        ``chips_per_symbol`` is in *binary* chips (32 for the 16-ary PHY);
+        each hop's sample count is ``symbols * chips/2 * sps``.
+        """
+        if chips_per_symbol % 2 != 0:
+            raise ValueError("chips_per_symbol must be even")
+        return [
+            seg.num_symbols * (chips_per_symbol // 2) * seg.sps
+            for seg in self.segments(num_symbols, packet_index)
+        ]

@@ -1,0 +1,22 @@
+"""Jammer models: fixed-band noise, reactive bandwidth-matching, hopping,
+tone, sweep, and pulsed attackers."""
+
+from repro.jamming.base import Jammer, NoJammer
+from repro.jamming.noise import BandlimitedNoiseJammer, bandlimited_noise
+from repro.jamming.reactive import MatchedReactiveJammer
+from repro.jamming.hopping_jammer import HoppingJammer
+from repro.jamming.misc import PulsedJammer, SweepJammer, ToneJammer
+from repro.jamming.comb import CombJammer
+
+__all__ = [
+    "Jammer",
+    "NoJammer",
+    "BandlimitedNoiseJammer",
+    "bandlimited_noise",
+    "MatchedReactiveJammer",
+    "HoppingJammer",
+    "ToneJammer",
+    "SweepJammer",
+    "PulsedJammer",
+    "CombJammer",
+]

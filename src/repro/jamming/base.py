@@ -1,0 +1,59 @@
+"""Jammer interface.
+
+A jammer, in the paper's attacker model (Section 2), has unlimited energy
+but a fixed power budget: it can emit *any* waveform, as long as its power
+stays at the budget.  The library therefore separates the two concerns:
+
+* a :class:`Jammer` produces a **unit-power waveform** of arbitrary shape;
+* the :class:`repro.channel.Medium` scales that waveform to the configured
+  signal-to-jammer ratio (the power budget).
+
+``waveform(num_samples, rng)`` may be called repeatedly; jammers that need
+continuity across calls (hoppers, sweepers) keep their own phase/state.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["Jammer", "NoJammer"]
+
+
+class Jammer(abc.ABC):
+    """Abstract base: a unit-power interference waveform source."""
+
+    @abc.abstractmethod
+    def waveform(self, num_samples: int, rng=None) -> np.ndarray:
+        """Generate ``num_samples`` of unit-mean-power complex waveform."""
+
+    @property
+    def description(self) -> str:
+        """Human-readable description used in reports and logs."""
+        return type(self).__name__
+
+    def reset(self) -> None:
+        """Forget internal state (hop phase, sweep position).  Default no-op."""
+
+    @staticmethod
+    def _check_length(num_samples: int) -> int:
+        if num_samples < 0:
+            raise ValueError(f"num_samples must be >= 0, got {num_samples}")
+        return int(num_samples)
+
+
+class NoJammer(Jammer):
+    """The benign channel: no interference at all.
+
+    Exists so sweep code can treat "unjammed" uniformly; the medium skips
+    a zero-power jammer entirely.
+    """
+
+    def waveform(self, num_samples: int, rng=None) -> np.ndarray:
+        n = self._check_length(num_samples)
+        return np.zeros(n, dtype=complex)
+
+    @property
+    def description(self) -> str:
+        return "no jammer"

@@ -1,0 +1,70 @@
+"""Multi-tone (comb) jammer.
+
+An attacker that splits its power budget across several discrete tones —
+the classic counter to plain excision filtering, since the excision
+filter must notch every tooth.  Against BHSS the comb behaves like a
+narrow-band jammer whose occupied bandwidth is the sum of the teeth: the
+whitening filter notches all of them at once (its eq.-3 design is built
+from the PSD, not from a single-band assumption), which the tests and the
+spectral-estimation path verify.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.jamming.base import Jammer
+from repro.utils.validation import ensure_positive
+
+__all__ = ["CombJammer"]
+
+
+class CombJammer(Jammer):
+    """Equal-power tones at fixed frequency offsets.
+
+    Parameters
+    ----------
+    frequencies:
+        Tone frequencies in Hz (all within the Nyquist band).
+    sample_rate:
+        Baseband sample rate in Hz.
+
+    The tones get independent random starting phases per instance (seeded
+    through ``reset``/construction), and the waveform keeps phase
+    continuity across calls.
+    """
+
+    def __init__(self, frequencies, sample_rate: float, seed: int | None = None) -> None:
+        freqs = np.asarray(frequencies, dtype=float)
+        if freqs.ndim != 1 or freqs.size == 0:
+            raise ValueError("frequencies must be a non-empty 1-D sequence")
+        ensure_positive(sample_rate, "sample_rate")
+        if np.any(np.abs(freqs) > sample_rate / 2):
+            raise ValueError("all tone frequencies must be within the Nyquist band")
+        if len(set(freqs.tolist())) != freqs.size:
+            raise ValueError("tone frequencies must be distinct")
+        self.frequencies = freqs
+        self.sample_rate = float(sample_rate)
+        self._seed = seed
+        self.reset()
+
+    def reset(self) -> None:
+        rng = np.random.default_rng(self._seed)
+        self._phases = rng.uniform(0.0, 2 * np.pi, size=self.frequencies.size)
+        self._position = 0
+
+    def waveform(self, num_samples: int, rng=None) -> np.ndarray:
+        n = self._check_length(num_samples)
+        k = self._position + np.arange(n)
+        steps = 2 * np.pi * self.frequencies / self.sample_rate
+        out = np.zeros(n, dtype=complex)
+        for phase0, step in zip(self._phases, steps):
+            out += np.exp(1j * (phase0 + step * k))
+        self._position += n
+        # equal power per tone, unit total power
+        return out / np.sqrt(self.frequencies.size)
+
+    @property
+    def description(self) -> str:
+        teeth = ", ".join(f"{f / 1e6:.3g}" for f in self.frequencies)
+        return f"comb jammer ({self.frequencies.size} tones at {teeth} MHz)"

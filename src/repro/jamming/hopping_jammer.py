@@ -1,0 +1,102 @@
+"""Bandwidth-hopping jammer.
+
+Section 6.4.3's strongest attacker: since a fixed jamming bandwidth can be
+countered by an adaptive BHSS transmitter, "the jammer should also hop its
+bandwidth randomly".  This jammer draws a bandwidth per dwell from the same
+kinds of distributions the transmitter uses (linear / exponential /
+parabolic over the bandwidth set) — but from its *own* random stream: the
+attacker cannot know the transmitter's seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.jamming.base import Jammer
+from repro.jamming.noise import bandlimited_noise
+from repro.utils.rng import make_rng
+from repro.utils.validation import ensure_positive, ensure_probability_vector
+
+__all__ = ["HoppingJammer"]
+
+
+class HoppingJammer(Jammer):
+    """Gaussian-noise jammer whose bandwidth hops randomly per dwell.
+
+    Parameters
+    ----------
+    bandwidths:
+        Candidate jamming bandwidths in Hz.
+    weights:
+        Selection probabilities (normalized internally).  ``None`` =
+        uniform ("linear" pattern).
+    sample_rate:
+        Baseband sample rate in Hz.
+    dwell_samples:
+        Samples per hop.  The paper's reactive-jamming bound says a jammer
+        needs a few symbols to react; a hopping jammer similarly commits
+        to each bandwidth for a dwell.
+    seed:
+        The jammer's own random seed (independent of the link's seed).
+    """
+
+    def __init__(
+        self,
+        bandwidths,
+        sample_rate: float,
+        dwell_samples: int,
+        weights=None,
+        seed: int | None = None,
+    ) -> None:
+        self.bandwidths = np.asarray(bandwidths, dtype=float)
+        if self.bandwidths.ndim != 1 or self.bandwidths.size == 0:
+            raise ValueError("bandwidths must be a non-empty 1-D sequence")
+        if np.any(self.bandwidths <= 0):
+            raise ValueError("bandwidths must be positive")
+        self.sample_rate = ensure_positive(sample_rate, "sample_rate")
+        if dwell_samples < 1:
+            raise ValueError(f"dwell_samples must be >= 1, got {dwell_samples}")
+        self.dwell_samples = int(dwell_samples)
+        if weights is None:
+            weights = np.ones(self.bandwidths.size)
+        self.weights = ensure_probability_vector(weights, "weights")
+        if self.weights.size != self.bandwidths.size:
+            raise ValueError("weights and bandwidths must have the same length")
+        self._hop_rng = make_rng(seed)
+        self._remaining = 0
+        self._current_bw = float(self.bandwidths[0])
+        self.hop_history: list[float] = []
+
+    def reset(self) -> None:
+        self._remaining = 0
+        self.hop_history = []
+
+    def _next_bandwidth(self) -> float:
+        idx = self._hop_rng.choice(self.bandwidths.size, p=self.weights)
+        bw = float(self.bandwidths[idx])
+        self.hop_history.append(bw)
+        return bw
+
+    def waveform(self, num_samples: int, rng=None) -> np.ndarray:
+        n = self._check_length(num_samples)
+        gen = make_rng(rng)
+        out = np.empty(n, dtype=complex)
+        pos = 0
+        while pos < n:
+            if self._remaining == 0:
+                self._current_bw = self._next_bandwidth()
+                self._remaining = self.dwell_samples
+            take = min(self._remaining, n - pos)
+            out[pos : pos + take] = bandlimited_noise(
+                take, self._current_bw, self.sample_rate, gen
+            )
+            self._remaining -= take
+            pos += take
+        return out
+
+    @property
+    def description(self) -> str:
+        return (
+            f"hopping jammer over {self.bandwidths.size} bandwidths, "
+            f"dwell {self.dwell_samples} samples"
+        )

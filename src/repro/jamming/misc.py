@@ -1,0 +1,127 @@
+"""Tone, sweep, and pulsed jammers.
+
+Classic jammer archetypes beyond the paper's noise jammers.  They exercise
+the receiver's control logic differently: the tone is the extreme
+narrow-band case (excision filtering shines), the sweep smears a tone over
+the band, and the pulsed jammer trades duty cycle for peak power.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.mixing import chirp
+from repro.jamming.base import Jammer
+from repro.utils.rng import make_rng
+from repro.utils.validation import ensure_in_range, ensure_positive
+
+__all__ = ["ToneJammer", "SweepJammer", "PulsedJammer"]
+
+
+class ToneJammer(Jammer):
+    """Continuous-wave tone at a fixed frequency offset.
+
+    The phase is continuous across :meth:`waveform` calls so spectral
+    estimates of long jamming runs show a clean line.
+    """
+
+    def __init__(self, frequency: float, sample_rate: float) -> None:
+        self.sample_rate = ensure_positive(sample_rate, "sample_rate")
+        if abs(frequency) > sample_rate / 2:
+            raise ValueError(f"frequency {frequency} outside the Nyquist band")
+        self.frequency = float(frequency)
+        self._phase = 0.0
+
+    def reset(self) -> None:
+        self._phase = 0.0
+
+    def waveform(self, num_samples: int, rng=None) -> np.ndarray:
+        n = self._check_length(num_samples)
+        k = np.arange(n)
+        step = 2 * np.pi * self.frequency / self.sample_rate
+        out = np.exp(1j * (self._phase + step * k))
+        self._phase = float((self._phase + step * n) % (2 * np.pi))
+        return out
+
+    @property
+    def description(self) -> str:
+        return f"tone jammer at {self.frequency / 1e6:.4g} MHz"
+
+
+class SweepJammer(Jammer):
+    """Linear chirp sweeping repeatedly across a band.
+
+    Parameters
+    ----------
+    f_start, f_stop:
+        Sweep band edges in Hz.
+    sweep_duration:
+        Time of one sweep in seconds; the sweep restarts at ``f_start``
+        when it reaches ``f_stop`` (sawtooth).
+    """
+
+    def __init__(self, f_start: float, f_stop: float, sample_rate: float, sweep_duration: float) -> None:
+        self.sample_rate = ensure_positive(sample_rate, "sample_rate")
+        if f_stop <= f_start:
+            raise ValueError("f_stop must exceed f_start")
+        if max(abs(f_start), abs(f_stop)) > sample_rate / 2:
+            raise ValueError("sweep band outside the Nyquist band")
+        ensure_positive(sweep_duration, "sweep_duration")
+        self.f_start = float(f_start)
+        self.f_stop = float(f_stop)
+        self.sweep_samples = max(int(round(sweep_duration * sample_rate)), 2)
+        self._position = 0
+
+    def reset(self) -> None:
+        self._position = 0
+
+    def waveform(self, num_samples: int, rng=None) -> np.ndarray:
+        n = self._check_length(num_samples)
+        one_sweep = chirp(self.sweep_samples, self.f_start, self.f_stop, self.sample_rate)
+        idx = (self._position + np.arange(n)) % self.sweep_samples
+        self._position = (self._position + n) % self.sweep_samples
+        return one_sweep[idx]
+
+    @property
+    def description(self) -> str:
+        return (
+            f"sweep jammer {self.f_start / 1e6:.4g}..{self.f_stop / 1e6:.4g} MHz"
+        )
+
+
+class PulsedJammer(Jammer):
+    """Duty-cycled wrapper around another jammer.
+
+    During the on-time the inner jammer's waveform is boosted by
+    ``1/duty_cycle`` in power so the *average* power stays at unity — the
+    budgeted-power attacker concentrating energy in bursts.
+    """
+
+    def __init__(self, inner: Jammer, duty_cycle: float, period_samples: int) -> None:
+        if not isinstance(inner, Jammer):
+            raise TypeError("inner must be a Jammer")
+        ensure_in_range(duty_cycle, 1e-6, 1.0, "duty_cycle")
+        if period_samples < 2:
+            raise ValueError(f"period_samples must be >= 2, got {period_samples}")
+        self.inner = inner
+        self.duty_cycle = float(duty_cycle)
+        self.period_samples = int(period_samples)
+        self._position = 0
+
+    def reset(self) -> None:
+        self._position = 0
+        self.inner.reset()
+
+    def waveform(self, num_samples: int, rng=None) -> np.ndarray:
+        n = self._check_length(num_samples)
+        base = self.inner.waveform(n, make_rng(rng))
+        on_len = max(int(round(self.duty_cycle * self.period_samples)), 1)
+        phase = (self._position + np.arange(n)) % self.period_samples
+        gate = (phase < on_len).astype(float)
+        self._position = (self._position + n) % self.period_samples
+        boost = np.sqrt(self.period_samples / on_len)
+        return base * gate * boost
+
+    @property
+    def description(self) -> str:
+        return f"pulsed ({self.duty_cycle:.2f} duty) {self.inner.description}"

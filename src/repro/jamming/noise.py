@@ -1,0 +1,96 @@
+"""Band-limited Gaussian noise jammers.
+
+This is the paper's workhorse attacker: "The jammer emits a constant white
+Gaussian noise signal with different bandwidths.  We generate a white
+Gaussian noise signal by using a random Gaussian source ... and applying a
+low pass filter on the signal" (Section 6.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.channel.awgn import complex_awgn
+from repro.dsp.fir import apply_fir, lowpass_taps
+from repro.dsp.mixing import frequency_shift
+from repro.jamming.base import Jammer
+from repro.utils.rng import make_rng
+from repro.utils.units import normalize_power
+from repro.utils.validation import ensure_positive
+
+__all__ = ["BandlimitedNoiseJammer", "bandlimited_noise"]
+
+_TAPS_CACHE: dict[tuple[float, float, int], np.ndarray] = {}
+
+
+def _cached_lowpass(cutoff: float, sample_rate: float, num_taps: int) -> np.ndarray:
+    key = (float(cutoff), float(sample_rate), int(num_taps))
+    taps = _TAPS_CACHE.get(key)
+    if taps is None:
+        taps = lowpass_taps(num_taps, cutoff, sample_rate)
+        _TAPS_CACHE[key] = taps
+    return taps
+
+
+def bandlimited_noise(
+    num_samples: int,
+    bandwidth: float,
+    sample_rate: float,
+    rng=None,
+    centre: float = 0.0,
+    num_taps: int = 129,
+) -> np.ndarray:
+    """Unit-power complex Gaussian noise confined to ``bandwidth`` Hz.
+
+    ``bandwidth`` is two-sided; the noise occupies
+    ``[centre - B/2, centre + B/2]``.  A bandwidth at or above the sample
+    rate degenerates to plain white noise (no filter).
+    """
+    if num_samples < 0:
+        raise ValueError(f"num_samples must be >= 0, got {num_samples}")
+    ensure_positive(bandwidth, "bandwidth")
+    ensure_positive(sample_rate, "sample_rate")
+    if num_samples == 0:
+        return np.zeros(0, dtype=complex)
+    gen = make_rng(rng)
+    white = complex_awgn(num_samples, 1.0, gen)
+    if bandwidth >= sample_rate:
+        out = white
+    else:
+        taps = _cached_lowpass(bandwidth / 2.0, sample_rate, num_taps)
+        out = apply_fir(white, taps, mode="compensated")
+    if centre != 0.0:
+        out = frequency_shift(out, centre, sample_rate)
+    return normalize_power(out)
+
+
+class BandlimitedNoiseJammer(Jammer):
+    """Fixed-bandwidth Gaussian noise jammer (the ``Bj`` of the paper).
+
+    Parameters
+    ----------
+    bandwidth:
+        Two-sided jamming bandwidth in Hz.
+    sample_rate:
+        Baseband sample rate in Hz.
+    centre:
+        Centre frequency offset of the jamming band (0 = co-channel).
+    num_taps:
+        Shaping-filter length; longer = steeper band edges.
+    """
+
+    def __init__(self, bandwidth: float, sample_rate: float, centre: float = 0.0, num_taps: int = 129) -> None:
+        self.bandwidth = ensure_positive(bandwidth, "bandwidth")
+        self.sample_rate = ensure_positive(sample_rate, "sample_rate")
+        if abs(centre) > sample_rate / 2:
+            raise ValueError(f"centre {centre} outside the Nyquist band")
+        self.centre = float(centre)
+        self.num_taps = int(num_taps)
+
+    def waveform(self, num_samples: int, rng=None) -> np.ndarray:
+        n = self._check_length(num_samples)
+        return bandlimited_noise(n, self.bandwidth, self.sample_rate, rng, self.centre, self.num_taps)
+
+    @property
+    def description(self) -> str:
+        return f"band-limited noise jammer (Bj = {self.bandwidth / 1e6:.4g} MHz)"

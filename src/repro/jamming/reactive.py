@@ -1,0 +1,149 @@
+"""Reactive jammer that matches the observed signal bandwidth with a delay.
+
+Section 2's strong attacker: a reactive jammer senses the transmission and
+"reacts with an AWGN signal that interferes at the receiver with the same
+bandwidth as the target signal" — but only after its reaction time τ,
+which is lower-bounded by propagation plus processing delay (at least a
+couple of symbols, per the paper's reference measurements).
+
+Against a *fixed-bandwidth* system this attacker is devastating: after one
+reaction time it is perfectly matched and no filtering helps.  Against a
+BHSS transmitter hopping faster than τ, the jammer is permanently matched
+to the *previous* hop's bandwidth, which is exactly the bandwidth-offset
+condition BHSS exploits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.jamming.base import Jammer
+from repro.jamming.noise import bandlimited_noise
+from repro.utils.rng import make_rng
+from repro.utils.validation import ensure_non_negative, ensure_positive
+
+__all__ = ["MatchedReactiveJammer"]
+
+
+class MatchedReactiveJammer(Jammer):
+    """Bandwidth-matching reactive jammer.
+
+    The jammer observes the transmitted signal's instantaneous bandwidth
+    profile — supplied by the link simulator via :meth:`observe` as
+    ``(duration_samples, bandwidth_hz)`` segments, which is what a
+    spectrum-sensing attacker recovers over the air — and emits noise
+    matched to the bandwidth that was on the air ``reaction_samples`` ago.
+    Before anything has been observed it jams at ``initial_bandwidth``.
+
+    Parameters
+    ----------
+    sample_rate:
+        Baseband sample rate in Hz.
+    reaction_samples:
+        Reaction time τ in samples (sensing + processing + propagation).
+    initial_bandwidth:
+        Bandwidth assumed before the first observation arrives.
+    reaction_fraction:
+        Alternative reaction model: instead of a fixed τ, the jammer needs
+        this *fraction of each hop dwell* to estimate the new bandwidth
+        (a bandwidth estimate takes a couple of symbols — and a symbol's
+        duration scales with the hop bandwidth, so the estimation time
+        scales with the dwell).  During the un-estimated head of a dwell
+        it keeps jamming at the previous dwell's bandwidth.  When set,
+        ``reaction_samples`` is added on top (use 0 for pure-fraction).
+    """
+
+    def __init__(
+        self,
+        sample_rate: float,
+        reaction_samples: int,
+        initial_bandwidth: float,
+        reaction_fraction: float | None = None,
+    ) -> None:
+        self.sample_rate = ensure_positive(sample_rate, "sample_rate")
+        self.reaction_samples = int(ensure_non_negative(reaction_samples, "reaction_samples"))
+        self.initial_bandwidth = ensure_positive(initial_bandwidth, "initial_bandwidth")
+        if reaction_fraction is not None and not 0.0 <= reaction_fraction <= 1.0:
+            raise ValueError(f"reaction_fraction must be in [0, 1], got {reaction_fraction}")
+        self.reaction_fraction = reaction_fraction
+        self._profile: list[tuple[int, float]] = []
+
+    def observe(self, segments: list[tuple[int, float]]) -> None:
+        """Record the transmitted bandwidth profile for the coming packet.
+
+        ``segments`` is a list of ``(num_samples, bandwidth_hz)`` pairs in
+        transmission order, replacing any previous observation.
+        """
+        for length, bw in segments:
+            if length < 0:
+                raise ValueError("segment lengths must be >= 0")
+            if bw <= 0:
+                raise ValueError("segment bandwidths must be positive")
+        self._profile = [(int(n), float(bw)) for n, bw in segments]
+
+    def reset(self) -> None:
+        self._profile = []
+
+    def _effective_profile(self) -> list[tuple[int, float]]:
+        """The observed profile with per-dwell estimation delays applied.
+
+        With ``reaction_fraction`` set, the head of each dwell still
+        carries the *previous* dwell's bandwidth — the jammer has not yet
+        estimated the new one.
+        """
+        if self.reaction_fraction is None or not self._profile:
+            return list(self._profile)
+        out: list[tuple[int, float]] = []
+        previous_bw = self.initial_bandwidth
+        for length, bw in self._profile:
+            head = int(round(self.reaction_fraction * length))
+            head = min(head, length)
+            if head > 0:
+                out.append((head, previous_bw))
+            if length - head > 0:
+                out.append((length - head, bw))
+            previous_bw = bw
+        return out
+
+    def _bandwidth_profile(self, num_samples: int) -> list[tuple[int, float]]:
+        """Jammed-bandwidth segments for the next ``num_samples`` samples.
+
+        The (delay-adjusted) observed profile is shifted right by the
+        fixed reaction time; the head is filled with
+        ``initial_bandwidth``.
+        """
+        profile = self._effective_profile()
+        out: list[tuple[int, float]] = []
+        head = min(self.reaction_samples, num_samples)
+        if head > 0:
+            out.append((head, self.initial_bandwidth))
+        remaining = num_samples - head
+        for length, bw in profile:
+            if remaining <= 0:
+                break
+            take = min(length, remaining)
+            out.append((take, bw))
+            remaining -= take
+        if remaining > 0:
+            # Past the end of the observation: keep jamming at the last
+            # seen bandwidth (or the initial one if nothing was seen).
+            last_bw = profile[-1][1] if profile else self.initial_bandwidth
+            out.append((remaining, last_bw))
+        return out
+
+    def waveform(self, num_samples: int, rng=None) -> np.ndarray:
+        n = self._check_length(num_samples)
+        gen = make_rng(rng)
+        pieces = [
+            bandlimited_noise(length, bw, self.sample_rate, gen)
+            for length, bw in self._bandwidth_profile(n)
+            if length > 0
+        ]
+        if not pieces:
+            return np.zeros(0, dtype=complex)
+        return np.concatenate(pieces)
+
+    @property
+    def description(self) -> str:
+        tau_us = self.reaction_samples / self.sample_rate * 1e6
+        return f"matched reactive jammer (tau = {tau_us:.3g} us)"

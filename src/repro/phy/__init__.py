@@ -1,0 +1,43 @@
+"""PHY layer: bit/nibble packing, CRC, QPSK chip modulation, framing."""
+
+from repro.phy.bits import (
+    bits_to_bytes,
+    bits_to_nibbles,
+    bytes_to_bits,
+    bytes_to_nibbles,
+    hamming_distance_bits,
+    nibbles_to_bits,
+    nibbles_to_bytes,
+)
+from repro.phy.crc import (
+    append_crc16,
+    check_crc16,
+    crc16_ccitt,
+    crc16_ccitt_bitwise,
+    crc32_ieee,
+    crc32_ieee_bitwise,
+)
+from repro.phy.qpsk import ChipModulator, binary_chips_to_complex, complex_chips_to_binary
+from repro.phy.frame import DEFAULT_FRAME_FORMAT, FrameFormat, ParsedFrame
+
+__all__ = [
+    "bytes_to_bits",
+    "bits_to_bytes",
+    "bytes_to_nibbles",
+    "nibbles_to_bytes",
+    "bits_to_nibbles",
+    "nibbles_to_bits",
+    "hamming_distance_bits",
+    "crc16_ccitt",
+    "crc16_ccitt_bitwise",
+    "crc32_ieee",
+    "crc32_ieee_bitwise",
+    "append_crc16",
+    "check_crc16",
+    "ChipModulator",
+    "binary_chips_to_complex",
+    "complex_chips_to_binary",
+    "FrameFormat",
+    "ParsedFrame",
+    "DEFAULT_FRAME_FORMAT",
+]

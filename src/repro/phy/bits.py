@@ -1,0 +1,87 @@
+"""Bit / nibble / byte packing utilities.
+
+The 16-ary PHY works in 4-bit symbols (nibbles), the framing layer in
+bytes, and the analysis layer in bits; these converters are the glue.
+Bit order is LSB-first within a byte, matching IEEE 802.15.4's over-the-air
+convention.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "bytes_to_bits",
+    "bits_to_bytes",
+    "bytes_to_nibbles",
+    "nibbles_to_bytes",
+    "bits_to_nibbles",
+    "nibbles_to_bits",
+    "hamming_distance_bits",
+]
+
+
+def bytes_to_bits(data: bytes) -> np.ndarray:
+    """Unpack bytes to a 0/1 bit array, LSB of each byte first."""
+    arr = np.frombuffer(bytes(data), dtype=np.uint8)
+    return np.unpackbits(arr, bitorder="little")
+
+
+def bits_to_bytes(bits: np.ndarray) -> bytes:
+    """Pack a 0/1 bit array (LSB-first) back into bytes.
+
+    The bit count must be a multiple of 8.
+    """
+    b = np.asarray(bits)
+    if b.size % 8 != 0:
+        raise ValueError(f"bit count {b.size} is not a multiple of 8")
+    return np.packbits(b.astype(np.uint8), bitorder="little").tobytes()
+
+
+def bytes_to_nibbles(data: bytes) -> np.ndarray:
+    """Split bytes into 4-bit symbols, low nibble first (802.15.4 order)."""
+    arr = np.frombuffer(bytes(data), dtype=np.uint8)
+    out = np.empty(arr.size * 2, dtype=np.uint8)
+    out[0::2] = arr & 0x0F
+    out[1::2] = arr >> 4
+    return out
+
+
+def nibbles_to_bytes(nibbles: np.ndarray) -> bytes:
+    """Reassemble 4-bit symbols (low nibble first) into bytes."""
+    n = np.asarray(nibbles, dtype=np.uint8)
+    if n.size % 2 != 0:
+        raise ValueError(f"nibble count {n.size} is not even")
+    if n.size and n.max() > 0x0F:
+        raise ValueError("nibble values must be in 0..15")
+    lo = n[0::2]
+    hi = n[1::2]
+    return ((hi << 4) | lo).astype(np.uint8).tobytes()
+
+
+def bits_to_nibbles(bits: np.ndarray) -> np.ndarray:
+    """Group bits (LSB-first) into 4-bit symbols."""
+    b = np.asarray(bits, dtype=np.uint8)
+    if b.size % 4 != 0:
+        raise ValueError(f"bit count {b.size} is not a multiple of 4")
+    groups = b.reshape(-1, 4)
+    weights = np.array([1, 2, 4, 8], dtype=np.uint8)
+    return (groups * weights).sum(axis=1).astype(np.uint8)
+
+
+def nibbles_to_bits(nibbles: np.ndarray) -> np.ndarray:
+    """Expand 4-bit symbols into bits, LSB first."""
+    n = np.asarray(nibbles, dtype=np.uint8)
+    out = np.empty(n.size * 4, dtype=np.uint8)
+    for k in range(4):
+        out[k::4] = (n >> k) & 1
+    return out
+
+
+def hamming_distance_bits(a: bytes, b: bytes) -> int:
+    """Number of differing bits between two equal-length byte strings."""
+    if len(a) != len(b):
+        raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
+    xa = np.frombuffer(bytes(a), dtype=np.uint8)
+    xb = np.frombuffer(bytes(b), dtype=np.uint8)
+    return int(np.unpackbits(xa ^ xb).sum())

@@ -1,0 +1,40 @@
+"""Spreading substrate: PN/m-sequences, Gold codes, 16-ary DSSS (802.15.4
+style), binary DSSS, and an FHSS modem."""
+
+from repro.spread.pn import LFSR, MAXIMAL_TAPS, autocorrelation, lfsr_sequence, random_pn_sequence
+from repro.spread.gold import PREFERRED_PAIRS, gold_code, gold_family
+from repro.spread.chiptables import (
+    BASE_CHIP_BITS,
+    CHIPS_PER_SYMBOL,
+    NUM_SYMBOLS,
+    chip_table_pm,
+    ieee802154_chip_table,
+    min_pairwise_hamming,
+)
+from repro.spread.dsss import BPSKDSSS, DespreadResult, SixteenAryDSSS
+from repro.spread.fhss import FHSSChannelPlan, FHSSModem
+from repro.spread.acquisition import CodeAcquisition, acquire_code_phase
+
+__all__ = [
+    "LFSR",
+    "MAXIMAL_TAPS",
+    "lfsr_sequence",
+    "random_pn_sequence",
+    "autocorrelation",
+    "gold_family",
+    "gold_code",
+    "PREFERRED_PAIRS",
+    "BASE_CHIP_BITS",
+    "CHIPS_PER_SYMBOL",
+    "NUM_SYMBOLS",
+    "ieee802154_chip_table",
+    "chip_table_pm",
+    "min_pairwise_hamming",
+    "SixteenAryDSSS",
+    "BPSKDSSS",
+    "DespreadResult",
+    "FHSSChannelPlan",
+    "FHSSModem",
+    "CodeAcquisition",
+    "acquire_code_phase",
+]

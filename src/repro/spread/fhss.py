@@ -1,0 +1,134 @@
+"""FHSS (frequency hopping spread spectrum) modem.
+
+The FHSS baseline of the paper spreads by hopping a narrow-band signal's
+carrier across sub-channels of a wide band; the receiver de-hops with the
+shared pattern and band-pass filters, giving a processing gain equal to
+the ratio of hop band to signal bandwidth (Section 7).
+
+The modem here operates at complex baseband: the hop band is
+``[-total_bandwidth/2, +total_bandwidth/2]``, divided into
+``num_channels`` equal sub-channels, and the hop pattern is derived from a
+shared seed exactly like the BHSS hop schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dsp.fir import apply_fir, lowpass_taps
+from repro.dsp.mixing import frequency_shift
+from repro.utils.rng import child_rng
+from repro.utils.validation import as_complex_array, ensure_positive
+
+__all__ = ["FHSSChannelPlan", "FHSSModem"]
+
+
+@dataclass(frozen=True)
+class FHSSChannelPlan:
+    """Division of a hop band into equal sub-channels.
+
+    ``channel_bandwidth`` is ``total_bandwidth / num_channels`` and channel
+    centres are placed symmetrically about 0 Hz.
+    """
+
+    total_bandwidth: float
+    num_channels: int
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.total_bandwidth, "total_bandwidth")
+        if self.num_channels < 1:
+            raise ValueError(f"num_channels must be >= 1, got {self.num_channels}")
+
+    @property
+    def channel_bandwidth(self) -> float:
+        """Width of one sub-channel in Hz."""
+        return self.total_bandwidth / self.num_channels
+
+    @property
+    def processing_gain_db(self) -> float:
+        """Hop-band / signal-band ratio in dB."""
+        return 10.0 * np.log10(self.num_channels)
+
+    def centre(self, channel: int) -> float:
+        """Centre frequency of sub-channel ``channel`` (0-based), in Hz."""
+        if not 0 <= channel < self.num_channels:
+            raise ValueError(f"channel must be in 0..{self.num_channels - 1}, got {channel}")
+        return (channel + 0.5) * self.channel_bandwidth - self.total_bandwidth / 2.0
+
+    def centres(self) -> np.ndarray:
+        """All sub-channel centre frequencies, in Hz."""
+        return np.array([self.centre(c) for c in range(self.num_channels)])
+
+
+class FHSSModem:
+    """Seeded carrier hopper over an :class:`FHSSChannelPlan`.
+
+    The modem is agnostic to the underlying narrow-band modulation: it
+    takes per-hop baseband waveform segments (already at the sub-channel
+    bandwidth), shifts each to its hop channel, and the receiver reverses
+    the operation and low-pass filters to the sub-channel width.
+    """
+
+    def __init__(self, plan: FHSSChannelPlan, sample_rate: float, seed: int = 0, filter_taps: int = 129) -> None:
+        self.plan = plan
+        self.sample_rate = ensure_positive(sample_rate, "sample_rate")
+        if plan.total_bandwidth > sample_rate:
+            raise ValueError(
+                f"hop band {plan.total_bandwidth} exceeds sample rate {sample_rate}"
+            )
+        self.seed = seed
+        cutoff = plan.channel_bandwidth / 2.0
+        # The de-hop filter: half the sub-channel width each side.  A
+        # degenerate single-channel plan needs no filtering.
+        self._taps = (
+            lowpass_taps(filter_taps, cutoff, sample_rate)
+            if plan.num_channels > 1 and cutoff < sample_rate / 2
+            else None
+        )
+
+    def channel_sequence(self, num_hops: int) -> np.ndarray:
+        """The first ``num_hops`` hop-channel indices from the shared seed."""
+        if num_hops < 0:
+            raise ValueError(f"num_hops must be >= 0, got {num_hops}")
+        rng = child_rng(self.seed, "fhss-hops")
+        return rng.integers(0, self.plan.num_channels, size=num_hops)
+
+    def hop_up(self, segments: list[np.ndarray]) -> np.ndarray:
+        """Shift per-hop baseband segments to their hop channels and concatenate."""
+        channels = self.channel_sequence(len(segments))
+        out = []
+        offset = 0
+        for seg, ch in zip(segments, channels):
+            seg = as_complex_array(seg, "segment")
+            shifted = frequency_shift(seg, self.plan.centre(int(ch)), self.sample_rate)
+            # keep the mixer phase continuous across segments
+            out.append(shifted * np.exp(1j * 2 * np.pi * self.plan.centre(int(ch)) / self.sample_rate * offset))
+            offset += seg.size
+        return np.concatenate(out) if out else np.zeros(0, dtype=complex)
+
+    def hop_down(self, waveform: np.ndarray, segment_lengths: list[int], filtered: bool = True) -> list[np.ndarray]:
+        """De-hop a received waveform back to per-hop baseband segments.
+
+        ``segment_lengths`` gives the per-hop sample counts (known from the
+        shared schedule).  With ``filtered=True`` each segment is low-pass
+        filtered to the sub-channel bandwidth after the shift — that filter
+        is where FHSS's jamming suppression comes from.
+        """
+        x = as_complex_array(waveform, "waveform")
+        if sum(segment_lengths) > x.size:
+            raise ValueError("segment lengths exceed waveform length")
+        channels = self.channel_sequence(len(segment_lengths))
+        segments = []
+        pos = 0
+        for length, ch in zip(segment_lengths, channels):
+            seg = x[pos : pos + length]
+            centre = self.plan.centre(int(ch))
+            down = frequency_shift(seg, -centre, self.sample_rate)
+            down = down * np.exp(-1j * 2 * np.pi * centre / self.sample_rate * pos)
+            if filtered and self._taps is not None:
+                down = apply_fir(down, self._taps, mode="compensated")
+            segments.append(down)
+            pos += length
+        return segments

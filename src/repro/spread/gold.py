@@ -1,0 +1,63 @@
+"""Gold code generation.
+
+Gold codes are families of sequences with guaranteed low pairwise
+cross-correlation, built by XOR-ing two m-sequences from a *preferred
+pair* of LFSRs at all relative shifts.  They are the standard choice when
+many spreading codes must coexist (GPS C/A, CDMA); here they back the
+multi-code variants of the DSSS modem and give the tests a well-understood
+cross-correlation target.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.spread.pn import LFSR
+
+__all__ = ["PREFERRED_PAIRS", "gold_family", "gold_code"]
+
+#: Preferred-pair tap sets (degree -> (taps_a, taps_b)) that generate Gold
+#: families with the three-valued cross-correlation bound.
+PREFERRED_PAIRS: dict[int, tuple[tuple[int, ...], tuple[int, ...]]] = {
+    5: ((5, 3), (5, 4, 3, 2)),
+    6: ((6, 5), (6, 5, 2, 1)),
+    7: ((7, 3), (7, 3, 2, 1)),
+    9: ((9, 5), (9, 6, 4, 3)),
+    10: ((10, 7), (10, 9, 8, 5)),
+    11: ((11, 9), (11, 8, 5, 2)),
+}
+
+
+def _msequence_bits(degree: int, taps: tuple[int, ...]) -> np.ndarray:
+    reg = LFSR(degree, taps=taps, state=1)
+    return reg.bits(reg.period)
+
+
+def gold_family(degree: int) -> np.ndarray:
+    """All ``2**degree + 1`` Gold codes of a degree, as +-1 chip rows.
+
+    Rows 0 and 1 are the two base m-sequences; rows ``2 + s`` are their XOR
+    at relative shift ``s``.
+    """
+    if degree not in PREFERRED_PAIRS:
+        raise ValueError(
+            f"no preferred pair known for degree {degree}; supported: {sorted(PREFERRED_PAIRS)}"
+        )
+    taps_a, taps_b = PREFERRED_PAIRS[degree]
+    a = _msequence_bits(degree, taps_a)
+    b = _msequence_bits(degree, taps_b)
+    n = a.size
+    family = np.empty((n + 2, n), dtype=float)
+    family[0] = 1.0 - 2.0 * a
+    family[1] = 1.0 - 2.0 * b
+    for shift in range(n):
+        family[2 + shift] = 1.0 - 2.0 * (a ^ np.roll(b, -shift))
+    return family
+
+
+def gold_code(degree: int, index: int) -> np.ndarray:
+    """A single Gold code by family index (see :func:`gold_family`)."""
+    fam = gold_family(degree)
+    if not 0 <= index < fam.shape[0]:
+        raise ValueError(f"index must be in 0..{fam.shape[0] - 1}, got {index}")
+    return fam[index]

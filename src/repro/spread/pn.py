@@ -1,0 +1,139 @@
+"""Pseudo-noise sequence generation (LFSR m-sequences and seeded PN chips).
+
+DSSS spreads symbols with a pseudo-random +-1 chip sequence that the
+receiver can replicate from a shared seed.  Two generators are provided:
+
+* :class:`LFSR` — a Fibonacci linear-feedback shift register with maximal-
+  length tap sets for common register sizes.  m-sequences have the classic
+  two-valued autocorrelation (N vs -1) that makes code acquisition sharp.
+* :func:`random_pn_sequence` — chips drawn from a seeded
+  ``numpy.random.Generator``; cryptographically stronger in spirit (the
+  paper's security model needs chips unpredictable to the jammer) and the
+  default for the BHSS link.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import make_rng
+
+__all__ = ["LFSR", "MAXIMAL_TAPS", "lfsr_sequence", "random_pn_sequence", "autocorrelation"]
+
+#: Maximal-length tap positions (1-indexed from the output stage) for
+#: Fibonacci LFSRs.  Values are the classic primitive-polynomial taps.
+MAXIMAL_TAPS: dict[int, tuple[int, ...]] = {
+    2: (2, 1),
+    3: (3, 2),
+    4: (4, 3),
+    5: (5, 3),
+    6: (6, 5),
+    7: (7, 6),
+    8: (8, 6, 5, 4),
+    9: (9, 5),
+    10: (10, 7),
+    11: (11, 9),
+    12: (12, 11, 10, 4),
+    13: (13, 12, 11, 8),
+    14: (14, 13, 12, 2),
+    15: (15, 14),
+    16: (16, 15, 13, 4),
+}
+
+
+class LFSR:
+    """Fibonacci linear-feedback shift register over GF(2).
+
+    Parameters
+    ----------
+    degree:
+        Register length in bits.  With the default taps (from
+        :data:`MAXIMAL_TAPS`) the output is an m-sequence of period
+        ``2**degree - 1``.
+    taps:
+        Optional explicit tap positions (1-indexed, as in the polynomial
+        exponents).  Overrides the maximal-length table.
+    state:
+        Initial register contents as an integer (non-zero).  Defaults to 1.
+    """
+
+    def __init__(self, degree: int, taps: tuple[int, ...] | None = None, state: int = 1) -> None:
+        if taps is None:
+            if degree not in MAXIMAL_TAPS:
+                raise ValueError(
+                    f"no maximal-length taps known for degree {degree}; "
+                    f"supported: {sorted(MAXIMAL_TAPS)} (or pass taps explicitly)"
+                )
+            taps = MAXIMAL_TAPS[degree]
+        if degree < 2:
+            raise ValueError(f"degree must be >= 2, got {degree}")
+        if any(t < 1 or t > degree for t in taps):
+            raise ValueError(f"taps must be in 1..{degree}, got {taps}")
+        if state <= 0 or state >= (1 << degree):
+            raise ValueError(f"state must be in 1..{(1 << degree) - 1}, got {state}")
+        self.degree = degree
+        self.taps = tuple(sorted(set(taps), reverse=True))
+        self.state = state
+
+    @property
+    def period(self) -> int:
+        """Period of the output sequence for maximal taps: ``2**degree - 1``."""
+        return (1 << self.degree) - 1
+
+    def step(self) -> int:
+        """Advance one step; return the output bit (0/1)."""
+        out = self.state & 1
+        feedback = 0
+        for t in self.taps:
+            feedback ^= (self.state >> (self.degree - t)) & 1
+        self.state = (self.state >> 1) | (feedback << (self.degree - 1))
+        return out
+
+    def bits(self, count: int) -> np.ndarray:
+        """Generate ``count`` output bits as a 0/1 uint8 array."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        out = np.empty(count, dtype=np.uint8)
+        for i in range(count):
+            out[i] = self.step()
+        return out
+
+    def chips(self, count: int) -> np.ndarray:
+        """Generate ``count`` +-1 chips (bit 0 -> +1, bit 1 -> -1)."""
+        return 1.0 - 2.0 * self.bits(count).astype(float)
+
+
+def lfsr_sequence(degree: int, state: int = 1) -> np.ndarray:
+    """One full period of an m-sequence as +-1 chips."""
+    reg = LFSR(degree, state=state)
+    return reg.chips(reg.period)
+
+
+def random_pn_sequence(length: int, seed=None) -> np.ndarray:
+    """Seeded +-1 PN chip sequence from a numpy Generator.
+
+    Transmitter and receiver derive the identical sequence from the shared
+    seed; the jammer, not knowing the seed, sees white chips.
+    """
+    if length < 0:
+        raise ValueError(f"length must be >= 0, got {length}")
+    rng = make_rng(seed)
+    return 1.0 - 2.0 * rng.integers(0, 2, size=length).astype(float)
+
+
+def autocorrelation(chips: np.ndarray, circular: bool = True) -> np.ndarray:
+    """Normalized autocorrelation of a +-1 chip sequence.
+
+    With ``circular=True`` (default) returns the periodic autocorrelation,
+    which for an m-sequence is ``1`` at lag 0 and ``-1/N`` elsewhere.
+    """
+    c = np.asarray(chips, dtype=float)
+    if c.size == 0:
+        raise ValueError("empty chip sequence")
+    n = c.size
+    if circular:
+        spec = np.fft.fft(c)
+        corr = np.fft.ifft(spec * np.conj(spec)).real
+        return corr / n
+    full = np.correlate(c, c, mode="full")
+    return full[n - 1 :] / n

@@ -1,0 +1,29 @@
+"""Receiver synchronization substrate: Costas loop (carrier), Gardner
+timing recovery (clock), and preamble correlation (frame)."""
+
+from repro.sync.costas import CostasLoop, CostasResult
+from repro.sync.gardner import GardnerTimingRecovery, TimingResult, gardner_error
+from repro.sync.equalizer import equalize, estimate_channel, mmse_equalizer_taps
+from repro.sync.preamble import (
+    PreambleDetection,
+    correlate_preamble,
+    detect_preamble,
+    detect_preamble_noncoherent,
+    estimate_cfo_from_preamble,
+)
+
+__all__ = [
+    "CostasLoop",
+    "CostasResult",
+    "GardnerTimingRecovery",
+    "TimingResult",
+    "gardner_error",
+    "correlate_preamble",
+    "detect_preamble_noncoherent",
+    "detect_preamble",
+    "PreambleDetection",
+    "estimate_cfo_from_preamble",
+    "estimate_channel",
+    "mmse_equalizer_taps",
+    "equalize",
+]

@@ -1,0 +1,133 @@
+"""Costas loop for QPSK carrier phase/frequency recovery.
+
+The paper's receiver corrects frequency and phase *after* the interference
+suppression filter with a Costas loop (Section 6.1), so that the jammer
+cannot disturb the error detector and the filter gain is fully exploited.
+This is the standard second-order decision-directed loop used by GNU
+Radio's ``costas_loop_cc`` block for order 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.validation import as_complex_array, ensure_in_range, ensure_positive
+
+__all__ = ["CostasLoop", "CostasResult"]
+
+
+@dataclass
+class CostasResult:
+    """Output of a Costas loop run.
+
+    Attributes
+    ----------
+    corrected:
+        Input samples de-rotated by the tracked phase.
+    phase:
+        Per-sample phase estimate (radians) that was removed.
+    frequency:
+        Per-sample frequency estimate (radians/sample) of the loop's
+        integrator — converges to the true carrier offset.
+    """
+
+    corrected: np.ndarray
+    phase: np.ndarray
+    frequency: np.ndarray
+
+    @property
+    def final_frequency(self) -> float:
+        """Converged frequency estimate in radians/sample."""
+        return float(self.frequency[-1]) if self.frequency.size else 0.0
+
+
+@dataclass
+class CostasLoop:
+    """Second-order QPSK Costas loop.
+
+    Parameters
+    ----------
+    loop_bandwidth:
+        Normalized loop bandwidth in cycles/sample (relative to the symbol
+        rate of the samples being processed).  Typical values: 0.01-0.1.
+        Larger pulls in faster but with more phase jitter.
+    damping:
+        Loop damping factor; the critically damped sqrt(2)/2 default is the
+        GNU Radio convention.
+
+    The loop is stateful: :meth:`process` can be called repeatedly on
+    consecutive blocks and tracking continues across calls (the receiver
+    processes one hop segment at a time).
+    """
+
+    loop_bandwidth: float = 0.05
+    damping: float = float(np.sqrt(2) / 2)
+    _phase: float = field(default=0.0, repr=False)
+    _freq: float = field(default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.loop_bandwidth, "loop_bandwidth")
+        ensure_in_range(self.loop_bandwidth, 1e-6, 0.5, "loop_bandwidth")
+        ensure_positive(self.damping, "damping")
+        # Standard loop-gain mapping (e.g. Rice, "Digital Communications:
+        # A Discrete-Time Approach", also used by GNU Radio):
+        denom = 1.0 + 2.0 * self.damping * self.loop_bandwidth + self.loop_bandwidth**2
+        self._alpha = (4.0 * self.damping * self.loop_bandwidth) / denom
+        self._beta = (4.0 * self.loop_bandwidth**2) / denom
+
+    @staticmethod
+    def _phase_error(sample: complex) -> float:
+        """QPSK decision-directed phase detector.
+
+        For a constellation point rotated by ``theta`` the detector output
+        is approximately proportional to ``theta`` for small errors; the
+        hard decisions make it invariant to the 4-fold symbol ambiguity.
+        """
+        return float(
+            np.sign(sample.real) * sample.imag - np.sign(sample.imag) * sample.real
+        )
+
+    def reset(self) -> None:
+        """Forget all tracking state (phase and frequency)."""
+        self._phase = 0.0
+        self._freq = 0.0
+
+    def process(self, samples: np.ndarray) -> CostasResult:
+        """Track and remove carrier phase/frequency from ``samples``.
+
+        ``samples`` should be at (or near) one sample per symbol/chip with
+        the QPSK constellation nominally at 45/135/225/315 degrees.
+        """
+        x = as_complex_array(samples)
+        n = x.size
+        corrected = np.empty(n, dtype=np.complex128)
+        phases = np.empty(n)
+        freqs = np.empty(n)
+        phase = self._phase
+        freq = self._freq
+        # The per-sample feedback loop is inherently sequential; a Python
+        # loop over the block is the honest implementation (same structure
+        # as the GNU Radio C++ block).
+        for i in range(n):
+            out = x[i] * np.exp(-1j * phase)
+            corrected[i] = out
+            err = self._phase_error(out)
+            # normalize the error by the signal magnitude to decouple the
+            # loop gain from the received power
+            mag2 = out.real**2 + out.imag**2
+            if mag2 > 0:
+                err /= np.sqrt(mag2)
+            freq += self._beta * err
+            phase += freq + self._alpha * err
+            # keep phase bounded for numerical hygiene on long runs
+            if phase > np.pi:
+                phase -= 2 * np.pi
+            elif phase < -np.pi:
+                phase += 2 * np.pi
+            phases[i] = phase
+            freqs[i] = freq
+        self._phase = phase
+        self._freq = freq
+        return CostasResult(corrected=corrected, phase=phases, frequency=freqs)

@@ -1,0 +1,122 @@
+"""Gardner timing-error detector and symbol-timing recovery.
+
+The paper's receiver achieves timing synchronization with the Gardner
+detector (Section 6.1, ref. [23]): at two samples per symbol the error
+
+    e[k] = Re{ (y[k] - y[k-1]) * conj(y[k - 1/2]) }
+
+is zero when the mid-symbol sample sits exactly between symbol peaks, and
+its sign indicates whether sampling is early or late.  A second-order loop
+drives an interpolating sampler.  Decision-independent, so it works on the
+spread (chip-rate) signal before despreading.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dsp.resample import linear_interpolate
+from repro.utils.validation import as_complex_array, ensure_in_range, ensure_positive
+
+__all__ = ["GardnerTimingRecovery", "TimingResult", "gardner_error"]
+
+
+def gardner_error(prev_symbol: complex, mid_sample: complex, current_symbol: complex) -> float:
+    """Gardner timing error for one symbol (complex, decision-free form)."""
+    return float(np.real((current_symbol - prev_symbol) * np.conj(mid_sample)))
+
+
+@dataclass
+class TimingResult:
+    """Output of a timing-recovery run.
+
+    Attributes
+    ----------
+    symbols:
+        Interpolated samples at the recovered symbol instants.
+    positions:
+        Fractional sample positions (in input-sample units) where each
+        output symbol was taken — useful for verifying convergence.
+    errors:
+        Raw Gardner error sequence (diagnostic).
+    """
+
+    symbols: np.ndarray
+    positions: np.ndarray
+    errors: np.ndarray
+
+
+@dataclass
+class GardnerTimingRecovery:
+    """Second-order Gardner timing loop over a 2-samples/symbol signal.
+
+    Parameters
+    ----------
+    sps:
+        Input samples per symbol.  The classic detector wants 2; any even
+        integer >= 2 works (intermediate samples are simply skipped).
+    loop_bandwidth:
+        Normalized loop bandwidth (cycles/symbol).  0.01-0.05 typical.
+    damping:
+        Loop damping factor.
+    """
+
+    sps: int = 2
+    loop_bandwidth: float = 0.02
+    damping: float = float(np.sqrt(2) / 2)
+
+    def __post_init__(self) -> None:
+        if self.sps < 2:
+            raise ValueError(f"sps must be >= 2 for the Gardner detector, got {self.sps}")
+        ensure_positive(self.loop_bandwidth, "loop_bandwidth")
+        ensure_in_range(self.loop_bandwidth, 1e-6, 0.5, "loop_bandwidth")
+        ensure_positive(self.damping, "damping")
+        denom = 1.0 + 2.0 * self.damping * self.loop_bandwidth + self.loop_bandwidth**2
+        self._alpha = (4.0 * self.damping * self.loop_bandwidth) / denom
+        self._beta = (4.0 * self.loop_bandwidth**2) / denom
+
+    def process(self, samples: np.ndarray, initial_offset: float = 0.0) -> TimingResult:
+        """Recover symbol timing over a block.
+
+        ``initial_offset`` seeds the sampling phase in input samples
+        (e.g. from a coarse preamble estimate).
+        """
+        x = as_complex_array(samples)
+        sps = float(self.sps)
+        half = sps / 2.0
+
+        # normalize amplitude so loop gain is power-independent
+        scale = np.sqrt(np.mean(np.abs(x) ** 2)) if x.size else 1.0
+        if scale <= 0:
+            scale = 1.0
+
+        symbols: list[complex] = []
+        positions: list[float] = []
+        errors: list[float] = []
+
+        freq = 0.0  # timing-rate correction (samples/symbol deviation)
+        pos = float(initial_offset) + sps  # leave room for the look-back taps
+        prev = None
+        while pos < x.size - 1:
+            current = complex(linear_interpolate(x, np.array([pos]))[0]) / scale
+            mid = complex(linear_interpolate(x, np.array([pos - half]))[0]) / scale
+            if prev is not None:
+                err = gardner_error(prev, mid, current)
+                # clamp the error so noise bursts cannot slam the loop
+                err = float(np.clip(err, -1.0, 1.0))
+                # positive error means sampling late -> retard the clock
+                freq -= self._beta * err
+                freq = float(np.clip(freq, -0.1 * sps, 0.1 * sps))
+                pos -= self._alpha * err
+                errors.append(err)
+            symbols.append(current * scale)
+            positions.append(pos)
+            prev = current
+            pos += sps + freq
+        return TimingResult(
+            symbols=np.array(symbols, dtype=np.complex128),
+            positions=np.array(positions),
+            errors=np.array(errors),
+        )

@@ -1,0 +1,163 @@
+"""Terminal plotting for the example scripts and benchmark reports.
+
+The evaluation environment has no matplotlib, so the examples render their
+figures as Unicode character plots.  This is intentionally small: a line /
+scatter plot on a fixed-size character grid with linear or logarithmic axes,
+plus a fixed-width table formatter used to print the paper's tables.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["line_plot", "format_table", "histogram_bar"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _axis_transform(values: np.ndarray, log: bool) -> np.ndarray:
+    if not log:
+        return values
+    safe = np.maximum(values, 1e-300)
+    return np.log10(safe)
+
+
+def line_plot(
+    series: Sequence[tuple[str, Sequence[float], Sequence[float]]],
+    *,
+    width: int = 72,
+    height: int = 20,
+    xlabel: str = "",
+    ylabel: str = "",
+    title: str = "",
+    logx: bool = False,
+    logy: bool = False,
+) -> str:
+    """Render one or more (label, x, y) series as a character plot.
+
+    Points that fall outside the finite data range (NaN/inf) are skipped.
+    Each series gets its own marker character and an entry in the legend.
+    Returns the rendered plot as a single string (the caller prints it).
+    """
+    if not series:
+        raise ValueError("line_plot needs at least one series")
+
+    prepared = []
+    for label, xs, ys in series:
+        x = np.asarray(xs, dtype=float)
+        y = np.asarray(ys, dtype=float)
+        if x.shape != y.shape:
+            raise ValueError(f"series {label!r}: x and y lengths differ")
+        mask = np.isfinite(x) & np.isfinite(y)
+        if logx:
+            mask &= x > 0
+        if logy:
+            mask &= y > 0
+        prepared.append((label, x[mask], y[mask]))
+
+    all_x = np.concatenate([p[1] for p in prepared if p[1].size]) if any(p[1].size for p in prepared) else np.array([0.0, 1.0])
+    all_y = np.concatenate([p[2] for p in prepared if p[2].size]) if any(p[2].size for p in prepared) else np.array([0.0, 1.0])
+    tx = _axis_transform(all_x, logx)
+    ty = _axis_transform(all_y, logy)
+    xmin, xmax = float(tx.min()), float(tx.max())
+    ymin, ymax = float(ty.min()), float(ty.max())
+    if xmax == xmin:
+        xmax = xmin + 1.0
+    if ymax == ymin:
+        ymax = ymin + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (label, x, y) in enumerate(prepared):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        px = _axis_transform(x, logx)
+        py = _axis_transform(y, logy)
+        for xv, yv in zip(px, py):
+            col = int(round((xv - xmin) / (xmax - xmin) * (width - 1)))
+            row = int(round((yv - ymin) / (ymax - ymin) * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    def fmt_axis(value: float, log: bool) -> str:
+        real = 10**value if log else value
+        if real != 0 and (abs(real) >= 1e4 or abs(real) < 1e-3):
+            return f"{real:.2e}"
+        return f"{real:.4g}"
+
+    lines = []
+    if title:
+        lines.append(title.center(width + 10))
+    top_label = fmt_axis(ymax, logy)
+    bottom_label = fmt_axis(ymin, logy)
+    label_w = max(len(top_label), len(bottom_label))
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = top_label.rjust(label_w)
+        elif i == height - 1:
+            prefix = bottom_label.rjust(label_w)
+        else:
+            prefix = " " * label_w
+        lines.append(f"{prefix} |{''.join(row)}|")
+    lines.append(" " * label_w + " +" + "-" * width + "+")
+    x_left = fmt_axis(xmin, logx)
+    x_right = fmt_axis(xmax, logx)
+    pad = width - len(x_left) - len(x_right)
+    lines.append(" " * (label_w + 2) + x_left + " " * max(pad, 1) + x_right)
+    if xlabel or ylabel:
+        lines.append(" " * (label_w + 2) + f"x: {xlabel}   y: {ylabel}".strip())
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {label}" for i, (label, _x, _y) in enumerate(prepared)
+    )
+    lines.append(" " * (label_w + 2) + legend)
+    return "\n".join(lines)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], *, title: str = "") -> str:
+    """Format a fixed-width text table.
+
+    Floats are rendered with 4 significant digits; everything else with
+    ``str``.  Column widths adapt to the content.
+    """
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            if math.isnan(value):
+                return "nan"
+            return f"{value:.4g}"
+        return str(value)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match header length")
+        for j, v in enumerate(row):
+            widths[j] = max(widths[j], len(v))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(c.rjust(widths[j]) for j, c in enumerate(cells))
+
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append(sep)
+    lines.extend(render_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def histogram_bar(labels: Sequence[str], values: Sequence[float], *, width: int = 50, title: str = "") -> str:
+    """Render a horizontal bar chart (used for hop-weight distributions)."""
+    vals = np.asarray(values, dtype=float)
+    if len(labels) != vals.size:
+        raise ValueError("labels and values lengths differ")
+    vmax = float(vals.max()) if vals.size else 1.0
+    if vmax <= 0:
+        vmax = 1.0
+    label_w = max((len(str(l)) for l in labels), default=0)
+    lines = [title] if title else []
+    for label, v in zip(labels, vals):
+        n = int(round(v / vmax * width))
+        lines.append(f"{str(label).rjust(label_w)} | {'#' * n} {v:.4g}")
+    return "\n".join(lines)

@@ -1,0 +1,87 @@
+"""Waveform recording I/O in SDR interchange formats.
+
+Lets simulated waveforms round-trip to the formats real SDR tooling
+consumes, so packets generated here can be replayed through GNU Radio (or
+captures from a real BHSS prototype analyzed with this library):
+
+* ``.cf32`` — raw interleaved little-endian complex64 samples, GNU
+  Radio's native file-sink format;
+* a JSON sidecar with the metadata a capture is useless without (sample
+  rate, centre frequency, free-form annotations) — a minimal cousin of
+  the SigMF convention.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from repro.utils.validation import as_complex_array, ensure_positive
+
+__all__ = ["save_cf32", "load_cf32", "save_recording", "load_recording"]
+
+_META_SUFFIX = ".json"
+
+
+def save_cf32(path: str, samples: np.ndarray) -> str:
+    """Write complex samples as raw interleaved little-endian complex64.
+
+    Precision narrows to float32 — exactly what an SDR front end would
+    give you.  Returns the path.
+    """
+    x = as_complex_array(samples, "samples")
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    x.astype("<c8").tofile(path)  # little-endian complex64
+    return path
+
+
+def load_cf32(path: str) -> np.ndarray:
+    """Read a raw complex64 file back as a complex128 array."""
+    raw = np.fromfile(path, dtype=np.complex64)
+    return raw.astype(np.complex128)
+
+
+def save_recording(
+    path: str,
+    samples: np.ndarray,
+    sample_rate: float,
+    centre_frequency: float = 0.0,
+    annotations: dict | None = None,
+) -> str:
+    """Write a waveform plus its metadata sidecar.
+
+    ``path`` should end in ``.cf32``; the sidecar lands at
+    ``path + ".json"``.  Returns the data path.
+    """
+    ensure_positive(sample_rate, "sample_rate")
+    save_cf32(path, samples)
+    meta = {
+        "format": "cf32_le",
+        "sample_rate": float(sample_rate),
+        "centre_frequency": float(centre_frequency),
+        "num_samples": int(np.asarray(samples).size),
+        "annotations": dict(annotations or {}),
+    }
+    with open(path + _META_SUFFIX, "w") as fh:
+        json.dump(meta, fh, indent=2, sort_keys=True)
+    return path
+
+
+def load_recording(path: str) -> tuple[np.ndarray, dict]:
+    """Read a waveform and its metadata sidecar.
+
+    Returns ``(samples, metadata)``.  Raises ``FileNotFoundError`` if the
+    sidecar is missing and ``ValueError`` if it is inconsistent with the
+    data file.
+    """
+    samples = load_cf32(path)
+    with open(path + _META_SUFFIX) as fh:
+        meta = json.load(fh)
+    declared = int(meta.get("num_samples", -1))
+    if declared >= 0 and declared != samples.size:
+        raise ValueError(
+            f"metadata declares {declared} samples but the file holds {samples.size}"
+        )
+    return samples, meta

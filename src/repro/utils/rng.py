@@ -1,0 +1,57 @@
+"""Seeded random-number streams.
+
+The paper's security argument rests on the transmitter and receiver sharing
+a random seed (exactly like the PN-sequence seed in any spread-spectrum
+system) while the jammer cannot predict the stream.  We model that with
+:class:`numpy.random.Generator` streams derived deterministically from a
+root seed plus a string label, so that
+
+* transmitter and receiver instantiated with the same seed produce the
+  identical hop schedule and PN sequence, and
+* independent subsystems (data source, channel noise, jammer) get
+  *independent* streams that do not perturb each other when one of them
+  draws more numbers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["make_rng", "derive_seed", "child_rng", "SeedLike"]
+
+SeedLike = "int | numpy.random.Generator | None"
+
+
+def make_rng(seed=None) -> np.random.Generator:
+    """Create a :class:`numpy.random.Generator`.
+
+    ``seed`` may be ``None`` (OS entropy), an integer, or an existing
+    ``Generator`` (returned unchanged, so functions can accept either).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def derive_seed(root_seed: int, *labels: str) -> int:
+    """Derive a child seed from a root seed and a path of string labels.
+
+    The derivation is a SHA-256 hash of the root seed and the labels, so it
+    is deterministic, stable across processes and platforms, and collision
+    resistant — two different label paths practically never share a stream.
+    This mirrors how a real system would expand one pre-shared key into
+    independent keys for the PN generator and the hop-pattern generator.
+    """
+    h = hashlib.sha256()
+    h.update(str(int(root_seed)).encode())
+    for label in labels:
+        h.update(b"\x00")
+        h.update(str(label).encode())
+    return int.from_bytes(h.digest()[:8], "big")
+
+
+def child_rng(root_seed: int, *labels: str) -> np.random.Generator:
+    """Shortcut: ``make_rng(derive_seed(root_seed, *labels))``."""
+    return make_rng(derive_seed(root_seed, *labels))

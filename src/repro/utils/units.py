@@ -1,0 +1,124 @@
+"""Unit conversions and power measurement helpers.
+
+Everything in the library works at complex baseband with *linear* power
+(mean squared magnitude, watts into 1 ohm by convention).  The public API
+mostly speaks decibels, because that is how the paper reports every result
+(SNR, SJR, processing gain, power advantage), so the conversions here are
+used everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "db_to_linear",
+    "linear_to_db",
+    "dbm_to_watt",
+    "watt_to_dbm",
+    "signal_power",
+    "signal_energy",
+    "rms",
+    "normalize_power",
+    "scale_to_power",
+    "papr_db",
+]
+
+
+def db_to_linear(value_db):
+    """Convert a decibel power ratio to a linear power ratio.
+
+    Accepts scalars or arrays.
+
+    >>> db_to_linear(20.0)
+    100.0
+    """
+    return 10.0 ** (np.asarray(value_db, dtype=float) / 10.0) if np.ndim(value_db) else 10.0 ** (float(value_db) / 10.0)
+
+
+def linear_to_db(value, floor: float = 1e-300):
+    """Convert a linear power ratio to decibels.
+
+    ``floor`` clips the input away from zero so that a silent signal maps to
+    a very negative (but finite) dB value instead of ``-inf``; this keeps
+    downstream arithmetic (averaging power advantages, plotting) well
+    defined.
+
+    >>> linear_to_db(100.0)
+    20.0
+    """
+    arr = np.asarray(value, dtype=float)
+    clipped = np.maximum(arr, floor)
+    out = 10.0 * np.log10(clipped)
+    return float(out) if np.ndim(value) == 0 else out
+
+
+def dbm_to_watt(value_dbm):
+    """Convert a power in dBm to watts (0 dBm = 1 mW)."""
+    return db_to_linear(np.asarray(value_dbm, dtype=float) - 30.0) if np.ndim(value_dbm) else db_to_linear(float(value_dbm) - 30.0)
+
+
+def watt_to_dbm(value_watt):
+    """Convert a power in watts to dBm (1 W = 30 dBm)."""
+    return linear_to_db(value_watt) + 30.0
+
+
+def signal_power(x: np.ndarray) -> float:
+    """Mean power of a sampled signal: ``mean(|x|^2)``.
+
+    Works for real and complex signals.  Returns 0.0 for an empty signal
+    rather than raising, so power bookkeeping on empty hop segments is a
+    no-op.
+    """
+    x = np.asarray(x)
+    if x.size == 0:
+        return 0.0
+    return float(np.mean(np.abs(x) ** 2))
+
+
+def signal_energy(x: np.ndarray) -> float:
+    """Total energy of a sampled signal: ``sum(|x|^2)``."""
+    x = np.asarray(x)
+    if x.size == 0:
+        return 0.0
+    return float(np.sum(np.abs(x) ** 2))
+
+
+def rms(x: np.ndarray) -> float:
+    """Root-mean-square amplitude of a signal."""
+    return float(np.sqrt(signal_power(x)))
+
+
+def normalize_power(x: np.ndarray) -> np.ndarray:
+    """Scale a signal to unit mean power.
+
+    A silent or empty signal is returned unchanged (there is nothing to
+    normalize and dividing by zero would poison the waveform with NaNs).
+    """
+    p = signal_power(x)
+    if p <= 0.0:
+        return np.asarray(x).copy()
+    return np.asarray(x) / np.sqrt(p)
+
+
+def scale_to_power(x: np.ndarray, power: float) -> np.ndarray:
+    """Scale a signal so its mean power equals ``power`` (linear units)."""
+    if power < 0.0:
+        raise ValueError(f"power must be non-negative, got {power}")
+    return normalize_power(x) * np.sqrt(power)
+
+
+def papr_db(x: np.ndarray) -> float:
+    """Peak-to-average power ratio of a signal, in dB.
+
+    Useful when sanity-checking jammer waveforms: band-limited Gaussian
+    noise has a high PAPR while a constant-envelope tone has 0 dB.
+    """
+    x = np.asarray(x)
+    if x.size == 0:
+        raise ValueError("papr_db of an empty signal is undefined")
+    peak = float(np.max(np.abs(x) ** 2))
+    avg = signal_power(x)
+    if avg <= 0.0:
+        raise ValueError("papr_db of an all-zero signal is undefined")
+    return linear_to_db(peak / avg)

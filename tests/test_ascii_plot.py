@@ -1,0 +1,103 @@
+"""Unit tests for the terminal plotting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils import format_table, histogram_bar, line_plot
+
+
+class TestLinePlot:
+    def test_basic_render(self):
+        out = line_plot([("y=x", [0, 1, 2], [0, 1, 2])], width=20, height=5)
+        assert "y=x" in out
+        assert "|" in out and "-" in out
+
+    def test_title_and_labels(self):
+        out = line_plot(
+            [("s", [1, 2], [3, 4])], title="My Plot", xlabel="time", ylabel="value"
+        )
+        assert "My Plot" in out
+        assert "x: time" in out and "y: value" in out
+
+    def test_multiple_series_get_distinct_markers(self):
+        out = line_plot([("a", [0, 1], [0, 1]), ("b", [0, 1], [1, 0])], width=10, height=5)
+        assert "o a" in out and "x b" in out
+
+    def test_log_axes(self):
+        out = line_plot(
+            [("s", [1, 10, 100], [1e-6, 1e-3, 1.0])], logx=True, logy=True, width=30, height=8
+        )
+        assert "1e-06" in out or "1.00e-06" in out or "1e-0" in out
+
+    def test_log_axis_drops_nonpositive(self):
+        out = line_plot([("s", [0.0, 1.0, 10.0], [1.0, 2.0, 3.0])], logx=True)
+        assert "s" in out  # zero x silently dropped, no crash
+
+    def test_nan_points_skipped(self):
+        out = line_plot([("s", [0, 1, 2], [0, float("nan"), 2])], width=10, height=4)
+        assert "s" in out
+
+    def test_constant_series(self):
+        out = line_plot([("flat", [0, 1, 2], [5, 5, 5])], width=10, height=4)
+        assert "flat" in out
+
+    def test_empty_series_list_raises(self):
+        with pytest.raises(ValueError):
+            line_plot([])
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            line_plot([("s", [1, 2], [1])])
+
+    def test_grid_dimensions(self):
+        out = line_plot([("s", [0, 1], [0, 1])], width=30, height=7)
+        plot_rows = [l for l in out.splitlines() if l.rstrip().endswith("|")]
+        assert len(plot_rows) == 7
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        out = format_table(["a", "bb"], [[1, 2], [30, 40]])
+        lines = out.splitlines()
+        assert lines[1].count("-") > 0
+        assert len(lines) == 4
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[3.14159265]])
+        assert "3.142" in out
+
+    def test_nan_rendering(self):
+        out = format_table(["v"], [[float("nan")]])
+        assert "nan" in out
+
+    def test_title(self):
+        out = format_table(["a"], [[1]], title="T!")
+        assert out.splitlines()[0] == "T!"
+
+    def test_row_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_wide_content_adapts(self):
+        out = format_table(["x"], [["a-very-long-cell-value"]])
+        assert "a-very-long-cell-value" in out
+
+
+class TestHistogramBar:
+    def test_bars_scale(self):
+        out = histogram_bar(["a", "b"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_title(self):
+        out = histogram_bar(["a"], [1.0], title="H")
+        assert out.splitlines()[0] == "H"
+
+    def test_zero_values(self):
+        out = histogram_bar(["a"], [0.0])
+        assert "a" in out
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            histogram_bar(["a"], [1.0, 2.0])

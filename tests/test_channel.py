@@ -1,0 +1,212 @@
+"""Unit tests for the channel substrate (AWGN, impairments, medium)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.channel import (
+    IDEAL_FRONT_END,
+    Impairments,
+    Medium,
+    add_awgn,
+    complex_awgn,
+    noise_power_for_snr,
+)
+from repro.utils import signal_power
+
+FS = 20e6
+
+
+class TestComplexAwgn:
+    def test_power_calibration(self):
+        noise = complex_awgn(100_000, 3.7, rng=0)
+        assert signal_power(noise) == pytest.approx(3.7, rel=0.03)
+
+    def test_circular_symmetry(self):
+        noise = complex_awgn(100_000, 1.0, rng=1)
+        assert np.var(noise.real) == pytest.approx(np.var(noise.imag), rel=0.05)
+        assert abs(np.mean(noise)) < 0.02
+
+    def test_zero_power(self):
+        noise = complex_awgn(100, 0.0, rng=2)
+        np.testing.assert_array_equal(noise, 0)
+
+    def test_zero_samples(self):
+        assert complex_awgn(0, 1.0).size == 0
+
+    def test_negative_samples_raises(self):
+        with pytest.raises(ValueError):
+            complex_awgn(-1, 1.0)
+
+    def test_negative_power_raises(self):
+        with pytest.raises(ValueError):
+            complex_awgn(10, -1.0)
+
+    def test_deterministic_with_seed(self):
+        np.testing.assert_array_equal(complex_awgn(50, 1.0, rng=7), complex_awgn(50, 1.0, rng=7))
+
+
+class TestAddAwgn:
+    def test_snr_calibration(self):
+        n = np.arange(100_000)
+        signal = np.exp(2j * np.pi * 0.01 * n)
+        noisy = add_awgn(signal, 10.0, rng=3)
+        noise = noisy - signal
+        snr = signal_power(signal) / signal_power(noise)
+        assert 10 * np.log10(snr) == pytest.approx(10.0, abs=0.2)
+
+    def test_reference_power_override(self):
+        signal = np.ones(50_000, dtype=complex) * 0.1  # power 0.01
+        noisy = add_awgn(signal, 0.0, rng=4, reference_power=1.0)
+        noise_p = signal_power(noisy - signal)
+        assert noise_p == pytest.approx(1.0, rel=0.05)
+
+    def test_empty_signal(self):
+        assert add_awgn(np.array([], dtype=complex), 10.0).size == 0
+
+    def test_silent_signal_raises(self):
+        with pytest.raises(ValueError):
+            add_awgn(np.zeros(10, dtype=complex), 10.0)
+
+    def test_noise_power_for_snr(self):
+        x = np.ones(100, dtype=complex) * 2.0  # power 4
+        assert noise_power_for_snr(x, 10.0) == pytest.approx(0.4)
+
+    @given(st.floats(min_value=-20, max_value=40))
+    @settings(max_examples=15, deadline=None)
+    def test_snr_property(self, snr_db):
+        rng = np.random.default_rng(5)
+        signal = rng.normal(size=40_000) + 1j * rng.normal(size=40_000)
+        noisy = add_awgn(signal, snr_db, rng=6)
+        measured = 10 * np.log10(signal_power(signal) / signal_power(noisy - signal))
+        assert measured == pytest.approx(snr_db, abs=0.5)
+
+
+class TestImpairments:
+    def test_ideal_is_noop(self):
+        x = np.exp(2j * np.pi * 0.01 * np.arange(256))
+        out = IDEAL_FRONT_END.apply(x, FS)
+        np.testing.assert_array_equal(out, x)
+        assert IDEAL_FRONT_END.is_ideal
+
+    def test_cfo_shifts_spectrum(self):
+        x = np.ones(8192, dtype=complex)
+        imp = Impairments(cfo_hz=1e6)
+        out = imp.apply(x, FS)
+        spec = np.fft.fftshift(np.abs(np.fft.fft(out)))
+        freqs = np.fft.fftshift(np.fft.fftfreq(8192, 1 / FS))
+        assert freqs[np.argmax(spec)] == pytest.approx(1e6, abs=2 * FS / 8192)
+
+    def test_phase_rotation(self):
+        x = np.ones(16, dtype=complex)
+        out = Impairments(phase_rad=np.pi / 2).apply(x, FS)
+        np.testing.assert_allclose(out, 1j * x, atol=1e-12)
+
+    def test_timing_offset_delays(self):
+        x = np.zeros(128, dtype=complex)
+        x[64] = 1.0
+        out = Impairments(timing_offset_samples=2.0).apply(x, FS)
+        assert np.argmax(np.abs(out)) == 66
+
+    def test_clock_skew_changes_length_slightly(self):
+        x = np.ones(100_000, dtype=complex)
+        out = Impairments(clock_skew_ppm=100.0).apply(x, FS)
+        assert 0 < out.size - x.size < 20 or 0 < x.size - out.size < 20 or out.size == x.size
+
+    def test_power_preserved_under_cfo_phase(self):
+        rng = np.random.default_rng(8)
+        x = rng.normal(size=4096) + 1j * rng.normal(size=4096)
+        out = Impairments(cfo_hz=3e3, phase_rad=1.0).apply(x, FS)
+        assert signal_power(out) == pytest.approx(signal_power(x), rel=1e-9)
+
+    def test_typical_sdr_in_range(self):
+        imp = Impairments.typical_sdr(rng=np.random.default_rng(9))
+        assert abs(imp.cfo_hz) <= 5e3
+        assert abs(imp.phase_rad) <= np.pi
+        assert 0 <= imp.timing_offset_samples <= 1.0
+        assert abs(imp.clock_skew_ppm) <= 2.5
+        assert not imp.is_ideal
+
+    def test_empty_signal(self):
+        out = Impairments(cfo_hz=1.0).apply(np.array([], dtype=complex), FS)
+        assert out.size == 0
+
+    def test_bad_sample_rate_raises(self):
+        with pytest.raises(ValueError):
+            Impairments(cfo_hz=1.0).apply(np.ones(4, dtype=complex), 0.0)
+
+
+class TestMedium:
+    def unit_signal(self, n=50_000, seed=0):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=n) + 1j * rng.normal(size=n)
+        return x / np.sqrt(signal_power(x))
+
+    def test_snr_calibration(self):
+        medium = Medium(FS)
+        s = self.unit_signal()
+        block = medium.combine(s, snr_db=7.0, rng=1)
+        noise = block.samples - s
+        assert 10 * np.log10(1.0 / signal_power(noise)) == pytest.approx(7.0, abs=0.3)
+        assert block.snr_db == pytest.approx(7.0, abs=1e-9)
+
+    def test_sjr_calibration(self):
+        medium = Medium(FS)
+        s = self.unit_signal(seed=2)
+        j = self.unit_signal(seed=3)
+        block = medium.combine(s, snr_db=100.0, jammer=j, sjr_db=-12.0, rng=4)
+        jam_component = block.samples - s - (block.samples - s - j * np.sqrt(10 ** 1.2))
+        # verify through the reported powers instead of reconstructing
+        assert block.sjr_db == pytest.approx(-12.0, abs=1e-9)
+        total_excess = signal_power(block.samples) - 1.0
+        assert total_excess == pytest.approx(10 ** 1.2, rel=0.1)
+
+    def test_no_jammer_reports_inf_sjr(self):
+        medium = Medium(FS)
+        block = medium.combine(self.unit_signal(seed=5), snr_db=10.0, rng=6)
+        assert block.sjr_db == float("inf")
+        assert block.jammer_power == 0.0
+
+    def test_jammer_delay_zero_pads_head(self):
+        medium = Medium(FS)
+        s = np.ones(1000, dtype=complex)
+        j = np.ones(1000, dtype=complex)
+        block = medium.combine(s, snr_db=300.0, jammer=j, sjr_db=0.0, jammer_delay_samples=400, rng=7)
+        head = block.samples[:400] - s[:400]
+        tail = block.samples[400:] - s[400:]
+        assert signal_power(head) < 1e-6
+        assert signal_power(tail) == pytest.approx(1.0, rel=0.05)
+
+    def test_negative_delay_raises(self):
+        medium = Medium(FS)
+        with pytest.raises(ValueError):
+            medium.combine(np.ones(10, dtype=complex), 10.0, jammer=np.ones(10, dtype=complex), jammer_delay_samples=-1)
+
+    def test_short_jammer_padded(self):
+        medium = Medium(FS)
+        s = np.ones(1000, dtype=complex)
+        j = np.ones(100, dtype=complex)
+        block = medium.combine(s, snr_db=300.0, jammer=j, sjr_db=0.0, rng=8)
+        assert signal_power(block.samples[500:] - s[500:]) < 1e-6
+
+    def test_long_jammer_truncated(self):
+        medium = Medium(FS)
+        s = np.ones(100, dtype=complex)
+        j = np.ones(1000, dtype=complex)
+        block = medium.combine(s, snr_db=300.0, jammer=j, sjr_db=0.0, rng=9)
+        assert block.samples.size == 100
+
+    def test_empty_signal_raises(self):
+        with pytest.raises(ValueError):
+            Medium(FS).combine(np.array([], dtype=complex), 10.0)
+
+    def test_zero_power_signal_raises(self):
+        with pytest.raises(ValueError):
+            Medium(FS).combine(np.zeros(10, dtype=complex), 10.0)
+
+    def test_deterministic_with_seed(self):
+        medium = Medium(FS)
+        s = self.unit_signal(seed=10)
+        a = medium.combine(s, snr_db=5.0, rng=11).samples
+        b = medium.combine(s, snr_db=5.0, rng=11).samples
+        np.testing.assert_array_equal(a, b)

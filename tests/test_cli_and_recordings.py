@@ -1,0 +1,211 @@
+"""Tests for the command-line interface and the recording I/O."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.utils import load_cf32, load_recording, save_cf32, save_recording
+
+
+class TestRecordings:
+    def test_cf32_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=1000) + 1j * rng.normal(size=1000)
+        path = str(tmp_path / "wave.cf32")
+        save_cf32(path, x)
+        back = load_cf32(path)
+        assert back.dtype == np.complex128
+        np.testing.assert_allclose(back, x, atol=1e-6)  # float32 precision
+
+    def test_cf32_file_size(self, tmp_path):
+        path = str(tmp_path / "w.cf32")
+        save_cf32(path, np.zeros(100, dtype=complex))
+        assert os.path.getsize(path) == 100 * 8  # 2 x float32 per sample
+
+    def test_recording_with_metadata(self, tmp_path):
+        x = np.ones(64, dtype=complex)
+        path = str(tmp_path / "rec.cf32")
+        save_recording(path, x, sample_rate=20e6, centre_frequency=2.45e9, annotations={"k": "v"})
+        samples, meta = load_recording(path)
+        np.testing.assert_allclose(samples, x, atol=1e-6)
+        assert meta["sample_rate"] == 20e6
+        assert meta["centre_frequency"] == 2.45e9
+        assert meta["annotations"] == {"k": "v"}
+        assert meta["num_samples"] == 64
+
+    def test_inconsistent_sidecar_raises(self, tmp_path):
+        path = str(tmp_path / "rec.cf32")
+        save_recording(path, np.ones(10, dtype=complex), sample_rate=1e6)
+        meta = json.load(open(path + ".json"))
+        meta["num_samples"] = 999
+        json.dump(meta, open(path + ".json", "w"))
+        with pytest.raises(ValueError):
+            load_recording(path)
+
+    def test_missing_sidecar_raises(self, tmp_path):
+        path = str(tmp_path / "rec.cf32")
+        save_cf32(path, np.ones(4, dtype=complex))
+        with pytest.raises(FileNotFoundError):
+            load_recording(path)
+
+    def test_bad_sample_rate_raises(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_recording(str(tmp_path / "x.cf32"), np.ones(4, dtype=complex), sample_rate=0.0)
+
+
+class TestCli:
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(["info"])
+        assert args.command == "info"
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_info(self, capsys):
+        assert main(["info", "--payload-bytes", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "hop range" in out and "64x" in out
+        assert "exponential" in out
+
+    def test_info_with_fec(self, capsys):
+        assert main(["info", "--fec", "hamming74"]) == 0
+        out = capsys.readouterr().out
+        assert "hamming74" in out
+
+    def test_theory(self, capsys):
+        assert main(["theory", "--bp", "1e6", "--bj", "1e6"]) == 0
+        out = capsys.readouterr().out
+        assert "0.00 dB" in out  # matched bandwidths: no improvement
+
+    def test_theory_narrow_jammer(self, capsys):
+        assert main(["theory", "--bp", "1e7", "--bj", "1e5", "--jammer-power", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "gamma upper bound" in out
+
+    def test_simulate_clean(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--packets", "3",
+                "--payload-bytes", "4",
+                "--snr", "25",
+                "--jammer", "none",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PER           : 0.000" in out
+
+    def test_simulate_with_tone_jammer(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--packets", "2",
+                "--payload-bytes", "4",
+                "--snr", "20",
+                "--sjr", "-5",
+                "--jammer", "tone",
+            ]
+        )
+        assert code == 0
+        assert "tone jammer" in capsys.readouterr().out
+
+    def test_simulate_fixed_bandwidth_no_filtering(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--packets", "2",
+                "--payload-bytes", "4",
+                "--snr", "25",
+                "--jammer", "none",
+                "--fixed-bandwidth", "10e6",
+                "--no-filtering",
+            ]
+        )
+        assert code == 0
+        assert "filter usage" not in capsys.readouterr().out
+
+    def test_threshold(self, capsys):
+        code = main(
+            [
+                "threshold",
+                "--payload-bytes", "4",
+                "--packets", "4",
+                "--tolerance", "3",
+                "--jammer", "noise",
+                "--jammer-bandwidth", "0.625e6",
+                "--fixed-bandwidth", "10e6",
+            ]
+        )
+        assert code == 0
+        assert "min SNR" in capsys.readouterr().out
+
+    def test_optimize(self, capsys):
+        assert main(["optimize", "--trials", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "worst-case expected gamma" in out
+
+    def test_record(self, tmp_path, capsys):
+        out_path = str(tmp_path / "pkt.cf32")
+        code = main(["record", "--payload-bytes", "4", "-o", out_path])
+        assert code == 0
+        samples, meta = load_recording(out_path)
+        assert samples.size == meta["num_samples"] > 0
+        assert meta["annotations"]["payload_bytes"] == 4
+
+    def test_record_hop_profile_annotation(self, tmp_path):
+        out_path = str(tmp_path / "pkt2.cf32")
+        main(["record", "--payload-bytes", "4", "--pattern", "linear", "-o", out_path])
+        _s, meta = load_recording(out_path)
+        profile = meta["annotations"]["hop_profile_mhz"]
+        assert len(profile) >= 1
+        assert all(0.1 < bw <= 10.0 for bw in profile)
+
+    def test_hopping_jammer_option(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--packets", "2",
+                "--payload-bytes", "4",
+                "--snr", "20",
+                "--sjr", "-5",
+                "--jammer", "hopping",
+                "--jammer-pattern", "exponential",
+            ]
+        )
+        assert code == 0
+        assert "hopping jammer" in capsys.readouterr().out
+
+
+class TestCliReproduce:
+    def test_list(self, capsys):
+        assert main(["reproduce", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig13" in out and "tab2" in out
+
+    def test_no_experiment_lists(self, capsys):
+        assert main(["reproduce"]) == 0
+        assert "Available experiments" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["reproduce", "fig99"]) == 2
+
+    def test_runs_analytic_experiment(self, capsys, tmp_path):
+        path = str(tmp_path / "fig07.csv")
+        assert main(["reproduce", "fig07", "-o", path]) == 0
+        text = open(path).read()
+        assert text.startswith("bp_over_bj,")
+        assert "gamma_db_20dBm" in capsys.readouterr().out
+
+    def test_tuple_result_writes_two_csvs(self, tmp_path, capsys):
+        base = str(tmp_path / "tab1.csv")
+        assert main(["reproduce", "tab1", "-o", base]) == 0
+        import os
+
+        assert os.path.exists(str(tmp_path / "tab1_0.csv"))
+        assert os.path.exists(str(tmp_path / "tab1_1.csv"))

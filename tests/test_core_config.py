@@ -1,0 +1,96 @@
+"""Unit tests for BHSSConfig."""
+
+import numpy as np
+import pytest
+
+from repro.core import BHSSConfig
+from repro.dsp import HalfSinePulse, RectPulse
+from repro.hopping import BandwidthSet
+
+
+class TestConstruction:
+    def test_paper_default(self):
+        cfg = BHSSConfig.paper_default()
+        assert cfg.sample_rate == 20e6
+        assert len(cfg.bandwidth_set) == 7
+        assert cfg.filtering
+        assert isinstance(cfg.pulse, HalfSinePulse)
+
+    def test_processing_gain(self):
+        assert BHSSConfig.paper_default().processing_gain_db == pytest.approx(9.03, abs=0.01)
+
+    def test_chips_per_symbol(self):
+        assert BHSSConfig.paper_default().chips_per_symbol == 32
+
+    def test_pulse_by_name(self):
+        cfg = BHSSConfig.paper_default(pulse="rect")
+        assert isinstance(cfg.pulse, RectPulse)
+
+    def test_bad_symbols_per_hop_raises(self):
+        with pytest.raises(ValueError):
+            BHSSConfig.paper_default(symbols_per_hop=0)
+
+    def test_bad_payload_raises(self):
+        with pytest.raises(ValueError):
+            BHSSConfig.paper_default(payload_bytes=300)
+
+    def test_bad_excision_taps_raise(self):
+        with pytest.raises(ValueError):
+            BHSSConfig.paper_default(excision_taps=8)
+        with pytest.raises(ValueError):
+            BHSSConfig.paper_default(excision_taps=256)
+
+    def test_bad_transition_raises(self):
+        with pytest.raises(ValueError):
+            BHSSConfig.paper_default(lpf_transition_fraction=0.0)
+
+    def test_fixed_bandwidth_must_be_in_set(self):
+        with pytest.raises(ValueError):
+            BHSSConfig.paper_default(fixed_bandwidth=3e6)
+
+
+class TestDerivedCopies:
+    def test_with_fixed_bandwidth(self):
+        cfg = BHSSConfig.paper_default().with_fixed_bandwidth(2.5e6)
+        assert cfg.fixed_bandwidth == 2.5e6
+        sched = cfg.build_schedule()
+        assert sched.is_fixed
+        assert np.all(sched.bandwidth_sequence(10) == 2.5e6)
+
+    def test_without_filtering(self):
+        cfg = BHSSConfig.paper_default().without_filtering()
+        assert not cfg.filtering
+
+    def test_with_pattern_clears_fixed(self):
+        cfg = BHSSConfig.paper_default().with_fixed_bandwidth(5e6).with_pattern("parabolic")
+        assert cfg.fixed_bandwidth is None
+
+    def test_copies_do_not_mutate_original(self):
+        cfg = BHSSConfig.paper_default()
+        cfg.without_filtering()
+        assert cfg.filtering
+
+
+class TestBuilders:
+    def test_same_seed_same_schedule(self):
+        a = BHSSConfig.paper_default(seed=5).build_schedule()
+        b = BHSSConfig.paper_default(seed=5).build_schedule()
+        np.testing.assert_array_equal(a.bandwidth_sequence(50), b.bandwidth_sequence(50))
+
+    def test_modem_scrambler_tied_to_seed(self):
+        syms = np.arange(16)
+        a = BHSSConfig.paper_default(seed=1).build_modem().spread(syms)
+        b = BHSSConfig.paper_default(seed=1).build_modem().spread(syms)
+        c = BHSSConfig.paper_default(seed=2).build_modem().spread(syms)
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_frame_symbols(self):
+        cfg = BHSSConfig.paper_default(payload_bytes=16)
+        assert cfg.frame_symbols() == cfg.frame_format.frame_symbols(16)
+        assert cfg.frame_symbols(4) == cfg.frame_format.frame_symbols(4)
+
+    def test_custom_bandwidth_set(self):
+        bs = BandwidthSet((10e6, 2.5e6), sample_rate=20e6)
+        cfg = BHSSConfig(bandwidth_set=bs, pattern=np.array([0.5, 0.5]))
+        assert len(cfg.bandwidth_set) == 2

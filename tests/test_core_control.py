@@ -1,0 +1,130 @@
+"""Unit tests for the receiver control logic (jammer classification)."""
+
+import numpy as np
+import pytest
+
+from repro.core import BHSSConfig, BHSSTransmitter
+from repro.core.control import ControlLogic, FilterKind
+from repro.channel import complex_awgn
+from repro.jamming import BandlimitedNoiseJammer, ToneJammer
+from repro.utils import signal_power
+
+FS = 20e6
+
+
+def bhss_segment(bandwidth=2.5e6, num_symbols=16, seed=0):
+    """A real transmitted hop segment at the requested bandwidth."""
+    cfg = BHSSConfig.paper_default(seed=seed, payload_bytes=16).with_fixed_bandwidth(bandwidth)
+    packet = BHSSTransmitter(cfg).transmit()
+    return packet.waveform
+
+
+def with_jammer(signal, jammer_wave, sjr_db, snr_db=30.0, seed=1):
+    rng = np.random.default_rng(seed)
+    p = signal_power(signal)
+    jam = jammer_wave[: signal.size]
+    jam = jam / np.sqrt(signal_power(jam)) * np.sqrt(p * 10 ** (-sjr_db / 10))
+    noise = complex_awgn(signal.size, p * 10 ** (-snr_db / 10), rng)
+    return signal + jam + noise
+
+
+class TestDecisions:
+    def make_logic(self):
+        return ControlLogic(sample_rate=FS)
+
+    def test_no_jammer_narrowband_signal_no_excision(self):
+        # Signal-only block: must never select the excision filter (it
+        # would whiten the *signal*).
+        sig = bhss_segment(bandwidth=0.625e6)
+        rng = np.random.default_rng(2)
+        noisy = sig + complex_awgn(sig.size, signal_power(sig) / 100, rng)
+        d = self.make_logic().decide(noisy, 0.625e6)
+        assert d.kind != FilterKind.EXCISION
+
+    def test_narrowband_jammer_triggers_excision(self):
+        sig = bhss_segment(bandwidth=10e6)
+        jam = ToneJammer(2e6, FS).waveform(sig.size)
+        received = with_jammer(sig, jam, sjr_db=-15.0)
+        d = self.make_logic().decide(received, 10e6)
+        assert d.kind == FilterKind.EXCISION
+        assert d.peak_over_floor_db > 7.0
+
+    def test_narrowband_noise_jammer_triggers_excision(self):
+        sig = bhss_segment(bandwidth=10e6)
+        jam = BandlimitedNoiseJammer(0.625e6, FS).waveform(sig.size, rng=3)
+        received = with_jammer(sig, jam, sjr_db=-15.0)
+        d = self.make_logic().decide(received, 10e6)
+        assert d.kind == FilterKind.EXCISION
+
+    def test_wideband_jammer_triggers_lowpass(self):
+        sig = bhss_segment(bandwidth=0.625e6)
+        jam = BandlimitedNoiseJammer(10e6, FS).waveform(sig.size, rng=4)
+        received = with_jammer(sig, jam, sjr_db=-10.0)
+        d = self.make_logic().decide(received, 0.625e6)
+        assert d.kind == FilterKind.LOWPASS
+        assert d.occupied_bandwidth > 1.6 * 0.625e6
+
+    def test_matched_jammer_no_filter(self):
+        sig = bhss_segment(bandwidth=2.5e6)
+        jam = BandlimitedNoiseJammer(2.5e6, FS).waveform(sig.size, rng=5)
+        received = with_jammer(sig, jam, sjr_db=-10.0, snr_db=30.0)
+        d = self.make_logic().decide(received, 2.5e6)
+        assert d.kind in (FilterKind.NONE, FilterKind.LOWPASS)
+        # whatever it picks, it must not be the whitener
+        assert d.kind != FilterKind.EXCISION
+
+    def test_weak_jammer_no_excision(self):
+        # Jammer at the signal's own level: processing gain suffices and
+        # eq. (10) says filtering is counterproductive.
+        sig = bhss_segment(bandwidth=10e6)
+        jam = BandlimitedNoiseJammer(1.25e6, FS).waveform(sig.size, rng=6)
+        received = with_jammer(sig, jam, sjr_db=3.0)
+        d = self.make_logic().decide(received, 10e6)
+        assert d.kind != FilterKind.EXCISION
+
+    def test_short_block_returns_none(self):
+        d = self.make_logic().decide(np.ones(8, dtype=complex), 1e6)
+        assert d.kind == FilterKind.NONE and d.taps is None
+
+    def test_decision_records_bandwidth(self):
+        sig = bhss_segment()
+        d = self.make_logic().decide(sig, 2.5e6)
+        assert d.signal_bandwidth == 2.5e6
+
+
+class TestFilterBuilders:
+    def test_lowpass_cached(self):
+        logic = ControlLogic(sample_rate=FS)
+        a = logic.lowpass_for(2.5e6, 100_000)
+        b = logic.lowpass_for(2.5e6, 100_000)
+        assert a is b
+
+    def test_lowpass_tap_count_capped_by_block(self):
+        logic = ControlLogic(sample_rate=FS)
+        taps = logic.lowpass_for(0.15625e6, 1000)
+        assert taps.size <= 501
+
+    def test_lowpass_odd_taps(self):
+        logic = ControlLogic(sample_rate=FS)
+        assert logic.lowpass_for(1.25e6, 50_000).size % 2 == 1
+
+    def test_excision_taps_bounded_by_block(self):
+        logic = ControlLogic(sample_rate=FS, excision_taps=257)
+        block = complex_awgn(200, 1.0, np.random.default_rng(7))
+        taps = logic.excision_for(block)
+        assert taps.size <= 257
+
+    def test_excision_default_length(self):
+        logic = ControlLogic(sample_rate=FS, excision_taps=257)
+        block = complex_awgn(65536, 1.0, np.random.default_rng(8))
+        assert logic.excision_for(block).size == 257
+
+    def test_bad_params_raise(self):
+        with pytest.raises(ValueError):
+            ControlLogic(sample_rate=FS, excision_taps=10)
+        with pytest.raises(ValueError):
+            ControlLogic(sample_rate=FS, wide_ratio=0.0)
+        with pytest.raises(ValueError):
+            ControlLogic(sample_rate=FS, peak_margin_db=0.0)
+        with pytest.raises(ValueError):
+            ControlLogic(sample_rate=0.0)

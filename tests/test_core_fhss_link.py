@@ -1,0 +1,113 @@
+"""Unit tests for the empirical FHSS baseline link."""
+
+import numpy as np
+import pytest
+
+from repro.core import FHSSLink, FHSSLinkConfig
+from repro.dsp import welch_psd
+from repro.jamming import BandlimitedNoiseJammer, ToneJammer
+
+
+def make_link(**kw):
+    defaults = dict(payload_bytes=8, seed=9)
+    defaults.update(kw)
+    return FHSSLink(FHSSLinkConfig(**defaults))
+
+
+class TestConfig:
+    def test_channel_bandwidth(self):
+        cfg = FHSSLinkConfig(hop_band=10e6, num_channels=8)
+        assert cfg.channel_bandwidth == pytest.approx(1.25e6)
+        assert cfg.sps == 32
+
+    def test_processing_gain_combines_spread_and_hop(self):
+        cfg = FHSSLinkConfig(num_channels=8)
+        assert cfg.processing_gain_db == pytest.approx(9.03 + 9.03, abs=0.05)
+
+    def test_non_integer_sps_raises(self):
+        with pytest.raises(ValueError):
+            FHSSLinkConfig(hop_band=9e6, num_channels=8)
+
+    def test_band_exceeds_fs_raises(self):
+        with pytest.raises(ValueError):
+            FHSSLinkConfig(hop_band=30e6)
+
+    def test_bad_channels_raise(self):
+        with pytest.raises(ValueError):
+            FHSSLinkConfig(num_channels=0)
+
+    def test_bad_symbols_per_hop_raises(self):
+        with pytest.raises(ValueError):
+            FHSSLinkConfig(symbols_per_hop=0)
+
+
+class TestRoundtrip:
+    def test_clean_roundtrip(self):
+        link = make_link()
+        wave, symbols, payload = link.transmit(b"fhsstest")
+        result = link.receive(wave, len(payload))
+        assert result.accepted
+        assert result.payload == b"fhsstest"
+        np.testing.assert_array_equal(result.symbols, symbols)
+
+    def test_wrong_packet_index_fails(self):
+        link = make_link()
+        wave, _s, payload = link.transmit(packet_index=0)
+        result = link.receive(wave, len(payload), packet_index=1)
+        assert not result.accepted  # wrong hop sequence
+
+    def test_wrong_seed_fails(self):
+        a = make_link(seed=1)
+        b = make_link(seed=2)
+        wave, _s, payload = a.transmit()
+        assert not b.receive(wave, len(payload)).accepted
+
+    def test_spectrum_occupies_hop_band(self):
+        link = make_link(payload_bytes=64, symbols_per_hop=2)
+        wave, _s, _p = link.transmit()
+        freqs, psd = welch_psd(wave, 20e6, nperseg=512)
+        # power spread well beyond one sub-channel
+        strong = freqs[psd > 0.05 * psd.max()]
+        assert strong.max() - strong.min() > 3e6
+
+    def test_run_packet_clean(self):
+        out = make_link().run_packet(snr_db=20.0, rng=0)
+        assert out.accepted and out.bit_errors == 0
+
+    def test_run_packets_deterministic(self):
+        a = make_link().run_packets(4, snr_db=6.0, seed=5)
+        b = make_link().run_packets(4, snr_db=6.0, seed=5)
+        assert a == b
+
+    def test_zero_packets_raises(self):
+        with pytest.raises(ValueError):
+            make_link().run_packets(0, snr_db=10.0)
+
+
+class TestJammingBehaviour:
+    def test_dehop_filter_rejects_single_channel_tone(self):
+        """A tone parked in one sub-channel only hurts the hops that land
+        there — the classic FHSS partial-band picture."""
+        link = make_link(payload_bytes=8)
+        cfg = link.config
+        tone = ToneJammer(cfg.channel_bandwidth * 1.5, cfg.sample_rate)
+        per, _ber = link.run_packets(8, snr_db=20.0, sjr_db=-6.0, jammer=tone, seed=6)
+        assert per < 1.0  # most hops dodge the tone
+
+    def test_partial_band_worse_than_full_band_at_equal_power(self):
+        """Concentrating the budget on part of the band is the better
+        attack on FHSS — the de-hop filter dilutes a full-band jammer."""
+        link = make_link(payload_bytes=8)
+        cfg = link.config
+        partial = BandlimitedNoiseJammer(cfg.channel_bandwidth, cfg.sample_rate, centre=2.5e6)
+        full = BandlimitedNoiseJammer(cfg.hop_band, cfg.sample_rate)
+        per_partial, _ = link.run_packets(10, snr_db=18.0, sjr_db=-12.0, jammer=partial, seed=7)
+        per_full, _ = link.run_packets(10, snr_db=18.0, sjr_db=-12.0, jammer=full, seed=7)
+        assert per_partial >= per_full
+
+    def test_full_band_jammer_suppressed_by_hop_gain(self):
+        """At moderate jamming, the num_channels dilution saves packets."""
+        link = make_link(payload_bytes=8)
+        full = BandlimitedNoiseJammer(10e6, 20e6)
+        per, _ = link.run_packets(8, snr_db=18.0, sjr_db=-10.0, jammer=full, seed=8)
+        assert per < 0.5

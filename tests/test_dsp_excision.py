@@ -1,0 +1,154 @@
+"""Unit tests for the eq.-3 excision (whitening) filter."""
+
+import numpy as np
+import pytest
+
+from repro.dsp import (
+    apply_fir,
+    design_excision_filter,
+    excision_taps_from_psd,
+    frequency_response,
+    welch_psd,
+    whiten,
+)
+from repro.dsp.mixing import frequency_shift
+from repro.utils import signal_power
+
+FS = 20e6
+
+
+def white_noise(n, power=1.0, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.sqrt(power / 2) * (rng.normal(size=n) + 1j * rng.normal(size=n))
+
+
+def narrowband_jammer(n, power, centre, bw, seed=1):
+    from repro.dsp import lowpass_taps
+
+    base = apply_fir(white_noise(n, seed=seed), lowpass_taps(301, bw / 2, FS))
+    shifted = frequency_shift(base, centre, FS)
+    return shifted / np.sqrt(signal_power(shifted)) * np.sqrt(power)
+
+
+class TestTapsFromPsd:
+    def test_length_matches_psd(self):
+        psd = np.ones(128)
+        assert excision_taps_from_psd(psd).size == 128
+
+    def test_flat_psd_gives_identity_like_filter(self):
+        # Whitening an already-white spectrum must be (nearly) a pure delay:
+        # |H| is exactly 1 on the K design frequencies, and the interpolated
+        # response between bins stays close to 1 (truncation ripple only).
+        taps = excision_taps_from_psd(np.ones(64))
+        np.testing.assert_allclose(np.abs(np.fft.fft(taps)), 1.0, atol=1e-9)
+        # Between bins the even-K filter is a half-sample delay, whose
+        # truncated response ripples mildly and notches only at Nyquist.
+        _, resp = frequency_response(taps, 512)
+        mags = np.abs(resp)
+        assert np.mean((mags > 0.7) & (mags < 1.3)) > 0.97
+
+    def test_attenuates_strong_bins(self):
+        k = 256
+        psd = np.ones(k)
+        jam_bins = slice(20, 30)
+        psd[jam_bins] = 10_000.0  # 40 dB jammer
+        taps = excision_taps_from_psd(psd)
+        h_dft = np.fft.fft(taps)
+        jam_gain = np.mean(np.abs(h_dft[jam_bins]))
+        clean_gain = np.median(np.abs(h_dft))
+        assert jam_gain < 0.02 * clean_gain  # ~1/sqrt(10000) = 0.01
+
+    def test_reciprocal_sqrt_shape(self):
+        k = 64
+        rng = np.random.default_rng(3)
+        psd = rng.uniform(0.5, 2.0, size=k)
+        taps = excision_taps_from_psd(psd, normalize=False)
+        h_dft = np.fft.fft(taps)
+        np.testing.assert_allclose(np.abs(h_dft), 1 / np.sqrt(psd), rtol=1e-9)
+
+    def test_linear_phase_term(self):
+        # Unnormalized flat-PSD taps must be a delta at (K-1)/2.
+        k = 33
+        taps = excision_taps_from_psd(np.ones(k), normalize=False)
+        assert np.argmax(np.abs(taps)) == (k - 1) // 2
+
+    def test_normalized_median_gain_unity(self):
+        psd = np.ones(128)
+        psd[10:14] = 500.0
+        taps = excision_taps_from_psd(psd)
+        h_dft = np.abs(np.fft.fft(taps))
+        assert np.median(h_dft) == pytest.approx(1.0, rel=1e-6)
+
+    def test_zero_psd_raises(self):
+        with pytest.raises(ValueError):
+            excision_taps_from_psd(np.zeros(16))
+
+    def test_negative_psd_raises(self):
+        with pytest.raises(ValueError):
+            excision_taps_from_psd(np.array([1.0, -1.0, 1.0]))
+
+    def test_scalar_psd_raises(self):
+        with pytest.raises(ValueError):
+            excision_taps_from_psd(np.array([1.0]))
+
+    def test_floor_bounds_gain_on_empty_bins(self):
+        psd = np.ones(64)
+        psd[5] = 0.0
+        taps = excision_taps_from_psd(psd, floor_ratio=1e-6)
+        assert np.all(np.isfinite(taps))
+
+
+class TestDesignAndApply:
+    def test_whitens_tone_jammer(self):
+        n = np.arange(65536)
+        signal = white_noise(65536, power=1.0, seed=5)  # stand-in for PN chips
+        jammer = 10.0 * np.exp(2j * np.pi * 2e6 / FS * n)  # 20 dB tone
+        received = signal + jammer
+        cleaned = whiten(received, FS, num_taps=256)
+        # Jammer power was 100x the signal; after whitening the residual
+        # total power should be close to the signal power alone.
+        assert signal_power(cleaned) < 3.0 * signal_power(signal)
+
+    def test_improves_sinr_for_narrowband_noise_jammer(self):
+        n_samp = 131072
+        signal = white_noise(n_samp, power=1.0, seed=7)
+        jammer = narrowband_jammer(n_samp, power=100.0, centre=-3e6, bw=1e6, seed=8)
+        received = signal + jammer
+        taps = design_excision_filter(received, FS, num_taps=512)
+        cleaned = apply_fir(received, taps, mode="compensated")
+        jammer_out = apply_fir(jammer, taps, mode="compensated")
+        signal_out = apply_fir(signal, taps, mode="compensated")
+        sinr_before = signal_power(signal) / signal_power(jammer)
+        sinr_after = signal_power(signal_out) / signal_power(jammer_out)
+        assert sinr_after > 20 * sinr_before  # > 13 dB improvement
+
+    def test_preserves_desired_wideband_signal(self):
+        n_samp = 65536
+        signal = white_noise(n_samp, power=1.0, seed=9)
+        jammer = narrowband_jammer(n_samp, power=50.0, centre=1e6, bw=0.5e6, seed=10)
+        taps = design_excision_filter(signal + jammer, FS, num_taps=512)
+        signal_out = apply_fir(signal, taps, mode="compensated")
+        # The whitener must not gut the flat desired signal: most survives.
+        assert signal_power(signal_out) > 0.5 * signal_power(signal)
+
+    def test_no_jammer_near_transparent(self):
+        signal = white_noise(32768, power=1.0, seed=11)
+        cleaned = whiten(signal, FS, num_taps=256)
+        assert signal_power(cleaned) == pytest.approx(signal_power(signal), rel=0.3)
+
+    def test_num_taps_too_small_raises(self):
+        with pytest.raises(ValueError):
+            design_excision_filter(white_noise(1024), FS, num_taps=4)
+
+    def test_output_spectrum_is_whitened(self):
+        n_samp = 131072
+        received = white_noise(n_samp, seed=12) + narrowband_jammer(
+            n_samp, power=200.0, centre=0.0, bw=1e6, seed=13
+        )
+        cleaned = whiten(received, FS, num_taps=512)
+        _, psd = welch_psd(cleaned, FS, nperseg=512)
+        # flatness: peak-to-median ratio collapses after whitening
+        _, psd_before = welch_psd(received, FS, nperseg=512)
+        ratio_before = psd_before.max() / np.median(psd_before)
+        ratio_after = psd.max() / np.median(psd)
+        assert ratio_after < ratio_before / 10

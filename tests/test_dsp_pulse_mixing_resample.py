@@ -1,0 +1,267 @@
+"""Unit tests for pulse shapes, mixing, and resampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dsp import (
+    HalfSinePulse,
+    RectPulse,
+    RootRaisedCosinePulse,
+    chirp,
+    fractional_delay,
+    frequency_shift,
+    get_pulse,
+    linear_interpolate,
+    phase_rotate,
+    resample_linear,
+)
+from repro.utils import signal_energy, signal_power
+
+FS = 20e6
+
+
+class TestPulseShapes:
+    @pytest.mark.parametrize("pulse", [HalfSinePulse(), RectPulse()])
+    @pytest.mark.parametrize("sps", [1, 2, 4, 8, 64, 256])
+    def test_unit_energy(self, pulse, sps):
+        assert signal_energy(pulse.waveform(sps)) == pytest.approx(1.0)
+
+    def test_rrc_unit_energy(self):
+        p = RootRaisedCosinePulse(beta=0.35, span=8)
+        assert signal_energy(p.waveform(8)) == pytest.approx(1.0)
+
+    def test_half_sine_shape(self):
+        p = HalfSinePulse().waveform(100)
+        # peaks at the middle, near-zero (not exactly, offset sampling) at edges
+        assert np.argmax(p) in (49, 50)
+        assert p[0] < 0.1 * p.max()
+
+    def test_half_sine_length_is_sps(self):
+        assert HalfSinePulse().waveform(16).size == 16
+
+    def test_rect_is_constant(self):
+        p = RectPulse().waveform(10)
+        np.testing.assert_allclose(p, p[0])
+
+    def test_rrc_length_is_span_times_sps(self):
+        p = RootRaisedCosinePulse(beta=0.25, span=6)
+        assert p.waveform(4).size == 24
+
+    def test_rrc_symmetric(self):
+        w = RootRaisedCosinePulse(beta=0.5, span=8).waveform(8)
+        np.testing.assert_allclose(w, w[::-1], atol=1e-12)
+
+    def test_time_stretch_compresses_spectrum(self):
+        """Eq. (1): g(alpha t) <-> G(w/alpha)/|alpha| — doubling sps halves bandwidth."""
+        p = HalfSinePulse()
+        widths = []
+        for sps in [8, 16]:
+            w = p.waveform(sps)
+            spec = np.abs(np.fft.fft(w, 4096)) ** 2
+            freqs = np.fft.fftfreq(4096)
+            total = spec.sum()
+            order = np.argsort(spec)[::-1]
+            needed = int(np.searchsorted(np.cumsum(spec[order]), 0.95 * total)) + 1
+            widths.append(needed * (freqs[1] - freqs[0]))
+        assert widths[0] / widths[1] == pytest.approx(2.0, rel=0.15)
+
+    def test_sps_zero_raises(self):
+        with pytest.raises(ValueError):
+            HalfSinePulse().waveform(0)
+
+    def test_rrc_bad_beta_raises(self):
+        with pytest.raises(ValueError):
+            RootRaisedCosinePulse(beta=0.0)
+
+    def test_rrc_odd_span_raises(self):
+        with pytest.raises(ValueError):
+            RootRaisedCosinePulse(span=5)
+
+    def test_get_pulse_by_name(self):
+        assert isinstance(get_pulse("half_sine"), HalfSinePulse)
+        assert isinstance(get_pulse("rect"), RectPulse)
+        assert isinstance(get_pulse("rrc", beta=0.2), RootRaisedCosinePulse)
+
+    def test_get_pulse_passthrough(self):
+        p = HalfSinePulse()
+        assert get_pulse(p) is p
+
+    def test_get_pulse_unknown_raises(self):
+        with pytest.raises(ValueError):
+            get_pulse("gaussian")
+
+    def test_bandwidth_factors(self):
+        assert HalfSinePulse().bandwidth_factor == 2.0
+        assert RootRaisedCosinePulse(beta=0.35).bandwidth_factor == pytest.approx(1.35)
+
+
+class TestMixing:
+    def test_shift_moves_tone(self):
+        n = np.arange(4096)
+        x = np.exp(2j * np.pi * 1e6 / FS * n)
+        y = frequency_shift(x, 2e6, FS)
+        spec = np.fft.fftshift(np.abs(np.fft.fft(y)))
+        freqs = np.fft.fftshift(np.fft.fftfreq(4096, 1 / FS))
+        assert freqs[np.argmax(spec)] == pytest.approx(3e6, abs=2 * FS / 4096)
+
+    def test_shift_preserves_power(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=1000) + 1j * rng.normal(size=1000)
+        assert signal_power(frequency_shift(x, 1.7e6, FS)) == pytest.approx(signal_power(x))
+
+    def test_shift_by_zero_is_identity(self):
+        x = np.ones(16, dtype=complex)
+        np.testing.assert_allclose(frequency_shift(x, 0.0, FS), x)
+
+    def test_negative_shift_inverts(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=256) + 1j * rng.normal(size=256)
+        y = frequency_shift(frequency_shift(x, 3e6, FS), -3e6, FS)
+        np.testing.assert_allclose(y, x, atol=1e-12)
+
+    def test_phase_rotate(self):
+        x = np.ones(4, dtype=complex)
+        np.testing.assert_allclose(phase_rotate(x, np.pi / 2), 1j * np.ones(4), atol=1e-12)
+
+    def test_chirp_sweeps(self):
+        c = chirp(8192, -5e6, 5e6, FS)
+        assert signal_power(c) == pytest.approx(1.0)
+        # instantaneous frequency at the start is negative, at the end positive
+        inst = np.diff(np.unwrap(np.angle(c))) * FS / (2 * np.pi)
+        assert inst[:100].mean() < -3e6
+        assert inst[-100:].mean() > 3e6
+
+    def test_chirp_bad_length_raises(self):
+        with pytest.raises(ValueError):
+            chirp(0, 0, 1e6, FS)
+
+
+class TestResample:
+    def test_fractional_delay_integer(self):
+        x = np.zeros(64, dtype=complex)
+        x[10] = 1.0
+        y = fractional_delay(x, 3.0)
+        assert np.argmax(np.abs(y)) == 13
+
+    def test_fractional_delay_half_sample(self):
+        # Use a DFT-bin frequency so the periodic FFT delay is exact.
+        n = np.arange(512)
+        f = 26.0 / 512.0
+        x = np.exp(2j * np.pi * f * n)
+        y = fractional_delay(x, 0.5)
+        expected = np.exp(2j * np.pi * f * (n - 0.5))
+        np.testing.assert_allclose(y, expected, atol=1e-9)
+
+    def test_fractional_delay_preserves_power(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=1024) + 1j * rng.normal(size=1024)
+        assert signal_power(fractional_delay(x, 0.37)) == pytest.approx(signal_power(x), rel=1e-9)
+
+    def test_negative_delay_advances(self):
+        x = np.zeros(64, dtype=complex)
+        x[10] = 1.0
+        y = fractional_delay(x, -2.0)
+        assert np.argmax(np.abs(y)) == 8
+
+    def test_empty_signal(self):
+        assert fractional_delay(np.array([], dtype=complex), 1.5).size == 0
+
+    def test_linear_interpolate_midpoints(self):
+        x = np.array([0.0, 2.0, 4.0])
+        np.testing.assert_allclose(linear_interpolate(x, [0.5, 1.5]), [1.0, 3.0])
+
+    def test_linear_interpolate_clamps(self):
+        x = np.array([1.0, 2.0])
+        np.testing.assert_allclose(linear_interpolate(x, [-5.0, 10.0]), [1.0, 2.0])
+
+    def test_linear_interpolate_empty_raises(self):
+        with pytest.raises(ValueError):
+            linear_interpolate(np.array([]), [0.0])
+
+    def test_resample_identity(self):
+        x = np.sin(np.arange(100) * 0.1)
+        np.testing.assert_allclose(resample_linear(x, 1.0), x, atol=1e-12)
+
+    def test_resample_doubles_length(self):
+        x = np.arange(50, dtype=float)
+        y = resample_linear(x, 2.0)
+        assert y.size == 99
+        np.testing.assert_allclose(y[::2], x, atol=1e-12)
+
+    def test_resample_small_skew_shape(self):
+        # 100 ppm clock skew barely changes length but shifts samples.
+        x = np.sin(np.arange(10_000) * 0.01)
+        y = resample_linear(x, 1.0001)
+        assert abs(y.size - x.size) <= 2
+
+    def test_resample_bad_ratio_raises(self):
+        with pytest.raises(ValueError):
+            resample_linear(np.ones(10), 0.0)
+
+    @given(st.floats(min_value=-8, max_value=8))
+    @settings(max_examples=20, deadline=None)
+    def test_delay_then_advance_roundtrip(self, d):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=256) + 1j * rng.normal(size=256)
+        y = fractional_delay(fractional_delay(x, d), -d)
+        np.testing.assert_allclose(y, x, atol=1e-8)
+
+
+class TestDecimate:
+    def test_identity_factor(self):
+        from repro.dsp import decimate
+
+        x = np.arange(32, dtype=float)
+        np.testing.assert_array_equal(decimate(x, 1), x)
+
+    def test_output_length(self):
+        from repro.dsp import decimate
+
+        x = np.ones(1000, dtype=complex)
+        assert decimate(x, 4).size == 250
+
+    def test_in_band_tone_preserved(self):
+        from repro.dsp import decimate
+
+        n = np.arange(8192)
+        tone = np.exp(2j * np.pi * 0.01 * n)  # well inside the new band
+        out = decimate(tone, 8)
+        expected = np.exp(2j * np.pi * 0.08 * np.arange(out.size))
+        core = slice(30, -30)
+        np.testing.assert_allclose(out[core], expected[core], atol=0.02)
+
+    def test_out_of_band_tone_suppressed_with_anti_alias(self):
+        from repro.dsp import decimate
+
+        n = np.arange(8192)
+        tone = np.exp(2j * np.pi * 0.3 * n)  # beyond the new Nyquist (1/16)
+        out = decimate(tone, 8, anti_alias=True)
+        assert signal_power(out[30:-30]) < 1e-4
+
+    def test_out_of_band_tone_aliases_without_anti_alias(self):
+        from repro.dsp import decimate
+
+        n = np.arange(8192)
+        tone = np.exp(2j * np.pi * 0.3 * n)
+        out = decimate(tone, 8, anti_alias=False)
+        assert signal_power(out) == pytest.approx(1.0, rel=1e-6)  # folded in
+
+    def test_bad_factor_raises(self):
+        from repro.dsp import decimate
+
+        with pytest.raises(ValueError):
+            decimate(np.ones(8), 0)
+
+    def test_taps_cached(self):
+        from repro.dsp import decimation_taps
+
+        assert decimation_taps(4) is decimation_taps(4)
+
+    def test_taps_validation(self):
+        from repro.dsp import decimation_taps
+
+        with pytest.raises(ValueError):
+            decimation_taps(0)
+        with pytest.raises(ValueError):
+            decimation_taps(4, taps_per_phase=2)

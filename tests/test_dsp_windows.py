@@ -1,0 +1,94 @@
+"""Unit tests for repro.dsp.windows (cross-checked against scipy)."""
+
+import numpy as np
+import pytest
+
+from repro.dsp import blackman, get_window, hamming, hann, kaiser, kaiser_beta, rectangular
+
+scipy_signal = pytest.importorskip("scipy.signal")
+
+
+class TestShapes:
+    @pytest.mark.parametrize("fn", [rectangular, hamming, hann, blackman])
+    def test_length(self, fn):
+        assert fn(33).shape == (33,)
+
+    @pytest.mark.parametrize("fn", [hamming, hann, blackman])
+    def test_symmetry(self, fn):
+        w = fn(41)
+        np.testing.assert_allclose(w, w[::-1], atol=1e-12)
+
+    @pytest.mark.parametrize("fn", [rectangular, hamming, hann, blackman])
+    def test_single_point(self, fn):
+        w = fn(1)
+        assert w.shape == (1,)
+
+    def test_zero_length_raises(self):
+        with pytest.raises(ValueError):
+            hamming(0)
+
+    @pytest.mark.parametrize("fn", [hamming, hann, blackman])
+    def test_peak_at_centre(self, fn):
+        w = fn(51)
+        assert np.argmax(w) == 25
+
+    def test_kaiser_symmetry(self):
+        w = kaiser(41, 8.0)
+        np.testing.assert_allclose(w, w[::-1], atol=1e-12)
+
+
+class TestAgainstScipy:
+    def test_hamming_matches(self):
+        np.testing.assert_allclose(hamming(64), scipy_signal.get_window(("hamming"), 64, fftbins=False), atol=1e-12)
+
+    def test_hann_matches(self):
+        np.testing.assert_allclose(hann(63), scipy_signal.get_window("hann", 63, fftbins=False), atol=1e-12)
+
+    def test_blackman_matches(self):
+        np.testing.assert_allclose(blackman(128), scipy_signal.get_window("blackman", 128, fftbins=False), atol=1e-12)
+
+    def test_kaiser_matches(self):
+        np.testing.assert_allclose(
+            kaiser(55, 9.5), scipy_signal.get_window(("kaiser", 9.5), 55, fftbins=False), rtol=1e-9
+        )
+
+    def test_periodic_hann_matches(self):
+        np.testing.assert_allclose(hann(64, periodic=True), scipy_signal.get_window("hann", 64, fftbins=True), atol=1e-12)
+
+
+class TestKaiserBeta:
+    def test_high_attenuation(self):
+        assert kaiser_beta(70) == pytest.approx(0.1102 * (70 - 8.7))
+
+    def test_mid_attenuation(self):
+        assert kaiser_beta(30) == pytest.approx(0.5842 * 9**0.4 + 0.07886 * 9)
+
+    def test_low_attenuation_zero(self):
+        assert kaiser_beta(10) == 0.0
+
+
+class TestGetWindow:
+    def test_by_name(self):
+        np.testing.assert_allclose(get_window("hamming", 16), hamming(16))
+
+    def test_name_case_insensitive(self):
+        np.testing.assert_allclose(get_window("Hann", 16), hann(16))
+
+    def test_kaiser_tuple(self):
+        np.testing.assert_allclose(get_window(("kaiser", 6.0), 16), kaiser(16, 6.0))
+
+    def test_custom_array_passthrough(self):
+        custom = np.linspace(0, 1, 8)
+        np.testing.assert_allclose(get_window(custom, 8), custom)
+
+    def test_custom_array_wrong_length_raises(self):
+        with pytest.raises(ValueError):
+            get_window(np.ones(4), 8)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown window"):
+            get_window("gaussian", 8)
+
+    def test_unknown_tuple_raises(self):
+        with pytest.raises(ValueError):
+            get_window(("chebwin", 100), 8)

@@ -1,0 +1,126 @@
+"""Tests for channel estimation and MMSE equalization over multipath."""
+
+import numpy as np
+import pytest
+
+from repro.channel import MultipathChannel, complex_awgn
+from repro.core import BHSSConfig, BHSSReceiver, BHSSTransmitter
+from repro.sync import equalize, estimate_channel, mmse_equalizer_taps
+from repro.utils import signal_power
+
+
+def training_sequence(n=2048, seed=0):
+    rng = np.random.default_rng(seed)
+    qpsk = np.array([1 + 1j, 1 - 1j, -1 + 1j, -1 - 1j]) / np.sqrt(2)
+    return qpsk[rng.integers(0, 4, size=n)]
+
+
+class TestChannelEstimation:
+    def test_recovers_known_channel(self):
+        h_true = np.array([1.0, 0.4 - 0.2j, 0.1j, -0.05])
+        x = training_sequence()
+        y = np.convolve(x, h_true)[: x.size]
+        h_est = estimate_channel(y, x, num_taps=4)
+        np.testing.assert_allclose(h_est, h_true, atol=1e-9)
+
+    def test_overestimated_length_pads_zeros(self):
+        h_true = np.array([1.0, 0.3])
+        x = training_sequence(seed=1)
+        y = np.convolve(x, h_true)[: x.size]
+        h_est = estimate_channel(y, x, num_taps=6)
+        np.testing.assert_allclose(h_est[:2], h_true, atol=1e-9)
+        np.testing.assert_allclose(h_est[2:], 0.0, atol=1e-9)
+
+    def test_robust_to_noise(self):
+        h_true = np.array([0.9, 0.35 + 0.1j, -0.15])
+        x = training_sequence(n=4096, seed=2)
+        y = np.convolve(x, h_true)[: x.size]
+        y = y + complex_awgn(y.size, 0.01, np.random.default_rng(3))
+        h_est = estimate_channel(y, x, num_taps=3)
+        np.testing.assert_allclose(h_est, h_true, atol=0.02)
+
+    def test_multipath_channel_taps_recovered(self):
+        ch = MultipathChannel(num_taps=6, seed=4)
+        x = training_sequence(n=4096, seed=5)
+        y = ch.apply(x)
+        h_est = estimate_channel(y, x, num_taps=6)
+        np.testing.assert_allclose(h_est, ch.taps, atol=1e-6)
+
+    def test_short_training_raises(self):
+        with pytest.raises(ValueError):
+            estimate_channel(np.ones(10, dtype=complex), np.ones(10, dtype=complex), num_taps=8)
+
+    def test_short_received_raises(self):
+        x = training_sequence()
+        with pytest.raises(ValueError):
+            estimate_channel(x[:100], x, num_taps=4)
+
+    def test_bad_num_taps_raises(self):
+        x = training_sequence()
+        with pytest.raises(ValueError):
+            estimate_channel(x, x, num_taps=0)
+
+
+class TestMmseEqualizer:
+    def test_zero_forcing_flattens_channel(self):
+        h = np.array([1.0, 0.5, 0.2 - 0.1j])
+        w = mmse_equalizer_taps(h, num_taps=128, noise_power=0.0)
+        cascade = np.convolve(h, w)
+        spec = np.abs(np.fft.fft(cascade, 512))
+        np.testing.assert_allclose(spec, 1.0, atol=0.05)
+
+    def test_identity_channel_identity_equalizer(self):
+        w = mmse_equalizer_taps(np.array([1.0]), num_taps=32, noise_power=0.0)
+        x = training_sequence(n=512, seed=6)
+        y = equalize(x, w)
+        np.testing.assert_allclose(y[16:-16], x[16:-16], atol=1e-6)
+
+    def test_mmse_regularizes_notches(self):
+        # A channel with a deep notch: ZF blows up noise there, MMSE caps it.
+        h = np.array([1.0, -0.98])  # near-null at DC... at f=0: 0.02
+        w_zf = mmse_equalizer_taps(h, num_taps=256, noise_power=0.0)
+        w_mmse = mmse_equalizer_taps(h, num_taps=256, noise_power=0.05)
+        assert np.max(np.abs(np.fft.fft(w_mmse))) < np.max(np.abs(np.fft.fft(w_zf)))
+
+    def test_equalizes_signal_through_channel(self):
+        ch_taps = np.array([1.0, 0.45 + 0.2j, -0.2, 0.08j])
+        x = training_sequence(n=2048, seed=7)
+        y = np.convolve(x, ch_taps)[: x.size]
+        w = mmse_equalizer_taps(ch_taps, num_taps=128, noise_power=1e-4)
+        z = equalize(y, w)
+        core = slice(100, -100)
+        residual = signal_power(z[core] - x[core])
+        assert residual < 0.02 * signal_power(x)
+
+    def test_bad_args_raise(self):
+        with pytest.raises(ValueError):
+            mmse_equalizer_taps(np.array([], dtype=complex))
+        with pytest.raises(ValueError):
+            mmse_equalizer_taps(np.ones(4, dtype=complex), num_taps=4)
+        with pytest.raises(ValueError):
+            mmse_equalizer_taps(np.ones(4, dtype=complex), num_taps=64, noise_power=-1.0)
+
+
+class TestEqualizedBhssOverMultipath:
+    def test_equalizer_rescues_wideband_hop(self):
+        """End-to-end: estimate the channel from the known packet prefix,
+        equalize, and recover a wide-bandwidth packet that multipath
+        would otherwise corrupt."""
+        cfg = BHSSConfig.paper_default(seed=21, payload_bytes=16).with_fixed_bandwidth(10e6)
+        tx, rx = BHSSTransmitter(cfg), BHSSReceiver(cfg)
+        packet = tx.transmit()
+        channel = MultipathChannel(num_taps=10, decay_samples=3.0, seed=22, line_of_sight=0.5)
+        faded = channel.apply(packet.waveform)
+
+        plain = rx.receive(faded, phase_track=True)
+        sym_errors_plain = int(np.sum(plain.symbols != packet.symbols))
+
+        # training on the first 2048 samples of the (known) transmission
+        train_len = 2048
+        h_est = estimate_channel(faded[:train_len], packet.waveform[:train_len], num_taps=12)
+        w = mmse_equalizer_taps(h_est, num_taps=256, noise_power=1e-3)
+        result = rx.receive(equalize(faded, w), phase_track=True)
+        sym_errors_eq = int(np.sum(result.symbols != packet.symbols))
+
+        assert sym_errors_eq <= sym_errors_plain
+        assert result.accepted

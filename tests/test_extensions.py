@@ -1,0 +1,221 @@
+"""Tests for the extension modules: comb jammer, multipath channel,
+throughput-constrained pattern optimization, uncoordinated seed discovery.
+"""
+
+import numpy as np
+import pytest
+
+from repro.channel import MultipathChannel, exponential_power_delay_profile
+from repro.core import (
+    BHSSConfig,
+    BHSSReceiver,
+    BHSSTransmitter,
+    LinkSimulator,
+    SeedPool,
+    UncoordinatedReceiver,
+    UncoordinatedTransmitter,
+)
+from repro.dsp import welch_psd
+from repro.hopping import expected_throughput, optimize_weights, paper_bandwidths
+from repro.jamming import CombJammer
+from repro.utils import signal_power
+
+FS = 20e6
+
+
+class TestCombJammer:
+    def test_unit_power(self):
+        jam = CombJammer([1e6, -3e6, 5e6], FS, seed=0)
+        assert signal_power(jam.waveform(8192)) == pytest.approx(1.0, rel=0.1)
+
+    def test_teeth_visible_in_spectrum(self):
+        jam = CombJammer([2e6, -4e6], FS, seed=1)
+        w = jam.waveform(65536)
+        freqs, psd = welch_psd(w, FS, nperseg=1024)
+        floor = np.median(psd)
+        for f in [2e6, -4e6]:
+            idx = np.argmin(np.abs(freqs - f))
+            assert psd[max(0, idx - 2) : idx + 3].max() > 100 * floor
+
+    def test_phase_continuity(self):
+        jam = CombJammer([1e6, 3e6], FS, seed=2)
+        a = jam.waveform(500)
+        b = jam.waveform(500)
+        jam.reset()
+        whole = jam.waveform(1000)
+        np.testing.assert_allclose(np.concatenate([a, b]), whole, atol=1e-9)
+
+    def test_excision_suppresses_all_teeth(self):
+        """The eq.-3 whitener handles multi-tone interference in one shot."""
+        from repro.dsp import apply_fir, design_excision_filter
+
+        rng = np.random.default_rng(3)
+        signal = (rng.normal(size=65536) + 1j * rng.normal(size=65536)) / np.sqrt(2)
+        jam = 10.0 * CombJammer([1.5e6, -2.5e6, 6e6], FS, seed=4).waveform(65536)
+        taps = design_excision_filter(signal + jam, FS, num_taps=513)
+        jam_out = apply_fir(jam, taps, mode="compensated")
+        assert signal_power(jam_out) < 0.05 * signal_power(jam)
+
+    def test_bhss_link_survives_comb(self):
+        cfg = BHSSConfig.paper_default(seed=81, payload_bytes=8).with_fixed_bandwidth(10e6)
+        jam = CombJammer([1e6, -2e6, 3.5e6], FS, seed=5)
+        stats = LinkSimulator(cfg).run_packets(6, snr_db=15.0, sjr_db=-12.0, jammer=jam, seed=1)
+        base = LinkSimulator(cfg.without_filtering()).run_packets(
+            6, snr_db=15.0, sjr_db=-12.0, jammer=jam, seed=1
+        )
+        assert stats.packet_error_rate <= base.packet_error_rate
+
+    def test_bad_args_raise(self):
+        with pytest.raises(ValueError):
+            CombJammer([], FS)
+        with pytest.raises(ValueError):
+            CombJammer([11e6], FS)
+        with pytest.raises(ValueError):
+            CombJammer([1e6, 1e6], FS)
+
+
+class TestMultipath:
+    def test_profile_normalized(self):
+        p = exponential_power_delay_profile(8, 3.0)
+        assert p.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(p) < 0)
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            exponential_power_delay_profile(0, 3.0)
+        with pytest.raises(ValueError):
+            exponential_power_delay_profile(8, 0.0)
+
+    def test_unit_power_gain(self):
+        ch = MultipathChannel(num_taps=8, seed=1)
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=50_000) + 1j * rng.normal(size=50_000)
+        assert signal_power(ch.apply(x)) == pytest.approx(signal_power(x), rel=0.1)
+
+    def test_single_tap_is_transparent(self):
+        ch = MultipathChannel(num_taps=1, seed=3)
+        x = np.exp(2j * np.pi * 0.01 * np.arange(256))
+        y = ch.apply(x)
+        # a single normalized tap is a pure phase rotation
+        np.testing.assert_allclose(np.abs(y), np.abs(x), atol=1e-9)
+
+    def test_deterministic_per_seed(self):
+        a = MultipathChannel(seed=7).taps
+        b = MultipathChannel(seed=7).taps
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, MultipathChannel(seed=8).taps)
+
+    def test_coherence_bandwidth(self):
+        ch = MultipathChannel(num_taps=10)
+        assert ch.coherence_bandwidth(20e6) == pytest.approx(2e6)
+
+    def test_narrow_hops_survive_multipath_better_than_wide(self):
+        """The new trade-off the bandwidth dimension introduces: hops far
+        below the coherence bandwidth see flat fading; wide hops see ISI."""
+        ch = MultipathChannel(num_taps=12, decay_samples=4.0, seed=11, line_of_sight=2.0)
+
+        def symbol_errors(bw):
+            cfg = BHSSConfig.paper_default(seed=82, payload_bytes=16).with_fixed_bandwidth(bw)
+            tx, rx = BHSSTransmitter(cfg), BHSSReceiver(cfg)
+            packet = tx.transmit()
+            faded = ch.apply(packet.waveform)
+            result = rx.receive(faded, phase_track=True)
+            return int(np.sum(result.symbols != packet.symbols))
+
+        errors_wide = symbol_errors(10e6)   # >> coherence bandwidth
+        errors_narrow = symbol_errors(0.3125e6)  # << coherence bandwidth
+        assert errors_narrow <= errors_wide
+
+    def test_empty_waveform(self):
+        assert MultipathChannel().apply(np.array([], dtype=complex)).size == 0
+
+    def test_bad_los_raises(self):
+        with pytest.raises(ValueError):
+            MultipathChannel(line_of_sight=-1.0)
+
+
+class TestConstrainedOptimizer:
+    BWS = paper_bandwidths()
+
+    def test_constraint_respected(self):
+        floor = 700e3  # above the unconstrained optimum's throughput
+        best = optimize_weights(self.BWS, num_trials=800, refine_steps=20, seed=1, min_throughput=floor)
+        assert expected_throughput(self.BWS, best.weights) >= floor - 1e-6
+
+    def test_constraint_costs_robustness(self):
+        free = optimize_weights(self.BWS, num_trials=800, refine_steps=20, seed=2)
+        tight = optimize_weights(
+            self.BWS, num_trials=800, refine_steps=20, seed=2, min_throughput=900e3
+        )
+        assert free.score_db >= tight.score_db
+
+    def test_infeasible_floor_raises(self):
+        with pytest.raises(ValueError):
+            optimize_weights(self.BWS, num_trials=10, min_throughput=10e6)
+
+    def test_no_constraint_unchanged_behaviour(self):
+        best = optimize_weights(self.BWS, num_trials=300, refine_steps=10, seed=3)
+        assert best.weights.sum() == pytest.approx(1.0)
+
+
+class TestUncoordinated:
+    def make(self, pool_size=4, seed=90):
+        base = BHSSConfig.paper_default(seed=0, payload_bytes=8)
+        pool = SeedPool(master_seed=seed, size=pool_size)
+        return base, pool
+
+    def test_pool_deterministic_and_distinct(self):
+        pool = SeedPool(master_seed=5, size=8)
+        assert pool.seeds() == SeedPool(master_seed=5, size=8).seeds()
+        assert len(set(pool.seeds())) == 8
+
+    def test_pool_validation(self):
+        with pytest.raises(ValueError):
+            SeedPool(master_seed=1, size=0)
+        with pytest.raises(ValueError):
+            SeedPool(master_seed=1, size=4).seed(4)
+
+    def test_acquires_clean_packet(self):
+        base, pool = self.make()
+        tx = UncoordinatedTransmitter(base, pool, draw_seed=1)
+        rx = UncoordinatedReceiver(base, pool)
+        packet, true_index = tx.transmit(b"udsss!!!")
+        out = rx.receive(packet.waveform, payload_len=8)
+        assert out.acquired
+        assert out.pool_index == true_index
+        assert out.result.payload == b"udsss!!!"
+
+    def test_draws_vary_across_packets(self):
+        base, pool = self.make(pool_size=8)
+        tx = UncoordinatedTransmitter(base, pool, draw_seed=2)
+        draws = {tx.transmit(packet_index=k)[1] for k in range(12)}
+        assert len(draws) > 1
+
+    def test_wrong_pool_fails(self):
+        base, pool = self.make(seed=90)
+        other_pool = SeedPool(master_seed=91, size=4)
+        tx = UncoordinatedTransmitter(base, pool, draw_seed=3)
+        rx = UncoordinatedReceiver(base, other_pool)
+        packet, _ = tx.transmit()
+        out = rx.receive(packet.waveform, payload_len=8)
+        assert not out.acquired
+        assert out.attempts == 4
+
+    def test_acquires_under_noise(self):
+        from repro.channel import add_awgn
+
+        base, pool = self.make()
+        tx = UncoordinatedTransmitter(base, pool, draw_seed=4)
+        rx = UncoordinatedReceiver(base, pool)
+        packet, true_index = tx.transmit()
+        noisy = add_awgn(packet.waveform, 12.0, rng=5)
+        out = rx.receive(noisy, payload_len=8)
+        assert out.acquired and out.pool_index == true_index
+
+    def test_attempts_counts_trials(self):
+        base, pool = self.make(pool_size=6)
+        tx = UncoordinatedTransmitter(base, pool, draw_seed=6)
+        rx = UncoordinatedReceiver(base, pool)
+        packet, true_index = tx.transmit()
+        out = rx.receive(packet.waveform, payload_len=8)
+        assert out.attempts == true_index + 1

@@ -1,0 +1,204 @@
+"""Tests for features added during calibration against the paper's results:
+
+* CFO-tolerant noncoherent preamble detection,
+* the eq.-(5) unmatched (chip-rate sampling) receiver baseline,
+* the reactive jammer's per-dwell reaction-fraction model,
+* the three BER aggregation modes of the theory module.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import BHSSConfig, LinkSimulator, theory
+from repro.dsp import HalfSinePulse, welch_psd
+from repro.dsp.mixing import frequency_shift
+from repro.dsp.spectral import occupied_bandwidth
+from repro.jamming import BandlimitedNoiseJammer, MatchedReactiveJammer
+from repro.phy import ChipModulator
+from repro.sync import detect_preamble, detect_preamble_noncoherent
+
+FS = 20e6
+QPSK = np.array([1 + 1j, 1 - 1j, -1 + 1j, -1 - 1j]) / np.sqrt(2)
+
+
+class TestNoncoherentPreamble:
+    def make_ref(self, n=1024, seed=0):
+        rng = np.random.default_rng(seed)
+        return np.repeat(QPSK[rng.integers(0, 4, size=n // 2)], 2)
+
+    def test_detects_without_cfo(self):
+        ref = self.make_ref()
+        received = np.concatenate([np.zeros(333, dtype=complex), ref, np.zeros(100, dtype=complex)])
+        det = detect_preamble_noncoherent(received, ref, threshold=0.5)
+        assert det.found and det.start == 333
+
+    def test_survives_cfo_that_kills_coherent(self):
+        ref = self.make_ref(n=4096)
+        cfo = 3e3
+        n = np.arange(ref.size)
+        rotated = ref * np.exp(2j * np.pi * cfo / FS * n)
+        received = np.concatenate([np.zeros(777, dtype=complex), rotated])
+        coherent = detect_preamble(received, ref, threshold=0.5)
+        noncoherent = detect_preamble_noncoherent(received, ref, threshold=0.35, num_segments=16)
+        assert not coherent.found
+        assert noncoherent.found and abs(noncoherent.start - 777) <= 2
+
+    def test_rejects_pure_noise(self):
+        ref = self.make_ref()
+        rng = np.random.default_rng(1)
+        noise = rng.normal(size=8000) + 1j * rng.normal(size=8000)
+        det = detect_preamble_noncoherent(noise, ref, threshold=0.5)
+        assert not det.found
+
+    def test_short_reference_falls_back(self):
+        ref = self.make_ref(n=16)
+        received = np.concatenate([np.zeros(10, dtype=complex), ref])
+        det = detect_preamble_noncoherent(received, ref, threshold=0.5, num_segments=8)
+        assert det.found and det.start == 10
+
+    def test_received_too_short(self):
+        ref = self.make_ref()
+        det = detect_preamble_noncoherent(ref[:100], ref, threshold=0.5)
+        assert not det.found
+
+    def test_bad_params_raise(self):
+        ref = self.make_ref()
+        with pytest.raises(ValueError):
+            detect_preamble_noncoherent(ref, ref, threshold=0.0)
+        with pytest.raises(ValueError):
+            detect_preamble_noncoherent(ref, ref, num_segments=0)
+        with pytest.raises(ValueError):
+            detect_preamble_noncoherent(ref, np.array([], dtype=complex))
+
+
+class TestUnmatchedDemodulation:
+    def test_clean_roundtrip(self):
+        rng = np.random.default_rng(2)
+        chips = np.where(rng.random(256) > 0.5, 1.0, -1.0)
+        mod = ChipModulator(HalfSinePulse())
+        wave = mod.modulate(chips, 8)
+        soft = mod.demodulate(wave, 8, matched=False)
+        np.testing.assert_array_equal(np.sign(soft), chips)
+
+    def test_soft_amplitude_near_unity(self):
+        rng = np.random.default_rng(3)
+        chips = np.where(rng.random(512) > 0.5, 1.0, -1.0)
+        mod = ChipModulator(HalfSinePulse())
+        soft = mod.demodulate(mod.modulate(chips, 16), 16, matched=False)
+        assert np.mean(np.abs(soft)) == pytest.approx(1.0, rel=0.2)
+
+    def test_unmatched_is_noisier_than_matched(self):
+        """The matched filter averages the chip; raw sampling does not."""
+        rng = np.random.default_rng(4)
+        chips = np.where(rng.random(2048) > 0.5, 1.0, -1.0)
+        mod = ChipModulator(HalfSinePulse())
+        wave = mod.modulate(chips, 8)
+        noisy = wave + 0.3 * (rng.normal(size=wave.size) + 1j * rng.normal(size=wave.size))
+        err_matched = np.mean((mod.demodulate(noisy, 8) - chips) ** 2)
+        err_raw = np.mean((mod.demodulate(noisy, 8, matched=False) - chips) ** 2)
+        assert err_raw > err_matched
+
+    def test_out_of_band_jammer_aliases_into_raw_samples(self):
+        """The eq.-(5) baseline's defining weakness."""
+        rng = np.random.default_rng(5)
+        chips = np.where(rng.random(2048) > 0.5, 1.0, -1.0)
+        mod = ChipModulator(HalfSinePulse())
+        sps = 32  # narrow signal, wide-open front end
+        wave = mod.modulate(chips, sps)
+        jammer = frequency_shift(
+            (rng.normal(size=wave.size) + 1j * rng.normal(size=wave.size)) * 0.7,
+            8e6,
+            FS,
+        )
+        jammed = wave + jammer
+        err_matched = np.mean((np.sign(mod.demodulate(jammed, sps)) != chips))
+        err_raw = np.mean((np.sign(mod.demodulate(jammed, sps, matched=False)) != chips))
+        assert err_raw > err_matched
+
+    def test_theory_baseline_config(self):
+        cfg = BHSSConfig.paper_default().as_theory_baseline()
+        assert not cfg.filtering
+        assert not cfg.matched_filter
+
+    def test_theory_baseline_link_roundtrip_clean(self):
+        cfg = BHSSConfig.paper_default(payload_bytes=8, seed=6).as_theory_baseline()
+        out = LinkSimulator(cfg).run_packet(snr_db=25.0, rng=1)
+        assert out.accepted
+
+    def test_baseline_weaker_than_full_receiver_under_wide_jamming(self):
+        fs = 20e6
+        jam = BandlimitedNoiseJammer(10e6, fs)
+        cfg = BHSSConfig.paper_default(payload_bytes=8, seed=7).with_fixed_bandwidth(0.625e6)
+        full = LinkSimulator(cfg).run_packets(6, snr_db=15.0, sjr_db=-10.0, jammer=jam, seed=2)
+        base = LinkSimulator(cfg.as_theory_baseline()).run_packets(
+            6, snr_db=15.0, sjr_db=-10.0, jammer=jam, seed=2
+        )
+        assert base.packet_error_rate >= full.packet_error_rate
+
+
+class TestReactionFraction:
+    def measured_bw(self, x):
+        freqs, psd = welch_psd(x, FS, nperseg=512)
+        return occupied_bandwidth(freqs, psd, fraction=0.98)
+
+    def test_fraction_one_always_one_dwell_stale(self):
+        jam = MatchedReactiveJammer(FS, 0, initial_bandwidth=10e6, reaction_fraction=1.0)
+        jam.observe([(65536, 0.625e6), (65536, 10e6)])
+        w = jam.waveform(131072, rng=10)
+        # first dwell: still the initial 10 MHz; second dwell: the first
+        # dwell's narrow bandwidth
+        assert self.measured_bw(w[:65536]) > 6e6
+        assert self.measured_bw(w[65536:]) < 1.5e6
+
+    def test_fraction_zero_matches_immediately(self):
+        jam = MatchedReactiveJammer(FS, 0, initial_bandwidth=10e6, reaction_fraction=0.0)
+        jam.observe([(131072, 0.625e6)])
+        w = jam.waveform(131072, rng=11)
+        assert self.measured_bw(w) < 1.5e6
+
+    def test_fraction_half_splits_dwell(self):
+        jam = MatchedReactiveJammer(FS, 0, initial_bandwidth=10e6, reaction_fraction=0.5)
+        jam.observe([(131072, 0.625e6)])
+        w = jam.waveform(131072, rng=12)
+        assert self.measured_bw(w[:65536]) > 6e6   # un-estimated head: stale
+        assert self.measured_bw(w[65536:]) < 1.5e6  # estimated tail: matched
+
+    def test_fraction_composes_with_fixed_reaction(self):
+        jam = MatchedReactiveJammer(FS, 1000, initial_bandwidth=10e6, reaction_fraction=0.0)
+        jam.observe([(131072, 0.625e6)])
+        w = jam.waveform(131072, rng=13)
+        assert self.measured_bw(w[2000:]) < 1.5e6
+
+    def test_invalid_fraction_raises(self):
+        with pytest.raises(ValueError):
+            MatchedReactiveJammer(FS, 0, 1e6, reaction_fraction=1.5)
+        with pytest.raises(ValueError):
+            MatchedReactiveJammer(FS, 0, 1e6, reaction_fraction=-0.1)
+
+
+class TestBerAggregationModes:
+    BW = np.logspace(0, -2, 9)
+    W = np.full(9, 1 / 9)
+
+    def test_mean_ber_most_pessimistic(self):
+        args = (15.0, -20.0, 20.0, self.BW, self.W, self.BW[0])
+        pb_ber = theory.bhss_ber(*args, aggregate="mean_ber")
+        pb_db = theory.bhss_ber(*args, aggregate="mean_gamma_db")
+        pb_lin = theory.bhss_ber(*args, aggregate="mean_gamma")
+        assert pb_lin <= pb_db <= pb_ber
+
+    def test_default_is_mean_gamma(self):
+        args = (15.0, -20.0, 20.0, self.BW, self.W, self.BW[0])
+        assert theory.bhss_ber(*args) == theory.bhss_ber(*args, aggregate="mean_gamma")
+
+    def test_unknown_aggregate_raises(self):
+        with pytest.raises(ValueError):
+            theory.bhss_ber(15.0, -20.0, 20.0, self.BW, self.W, 1.0, aggregate="median")
+
+    def test_all_modes_agree_without_jamming_variation(self):
+        # a single hop bandwidth and a single jammer: no mixture at all
+        for agg in ("mean_ber", "mean_gamma", "mean_gamma_db"):
+            pb = theory.bhss_ber(10.0, -10.0, 20.0, [1.0], [1.0], 1.0, aggregate=agg)
+            assert pb == pytest.approx(
+                theory.ber_from_ebno(10.0, -10.0, 20.0, gamma=1.0), rel=1e-9
+            )

@@ -1,0 +1,306 @@
+"""Unit tests for bandwidth sets, hop patterns, the optimizer, and schedules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hopping import (
+    PAPER_PARABOLIC_WEIGHTS,
+    BandwidthSet,
+    HopSchedule,
+    expected_bandwidth,
+    expected_throughput,
+    exponential_weights,
+    linear_weights,
+    maximin_score_db,
+    optimize_parabolic_weights,
+    optimize_weights,
+    paper_bandwidths,
+    parabolic_weights,
+    pattern_weights,
+)
+
+
+class TestPaperBandwidths:
+    def test_values(self):
+        bws = paper_bandwidths()
+        np.testing.assert_allclose(
+            bws, [10e6, 5e6, 2.5e6, 1.25e6, 0.625e6, 0.3125e6, 0.15625e6]
+        )
+
+    def test_hop_range_64(self):
+        bws = paper_bandwidths()
+        assert bws.max() / bws.min() == pytest.approx(64.0)
+
+    def test_bad_count_raises(self):
+        with pytest.raises(ValueError):
+            paper_bandwidths(count=0)
+
+
+class TestBandwidthSet:
+    def test_paper_default(self):
+        bs = BandwidthSet.paper_default()
+        assert len(bs) == 7
+        assert bs.sample_rate == 20e6
+        assert bs.hop_range == pytest.approx(64.0)
+
+    def test_sps_values(self):
+        bs = BandwidthSet.paper_default()
+        np.testing.assert_array_equal(bs.sps_values(), [4, 8, 16, 32, 64, 128, 256])
+
+    def test_sps_lookup(self):
+        bs = BandwidthSet.paper_default()
+        assert bs.sps(10e6) == 4
+        assert bs.sps(0.15625e6) == 256
+
+    def test_sps_unknown_bandwidth_raises(self):
+        with pytest.raises(ValueError):
+            BandwidthSet.paper_default().sps(3e6)
+
+    def test_index_of(self):
+        bs = BandwidthSet.paper_default()
+        assert bs.index_of(5e6) == 1
+        with pytest.raises(ValueError):
+            bs.index_of(123.0)
+
+    def test_min_max(self):
+        bs = BandwidthSet.paper_default()
+        assert bs.max_bandwidth == 10e6
+        assert bs.min_bandwidth == pytest.approx(0.15625e6)
+
+    def test_non_integer_sps_raises(self):
+        with pytest.raises(ValueError):
+            BandwidthSet((3e6,), sample_rate=20e6)
+
+    def test_duplicate_bandwidths_raise(self):
+        with pytest.raises(ValueError):
+            BandwidthSet((1e6, 1e6), sample_rate=20e6)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            BandwidthSet((), sample_rate=20e6)
+
+    def test_getitem(self):
+        bs = BandwidthSet.paper_default()
+        assert bs[0] == 10e6
+
+
+class TestPatterns:
+    BWS = paper_bandwidths()
+
+    def test_linear_uniform(self):
+        w = linear_weights(7)
+        np.testing.assert_allclose(w, 1 / 7)
+
+    def test_linear_table1_percentages(self):
+        # Table 1: linear row is 14.3 % everywhere.
+        w = linear_weights(7)
+        np.testing.assert_allclose(w * 100, 14.2857, atol=0.01)
+
+    def test_exponential_table1_percentages(self):
+        # Table 1: 50.4, 25.2, 12.6, 6.3, 3.1, 1.6, 0.8 percent.
+        w = exponential_weights(self.BWS) * 100
+        np.testing.assert_allclose(w, [50.4, 25.2, 12.6, 6.3, 3.1, 1.6, 0.8], atol=0.05)
+
+    def test_exponential_equal_airtime(self):
+        # probability x dwell-time (prop. 1/B) is constant across the set
+        w = exponential_weights(self.BWS)
+        airtime = w / self.BWS
+        np.testing.assert_allclose(airtime, airtime[0])
+
+    def test_linear_average_bandwidth_paper_value(self):
+        # Section 6.4.1: linear -> 2.83 MHz average bandwidth.
+        avg = expected_bandwidth(self.BWS, linear_weights(7))
+        assert avg == pytest.approx(2.83e6, rel=0.01)
+
+    def test_exponential_average_bandwidth_paper_value(self):
+        # Section 6.4.1: exponential -> 6.72 MHz.
+        avg = expected_bandwidth(self.BWS, exponential_weights(self.BWS))
+        assert avg == pytest.approx(6.72e6, rel=0.01)
+
+    def test_linear_throughput_paper_value(self):
+        # Section 6.4.1: 354 kb/s.
+        t = expected_throughput(self.BWS, linear_weights(7))
+        assert t == pytest.approx(354e3, rel=0.01)
+
+    def test_exponential_throughput_paper_value(self):
+        # Section 6.4.1: 840 kb/s.
+        t = expected_throughput(self.BWS, exponential_weights(self.BWS))
+        assert t == pytest.approx(840e3, rel=0.01)
+
+    def test_paper_parabolic_throughput_value(self):
+        # Section 6.4.1: parabolic -> 3.77 MHz average, 471 kb/s.
+        avg = expected_bandwidth(self.BWS, PAPER_PARABOLIC_WEIGHTS)
+        assert avg == pytest.approx(3.77e6, rel=0.02)
+        assert expected_throughput(self.BWS, PAPER_PARABOLIC_WEIGHTS) == pytest.approx(471e3, rel=0.02)
+
+    def test_parabolic_bathtub_shape(self):
+        w = parabolic_weights(7)
+        assert w[0] > w[3] and w[6] > w[3]
+        assert w.sum() == pytest.approx(1.0)
+
+    def test_parabolic_custom_vertex(self):
+        w = parabolic_weights(7, vertex=0.0)
+        assert np.argmax(w) == 6  # mass pushed to the far end
+
+    def test_parabolic_bad_params_raise(self):
+        with pytest.raises(ValueError):
+            parabolic_weights(0)
+        with pytest.raises(ValueError):
+            parabolic_weights(7, floor=-1.0)
+        with pytest.raises(ValueError):
+            parabolic_weights(7, steepness=0.0)
+
+    def test_pattern_weights_lookup(self):
+        np.testing.assert_allclose(pattern_weights("linear", self.BWS), linear_weights(7))
+        np.testing.assert_allclose(pattern_weights("exponential", self.BWS), exponential_weights(self.BWS))
+        np.testing.assert_allclose(pattern_weights("parabolic", self.BWS), PAPER_PARABOLIC_WEIGHTS)
+
+    def test_pattern_weights_parabolic_other_size(self):
+        w = pattern_weights("parabolic", paper_bandwidths(count=5))
+        assert w.size == 5
+
+    def test_pattern_weights_unknown_raises(self):
+        with pytest.raises(ValueError):
+            pattern_weights("gaussian", self.BWS)
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            expected_bandwidth(self.BWS, [0.5, 0.5])
+
+    @given(st.integers(min_value=1, max_value=12))
+    @settings(max_examples=15, deadline=None)
+    def test_weights_always_normalized(self, n):
+        assert linear_weights(n).sum() == pytest.approx(1.0)
+        assert parabolic_weights(n).sum() == pytest.approx(1.0)
+
+
+class TestOptimizer:
+    BWS = paper_bandwidths()
+
+    def test_maximin_score_finite(self):
+        s = maximin_score_db(linear_weights(7), self.BWS)
+        assert np.isfinite(s) and s > 0
+
+    def test_exponential_weakest_against_itself_shape(self):
+        # The paper's qualitative finding: a bathtub/parabolic prior beats
+        # both uniform and exponential in the worst case.
+        s_lin = maximin_score_db(linear_weights(7), self.BWS)
+        s_par = maximin_score_db(PAPER_PARABOLIC_WEIGHTS, self.BWS)
+        assert s_par >= s_lin - 1e-9
+
+    def test_optimize_parabolic_improves_on_linear(self):
+        opt = optimize_parabolic_weights(self.BWS, num_trials=500, seed=1)
+        s_lin = maximin_score_db(linear_weights(7), self.BWS)
+        assert opt.score_db >= s_lin
+
+    def test_optimized_weights_valid(self):
+        opt = optimize_parabolic_weights(self.BWS, num_trials=200, seed=2)
+        assert opt.weights.sum() == pytest.approx(1.0)
+        assert np.all(opt.weights >= 0)
+        assert opt.worst_jammer_bandwidth in self.BWS
+
+    def test_unconstrained_at_least_as_good_as_parabolic(self):
+        par = optimize_parabolic_weights(self.BWS, num_trials=500, seed=3)
+        free = optimize_weights(self.BWS, num_trials=1000, refine_steps=30, seed=3)
+        assert free.score_db >= par.score_db - 0.5
+
+    def test_score_mismatched_weights_raise(self):
+        with pytest.raises(ValueError):
+            maximin_score_db([0.5, 0.5], self.BWS)
+
+    def test_bad_trials_raise(self):
+        with pytest.raises(ValueError):
+            optimize_parabolic_weights(self.BWS, num_trials=0)
+
+
+class TestHopSchedule:
+    def make(self, **kw):
+        defaults = dict(bandwidth_set=BandwidthSet.paper_default(), weights="linear", symbols_per_hop=4, seed=42)
+        defaults.update(kw)
+        return HopSchedule(**defaults)
+
+    def test_deterministic_same_seed(self):
+        a, b = self.make(), self.make()
+        np.testing.assert_array_equal(a.bandwidth_sequence(100), b.bandwidth_sequence(100))
+
+    def test_different_seeds_differ(self):
+        a, b = self.make(seed=1), self.make(seed=2)
+        assert not np.array_equal(a.bandwidth_sequence(100), b.bandwidth_sequence(100))
+
+    def test_packets_use_independent_streams(self):
+        sched = self.make()
+        a = sched.bandwidth_sequence(50, packet_index=0)
+        b = sched.bandwidth_sequence(50, packet_index=1)
+        assert not np.array_equal(a, b)
+
+    def test_bandwidths_from_set(self):
+        sched = self.make()
+        seq = sched.bandwidth_sequence(500)
+        assert set(seq) <= set(sched.bandwidth_set.bandwidths)
+
+    def test_weights_empirically_respected(self):
+        w = np.array([0.9, 0.1, 0.0, 0.0, 0.0, 0.0, 0.0])
+        sched = self.make(weights=w)
+        seq = sched.bandwidth_sequence(2000)
+        frac_widest = np.mean(seq == 10e6)
+        assert frac_widest == pytest.approx(0.9, abs=0.05)
+
+    def test_segments_cover_frame_exactly(self):
+        sched = self.make(symbols_per_hop=4)
+        segs = sched.segments(22)
+        assert sum(s.num_symbols for s in segs) == 22
+        assert segs[0].start_symbol == 0
+        assert segs[-1].num_symbols == 2  # 22 = 5*4 + 2
+        starts = [s.start_symbol for s in segs]
+        assert starts == [0, 4, 8, 12, 16, 20]
+
+    def test_segments_sps_consistent(self):
+        sched = self.make()
+        for seg in sched.segments(40):
+            assert seg.sps == sched.bandwidth_set.sps(seg.bandwidth)
+
+    def test_sample_counts(self):
+        sched = self.make(symbols_per_hop=2)
+        counts = sched.sample_counts(4, chips_per_symbol=32)
+        segs = sched.segments(4)
+        expected = [s.num_symbols * 16 * s.sps for s in segs]
+        assert counts == expected
+
+    def test_fixed_schedule(self):
+        bs = BandwidthSet.paper_default()
+        sched = HopSchedule.fixed(bs, 2.5e6)
+        assert sched.is_fixed
+        seq = sched.bandwidth_sequence(100)
+        assert np.all(seq == 2.5e6)
+        segs = sched.segments(50)
+        assert len(segs) == 1 and segs[0].num_symbols == 50
+
+    def test_fixed_unknown_bandwidth_raises(self):
+        with pytest.raises(ValueError):
+            HopSchedule.fixed(BandwidthSet.paper_default(), 3e6)
+
+    def test_pattern_by_name(self):
+        sched = self.make(weights="exponential")
+        np.testing.assert_allclose(
+            sched.hop_weights, exponential_weights(paper_bandwidths())
+        )
+
+    def test_bad_weights_length_raises(self):
+        with pytest.raises(ValueError):
+            self.make(weights=np.array([0.5, 0.5]))
+
+    def test_bad_symbols_per_hop_raises(self):
+        with pytest.raises(ValueError):
+            self.make(symbols_per_hop=0)
+
+    def test_zero_symbols(self):
+        assert self.make().segments(0) == []
+
+    def test_odd_chips_per_symbol_raises(self):
+        with pytest.raises(ValueError):
+            self.make().sample_counts(4, chips_per_symbol=31)
+
+    def test_negative_hops_raise(self):
+        with pytest.raises(ValueError):
+            self.make().bandwidth_sequence(-1)

@@ -1,0 +1,148 @@
+"""Tests for the extended front-end impairments and the PER confidence
+interval."""
+
+import numpy as np
+import pytest
+
+from repro.channel import Impairments
+from repro.core import BHSSConfig, LinkSimulator
+from repro.utils import signal_power
+
+FS = 20e6
+
+
+def tone(n=8192, f=0.01):
+    f = round(f * n) / n  # snap to a DFT bin so spectra have no leakage
+    return np.exp(2j * np.pi * f * np.arange(n))
+
+
+class TestIqImbalance:
+    def test_balanced_is_noop(self):
+        imp = Impairments(iq_gain_imbalance=1.0, iq_phase_error_rad=0.0)
+        assert imp.is_ideal
+
+    def test_gain_imbalance_creates_image(self):
+        x = tone(f=0.1)
+        out = Impairments(iq_gain_imbalance=1.2).apply(x, FS)
+        spec = np.abs(np.fft.fft(out)) ** 2
+        n = x.size
+        idx_sig = int(round(0.1 * n))
+        idx_img = n - idx_sig
+        assert spec[idx_img] > 1e-4 * spec[idx_sig]  # image tone appeared
+        clean = np.abs(np.fft.fft(x)) ** 2
+        assert clean[idx_img] < 1e-12 * clean[idx_sig]
+
+    def test_phase_error_creates_image(self):
+        x = tone(f=0.05)
+        out = Impairments(iq_phase_error_rad=0.1).apply(x, FS)
+        spec = np.abs(np.fft.fft(out)) ** 2
+        n = x.size
+        idx_img = n - int(round(0.05 * n))
+        assert spec[idx_img] > 1e-5 * spec.max()
+
+    def test_bad_gain_raises(self):
+        with pytest.raises(ValueError):
+            Impairments(iq_gain_imbalance=0.0).apply(tone(), FS)
+
+
+class TestDcOffsetAndQuantization:
+    def test_dc_offset_adds_mean(self):
+        out = Impairments(dc_offset=0.2 + 0.1j).apply(tone(), FS)
+        assert np.mean(out) == pytest.approx(0.2 + 0.1j, abs=0.02)
+
+    def test_quantization_bounded_error(self):
+        x = tone()
+        out = Impairments(adc_bits=8).apply(x, FS)
+        err = signal_power(out - x)
+        assert 0 < err < 1e-3 * signal_power(x)
+
+    def test_coarser_adc_more_error(self):
+        x = tone()
+        err4 = signal_power(Impairments(adc_bits=4).apply(x, FS) - x)
+        err10 = signal_power(Impairments(adc_bits=10).apply(x, FS) - x)
+        assert err4 > 10 * err10
+
+    def test_negative_bits_raise(self):
+        with pytest.raises(ValueError):
+            Impairments(adc_bits=-1).apply(tone(), FS)
+
+
+class TestPhaseNoise:
+    def test_preserves_envelope(self):
+        x = tone()
+        out = Impairments(phase_noise_std=0.01).apply(x, FS)
+        np.testing.assert_allclose(np.abs(out), np.abs(x), atol=1e-12)
+
+    def test_broadens_spectrum(self):
+        x = tone(n=32768, f=0.1)
+        out = Impairments(phase_noise_std=0.05, noise_seed=1).apply(x, FS)
+        spec_clean = np.abs(np.fft.fft(x)) ** 2
+        spec_noisy = np.abs(np.fft.fft(out)) ** 2
+        # energy concentration at the carrier bin drops
+        peak_frac_clean = spec_clean.max() / spec_clean.sum()
+        peak_frac_noisy = spec_noisy.max() / spec_noisy.sum()
+        assert peak_frac_noisy < 0.8 * peak_frac_clean
+
+    def test_deterministic_by_seed(self):
+        x = tone()
+        a = Impairments(phase_noise_std=0.01, noise_seed=3).apply(x, FS)
+        b = Impairments(phase_noise_std=0.01, noise_seed=3).apply(x, FS)
+        np.testing.assert_array_equal(a, b)
+
+    def test_negative_std_raises(self):
+        with pytest.raises(ValueError):
+            Impairments(phase_noise_std=-0.1).apply(tone(), FS)
+
+
+class TestLinkUnderRealisticFrontEnd:
+    def test_link_survives_mild_hardware(self):
+        imp = Impairments(
+            cfo_hz=150.0,
+            phase_rad=0.3,
+            iq_gain_imbalance=1.02,
+            iq_phase_error_rad=0.01,
+            dc_offset=0.01 + 0.005j,
+            phase_noise_std=0.0005,
+            adc_bits=10,
+        )
+        cfg = BHSSConfig.paper_default(seed=91, payload_bytes=8)
+        link = LinkSimulator(cfg, impairments=imp)
+        stats = link.run_packets(4, snr_db=20.0, seed=1)
+        assert stats.num_accepted >= 3
+
+
+class TestWilsonInterval:
+    def make_stats(self, accepted, total):
+        from repro.core.link import LinkStats
+
+        return LinkStats(
+            num_packets=total,
+            num_accepted=accepted,
+            total_bits=total * 64,
+            bit_errors=0,
+            data_rate_bps=1.0,
+            filter_usage={},
+        )
+
+    def test_contains_point_estimate(self):
+        s = self.make_stats(7, 10)
+        lo, hi = s.per_confidence_interval()
+        assert lo <= s.packet_error_rate <= hi
+
+    def test_zero_failures_lower_bound_zero(self):
+        lo, hi = self.make_stats(10, 10).per_confidence_interval()
+        assert lo == 0.0
+        assert 0 < hi < 0.35
+
+    def test_all_failures_upper_bound_one(self):
+        lo, hi = self.make_stats(0, 10).per_confidence_interval()
+        assert hi == 1.0
+        assert 0.65 < lo < 1.0
+
+    def test_narrows_with_samples(self):
+        wide = self.make_stats(5, 10).per_confidence_interval()
+        tight = self.make_stats(500, 1000).per_confidence_interval()
+        assert (tight[1] - tight[0]) < (wide[1] - wide[0])
+
+    def test_empty_stats(self):
+        assert self.make_stats(0, 0).per_confidence_interval() == (0.0, 1.0)

@@ -1,0 +1,290 @@
+"""Unit tests for the jammer models."""
+
+import numpy as np
+import pytest
+
+from repro.dsp import welch_psd
+from repro.dsp.spectral import occupied_bandwidth
+from repro.jamming import (
+    BandlimitedNoiseJammer,
+    HoppingJammer,
+    MatchedReactiveJammer,
+    NoJammer,
+    PulsedJammer,
+    SweepJammer,
+    ToneJammer,
+    bandlimited_noise,
+)
+from repro.utils import signal_power
+
+FS = 20e6
+
+
+def measured_bandwidth(x, fraction=0.98):
+    freqs, psd = welch_psd(x, FS, nperseg=512)
+    return occupied_bandwidth(freqs, psd, fraction=fraction)
+
+
+class TestNoJammer:
+    def test_zero_waveform(self):
+        w = NoJammer().waveform(100)
+        np.testing.assert_array_equal(w, 0)
+
+    def test_description(self):
+        assert "no jammer" in NoJammer().description
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            NoJammer().waveform(-1)
+
+
+class TestBandlimitedNoise:
+    def test_unit_power(self):
+        w = bandlimited_noise(65536, 2.5e6, FS, rng=0)
+        assert signal_power(w) == pytest.approx(1.0, rel=1e-9)
+
+    @pytest.mark.parametrize("bw", [10e6, 2.5e6, 0.625e6])
+    def test_occupies_requested_bandwidth(self, bw):
+        w = bandlimited_noise(262144, bw, FS, rng=1)
+        measured = measured_bandwidth(w)
+        assert 0.6 * bw < measured < 1.6 * bw
+
+    def test_centre_offset(self):
+        w = bandlimited_noise(65536, 1e6, FS, rng=2, centre=4e6)
+        freqs, psd = welch_psd(w, FS, nperseg=512)
+        assert freqs[np.argmax(psd)] == pytest.approx(4e6, abs=0.7e6)
+
+    def test_full_band_degenerates_to_white(self):
+        w = bandlimited_noise(65536, 25e6, FS, rng=3)
+        assert measured_bandwidth(w) > 0.9 * FS
+
+    def test_zero_samples(self):
+        assert bandlimited_noise(0, 1e6, FS).size == 0
+
+    def test_jammer_class_wraps(self):
+        jam = BandlimitedNoiseJammer(2.5e6, FS)
+        w = jam.waveform(32768, rng=4)
+        assert signal_power(w) == pytest.approx(1.0, rel=1e-9)
+        assert "2.5" in jam.description
+
+    def test_jammer_centre_out_of_band_raises(self):
+        with pytest.raises(ValueError):
+            BandlimitedNoiseJammer(1e6, FS, centre=11e6)
+
+    def test_bad_bandwidth_raises(self):
+        with pytest.raises(ValueError):
+            BandlimitedNoiseJammer(0.0, FS)
+
+
+class TestToneJammer:
+    def test_constant_envelope(self):
+        jam = ToneJammer(3e6, FS)
+        w = jam.waveform(4096)
+        np.testing.assert_allclose(np.abs(w), 1.0, atol=1e-12)
+
+    def test_frequency(self):
+        jam = ToneJammer(-2e6, FS)
+        w = jam.waveform(8192)
+        freqs, psd = welch_psd(w, FS, nperseg=1024)
+        assert freqs[np.argmax(psd)] == pytest.approx(-2e6, abs=FS / 1024 * 2)
+
+    def test_phase_continuity_across_calls(self):
+        jam = ToneJammer(1e6, FS)
+        a = jam.waveform(1000)
+        b = jam.waveform(1000)
+        jam2 = ToneJammer(1e6, FS)
+        whole = jam2.waveform(2000)
+        np.testing.assert_allclose(np.concatenate([a, b]), whole, atol=1e-9)
+
+    def test_reset(self):
+        jam = ToneJammer(1e6, FS)
+        a = jam.waveform(100)
+        jam.reset()
+        b = jam.waveform(100)
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_out_of_band_raises(self):
+        with pytest.raises(ValueError):
+            ToneJammer(11e6, FS)
+
+
+class TestSweepJammer:
+    def test_unit_power(self):
+        jam = SweepJammer(-5e6, 5e6, FS, sweep_duration=1e-3)
+        assert signal_power(jam.waveform(10000)) == pytest.approx(1.0, abs=1e-9)
+
+    def test_covers_band_over_full_sweep(self):
+        jam = SweepJammer(-5e6, 5e6, FS, sweep_duration=65536 / FS)
+        w = jam.waveform(65536)
+        assert measured_bandwidth(w, fraction=0.95) > 8e6
+
+    def test_position_continuity(self):
+        jam = SweepJammer(-1e6, 1e6, FS, sweep_duration=1e-3)
+        a = jam.waveform(500)
+        b = jam.waveform(500)
+        jam.reset()
+        whole = jam.waveform(1000)
+        np.testing.assert_allclose(np.concatenate([a, b]), whole, atol=1e-9)
+
+    def test_bad_band_raises(self):
+        with pytest.raises(ValueError):
+            SweepJammer(5e6, -5e6, FS, 1e-3)
+
+    def test_band_outside_nyquist_raises(self):
+        with pytest.raises(ValueError):
+            SweepJammer(-15e6, 15e6, FS, 1e-3)
+
+
+class TestPulsedJammer:
+    def test_average_power_unity(self):
+        inner = BandlimitedNoiseJammer(5e6, FS)
+        jam = PulsedJammer(inner, duty_cycle=0.25, period_samples=1000)
+        w = jam.waveform(100_000, rng=5)
+        assert signal_power(w) == pytest.approx(1.0, rel=0.1)
+
+    def test_peak_power_boosted(self):
+        inner = ToneJammer(1e6, FS)
+        jam = PulsedJammer(inner, duty_cycle=0.25, period_samples=1000)
+        w = jam.waveform(10_000)
+        on = w[np.abs(w) > 0]
+        assert signal_power(on) == pytest.approx(4.0, rel=0.05)
+        assert on.size == pytest.approx(2500, abs=10)
+
+    def test_gating_pattern(self):
+        inner = ToneJammer(0.0, FS)
+        jam = PulsedJammer(inner, duty_cycle=0.5, period_samples=100)
+        w = jam.waveform(200)
+        assert np.all(np.abs(w[:50]) > 0)
+        assert np.all(np.abs(w[50:100]) == 0)
+
+    def test_bad_duty_raises(self):
+        with pytest.raises(ValueError):
+            PulsedJammer(NoJammer(), duty_cycle=1.5, period_samples=100)
+
+    def test_bad_inner_raises(self):
+        with pytest.raises(TypeError):
+            PulsedJammer("not a jammer", duty_cycle=0.5, period_samples=100)
+
+    def test_bad_period_raises(self):
+        with pytest.raises(ValueError):
+            PulsedJammer(NoJammer(), duty_cycle=0.5, period_samples=1)
+
+
+class TestHoppingJammer:
+    def make(self, seed=0, weights=None):
+        bws = [10e6, 5e6, 2.5e6, 1.25e6]
+        return HoppingJammer(bws, FS, dwell_samples=4096, weights=weights, seed=seed)
+
+    def test_unit_power(self):
+        w = self.make().waveform(65536, rng=6)
+        assert signal_power(w) == pytest.approx(1.0, rel=0.05)
+
+    def test_hop_history_grows(self):
+        jam = self.make()
+        jam.waveform(4096 * 3, rng=7)
+        assert len(jam.hop_history) == 3
+
+    def test_hops_drawn_from_set(self):
+        jam = self.make(seed=1)
+        jam.waveform(4096 * 20, rng=8)
+        assert set(jam.hop_history) <= {10e6, 5e6, 2.5e6, 1.25e6}
+
+    def test_weights_respected(self):
+        w = [1.0, 0.0, 0.0, 0.0]
+        jam = self.make(seed=2, weights=w)
+        jam.waveform(4096 * 10, rng=9)
+        assert set(jam.hop_history) == {10e6}
+
+    def test_dwell_continuity_across_calls(self):
+        jam = self.make(seed=3)
+        jam.waveform(2048, rng=10)  # half a dwell
+        jam.waveform(2048, rng=11)  # completes the dwell
+        assert len(jam.hop_history) == 1
+
+    def test_reset_clears(self):
+        jam = self.make(seed=4)
+        jam.waveform(8192, rng=12)
+        jam.reset()
+        assert jam.hop_history == []
+
+    def test_seed_determinism(self):
+        a, b = self.make(seed=5), self.make(seed=5)
+        a.waveform(4096 * 5, rng=13)
+        b.waveform(4096 * 5, rng=13)
+        assert a.hop_history == b.hop_history
+
+    def test_bad_weights_length_raises(self):
+        with pytest.raises(ValueError):
+            HoppingJammer([1e6, 2e6], FS, 1024, weights=[1.0, 1.0, 1.0])
+
+    def test_bad_bandwidths_raise(self):
+        with pytest.raises(ValueError):
+            HoppingJammer([], FS, 1024)
+        with pytest.raises(ValueError):
+            HoppingJammer([-1e6], FS, 1024)
+
+    def test_bad_dwell_raises(self):
+        with pytest.raises(ValueError):
+            HoppingJammer([1e6], FS, 0)
+
+
+class TestMatchedReactiveJammer:
+    def test_initial_bandwidth_before_observation(self):
+        jam = MatchedReactiveJammer(FS, reaction_samples=0, initial_bandwidth=1e6)
+        w = jam.waveform(131072, rng=14)
+        assert 0.5e6 < measured_bandwidth(w) < 2e6
+
+    def test_matches_observed_profile_after_reaction(self):
+        jam = MatchedReactiveJammer(FS, reaction_samples=0, initial_bandwidth=10e6)
+        jam.observe([(131072, 0.625e6)])
+        w = jam.waveform(131072, rng=15)
+        measured = measured_bandwidth(w)
+        assert measured < 1.5e6  # matched the narrow observation
+
+    def test_reaction_delay_keeps_old_bandwidth(self):
+        jam = MatchedReactiveJammer(FS, reaction_samples=65536, initial_bandwidth=10e6)
+        jam.observe([(131072, 0.625e6)])
+        w = jam.waveform(131072, rng=16)
+        head_bw = measured_bandwidth(w[:65536])
+        tail_bw = measured_bandwidth(w[65536:])
+        assert head_bw > 6e6       # still the initial wide bandwidth
+        assert tail_bw < 1.5e6     # now matched to the narrow hop
+
+    def test_profile_lag_mechanism(self):
+        # Two hops: with a one-hop reaction time the jammer is always one
+        # hop behind -> its second-half bandwidth equals the FIRST hop's.
+        jam = MatchedReactiveJammer(FS, reaction_samples=65536, initial_bandwidth=5e6)
+        jam.observe([(65536, 10e6), (65536, 0.625e6)])
+        w = jam.waveform(131072, rng=17)
+        second_half = measured_bandwidth(w[65536:])
+        assert second_half > 6e6  # matched to the stale 10 MHz observation
+
+    def test_extends_last_bandwidth_past_profile(self):
+        jam = MatchedReactiveJammer(FS, reaction_samples=0, initial_bandwidth=10e6)
+        jam.observe([(1000, 1.25e6)])
+        w = jam.waveform(131072, rng=18)
+        assert measured_bandwidth(w[2000:]) < 2.5e6
+
+    def test_unit_power(self):
+        jam = MatchedReactiveJammer(FS, reaction_samples=1000, initial_bandwidth=5e6)
+        jam.observe([(50000, 2.5e6)])
+        w = jam.waveform(65536, rng=19)
+        assert signal_power(w) == pytest.approx(1.0, rel=0.05)
+
+    def test_bad_observation_raises(self):
+        jam = MatchedReactiveJammer(FS, reaction_samples=0, initial_bandwidth=1e6)
+        with pytest.raises(ValueError):
+            jam.observe([(-1, 1e6)])
+        with pytest.raises(ValueError):
+            jam.observe([(100, -1e6)])
+
+    def test_reset_clears_profile(self):
+        jam = MatchedReactiveJammer(FS, reaction_samples=0, initial_bandwidth=10e6)
+        jam.observe([(131072, 0.625e6)])
+        jam.reset()
+        w = jam.waveform(131072, rng=20)
+        assert measured_bandwidth(w) > 6e6  # back to the initial bandwidth
+
+    def test_description_mentions_tau(self):
+        jam = MatchedReactiveJammer(FS, reaction_samples=2000, initial_bandwidth=1e6)
+        assert "tau" in jam.description

@@ -1,0 +1,300 @@
+"""Unit tests for FEC codecs, the interleaver, and the frame coder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import BHSSConfig, LinkSimulator
+from repro.core.coding import FrameCoder
+from repro.phy.fec import (
+    HammingCode,
+    IdentityCode,
+    RepetitionCode,
+    block_deinterleave,
+    block_interleave,
+    get_codec,
+)
+
+bits = st.lists(st.integers(min_value=0, max_value=1), min_size=0, max_size=200).map(
+    lambda l: np.array(l, dtype=np.uint8)
+)
+
+
+class TestIdentityCode:
+    def test_roundtrip(self):
+        c = IdentityCode()
+        data = np.array([1, 0, 1, 1], dtype=np.uint8)
+        np.testing.assert_array_equal(c.decode(c.encode(data)), data)
+
+    def test_rate_one(self):
+        assert IdentityCode().rate == 1.0
+
+    def test_encoded_length(self):
+        assert IdentityCode().encoded_length(13) == 13
+
+
+class TestRepetitionCode:
+    def test_roundtrip_clean(self):
+        c = RepetitionCode(3)
+        data = np.array([1, 0, 0, 1, 1], dtype=np.uint8)
+        np.testing.assert_array_equal(c.decode(c.encode(data)), data)
+
+    def test_corrects_minority_errors(self):
+        c = RepetitionCode(5)
+        data = np.array([1, 0], dtype=np.uint8)
+        coded = c.encode(data)
+        coded[0] ^= 1  # two errors in the first codeword
+        coded[2] ^= 1
+        np.testing.assert_array_equal(c.decode(coded), data)
+
+    def test_fails_on_majority_errors(self):
+        c = RepetitionCode(3)
+        coded = c.encode(np.array([1], dtype=np.uint8))
+        coded[:2] ^= 1
+        assert c.decode(coded)[0] == 0
+
+    def test_rate(self):
+        assert RepetitionCode(3).rate == pytest.approx(1 / 3)
+
+    def test_name(self):
+        assert RepetitionCode(5).name == "rep5"
+
+    def test_even_repeats_raises(self):
+        with pytest.raises(ValueError):
+            RepetitionCode(4)
+
+    def test_bad_length_raises(self):
+        with pytest.raises(ValueError):
+            RepetitionCode(3).decode(np.ones(4, dtype=np.uint8))
+
+    @given(bits)
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, data):
+        c = RepetitionCode(3)
+        np.testing.assert_array_equal(c.decode(c.encode(data)), data)
+
+
+class TestHammingCode:
+    @pytest.mark.parametrize("m,n,k", [(3, 7, 4), (4, 15, 11)])
+    def test_parameters(self, m, n, k):
+        c = HammingCode(m)
+        assert (c.n, c.k) == (n, k)
+
+    def test_roundtrip_clean(self):
+        c = HammingCode(3)
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 2, size=100).astype(np.uint8)
+        decoded = c.decode(c.encode(data))
+        np.testing.assert_array_equal(decoded[: data.size], data)
+
+    def test_corrects_any_single_error_per_codeword(self):
+        c = HammingCode(3)
+        data = np.array([1, 0, 1, 1], dtype=np.uint8)
+        clean = c.encode(data)
+        for pos in range(c.n):
+            corrupted = clean.copy()
+            corrupted[pos] ^= 1
+            np.testing.assert_array_equal(c.decode(corrupted)[:4], data, err_msg=f"pos {pos}")
+
+    def test_corrects_one_error_per_block_independently(self):
+        c = HammingCode(4)
+        rng = np.random.default_rng(1)
+        data = rng.integers(0, 2, size=44).astype(np.uint8)  # 4 blocks
+        coded = c.encode(data)
+        for block in range(4):
+            coded[block * 15 + (block * 3) % 15] ^= 1
+        np.testing.assert_array_equal(c.decode(coded)[: data.size], data)
+
+    def test_double_error_not_corrected(self):
+        c = HammingCode(3)
+        data = np.zeros(4, dtype=np.uint8)
+        coded = c.encode(data)
+        coded[0] ^= 1
+        coded[1] ^= 1
+        assert not np.array_equal(c.decode(coded)[:4], data)
+
+    def test_codewords_satisfy_parity_check(self):
+        c = HammingCode(3)
+        rng = np.random.default_rng(2)
+        data = rng.integers(0, 2, size=4 * 10).astype(np.uint8)
+        words = c.encode(data).reshape(-1, 7)
+        syndromes = (words @ c._h.T) % 2
+        assert not syndromes.any()
+
+    def test_minimum_distance_three(self):
+        # All 16 codewords of (7,4) pairwise differ in >= 3 positions.
+        c = HammingCode(3)
+        words = [c.encode(np.array([(v >> b) & 1 for b in range(4)], dtype=np.uint8)) for v in range(16)]
+        for i in range(16):
+            for j in range(i + 1, 16):
+                assert np.sum(words[i] != words[j]) >= 3
+
+    def test_pads_partial_block(self):
+        c = HammingCode(3)
+        data = np.array([1, 1], dtype=np.uint8)
+        coded = c.encode(data)
+        assert coded.size == 7
+        np.testing.assert_array_equal(c.decode(coded)[:2], data)
+
+    def test_bad_m_raises(self):
+        with pytest.raises(ValueError):
+            HammingCode(1)
+
+    def test_bad_coded_length_raises(self):
+        with pytest.raises(ValueError):
+            HammingCode(3).decode(np.zeros(8, dtype=np.uint8))
+
+    @given(bits)
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, data):
+        c = HammingCode(3)
+        decoded = c.decode(c.encode(data))
+        np.testing.assert_array_equal(decoded[: data.size], data)
+
+
+class TestGetCodec:
+    @pytest.mark.parametrize(
+        "name,cls", [("none", IdentityCode), ("rep3", RepetitionCode), ("hamming74", HammingCode)]
+    )
+    def test_lookup(self, name, cls):
+        assert isinstance(get_codec(name), cls)
+
+    def test_instance_passthrough(self):
+        c = HammingCode(3)
+        assert get_codec(c) is c
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            get_codec("turbo")
+
+
+class TestInterleaver:
+    def test_roundtrip(self):
+        data = np.arange(23)
+        out = block_deinterleave(block_interleave(data, 5), 5)
+        np.testing.assert_array_equal(out, data)
+
+    def test_depth_one_is_identity(self):
+        data = np.arange(10)
+        np.testing.assert_array_equal(block_interleave(data, 1), data)
+
+    def test_spreads_bursts(self):
+        # A contiguous burst of b corrupted positions de-interleaves into
+        # positions spaced >= length/depth apart.
+        n, depth = 60, 6
+        marker = np.zeros(n, dtype=int)
+        interleaved = block_interleave(np.arange(n), depth)
+        # corrupt a burst in the interleaved domain
+        burst = slice(10, 16)
+        hit_original_positions = np.sort(interleaved[burst])
+        gaps = np.diff(hit_original_positions)
+        assert gaps.min() >= n // depth - depth
+
+    def test_exact_rectangle(self):
+        data = np.arange(6)
+        np.testing.assert_array_equal(block_interleave(data, 3), [0, 3, 1, 4, 2, 5])
+
+    def test_bad_depth_raises(self):
+        with pytest.raises(ValueError):
+            block_interleave(np.arange(4), 0)
+
+    def test_2d_raises(self):
+        with pytest.raises(ValueError):
+            block_interleave(np.zeros((2, 2)), 2)
+
+    @given(st.integers(min_value=0, max_value=200), st.integers(min_value=1, max_value=17))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, n, depth):
+        data = np.arange(n)
+        np.testing.assert_array_equal(block_deinterleave(block_interleave(data, depth), depth), data)
+
+    @given(st.integers(min_value=1, max_value=100), st.integers(min_value=1, max_value=17))
+    @settings(max_examples=30, deadline=None)
+    def test_is_permutation_property(self, n, depth):
+        out = block_interleave(np.arange(n), depth)
+        assert sorted(out.tolist()) == list(range(n))
+
+
+class TestFrameCoder:
+    def make(self, fec="hamming74", preamble=8, sph=4):
+        return FrameCoder(codec=get_codec(fec), preamble_symbols=preamble, symbols_per_hop=sph)
+
+    def test_passthrough_for_identity(self):
+        coder = self.make(fec="none")
+        assert coder.is_passthrough
+        syms = np.arange(32, dtype=np.uint8) % 16
+        np.testing.assert_array_equal(coder.encode(syms), syms)
+        np.testing.assert_array_equal(coder.decode(syms, 32), syms)
+
+    def test_preamble_untouched(self):
+        coder = self.make()
+        syms = np.concatenate([np.zeros(8, dtype=np.uint8), np.arange(24, dtype=np.uint8) % 16])
+        coded = coder.encode(syms)
+        np.testing.assert_array_equal(coded[:8], 0)
+
+    def test_roundtrip(self):
+        coder = self.make()
+        rng = np.random.default_rng(3)
+        syms = rng.integers(0, 16, size=40).astype(np.uint8)
+        coded = coder.encode(syms)
+        assert coded.size == coder.coded_symbols(40)
+        decoded = coder.decode(coded, 40)
+        np.testing.assert_array_equal(decoded, syms)
+
+    def test_expansion_matches_rate(self):
+        coder = self.make(fec="rep3")
+        assert coder.coded_symbols(40) == 8 + ((40 - 8) * 3)
+
+    def test_corrects_one_corrupted_dwell(self):
+        """The headline property: interleaving across dwells + Hamming
+        corrects a fully corrupted dwell of a many-dwell frame."""
+        coder = self.make(fec="hamming74", preamble=8, sph=4)
+        rng = np.random.default_rng(4)
+        frame = rng.integers(0, 16, size=40).astype(np.uint8)
+        air = coder.encode(frame)
+        n_dwells = -(-air.size // 4)
+        # corrupt one mid-frame dwell (4 symbols) completely
+        start = 4 * (n_dwells // 2)
+        corrupted = air.copy()
+        corrupted[start : start + 4] ^= rng.integers(1, 16, size=4).astype(np.uint8)
+        decoded = coder.decode(corrupted, 40)
+        np.testing.assert_array_equal(decoded, frame)
+
+    def test_short_capture_raises(self):
+        coder = self.make()
+        with pytest.raises(ValueError):
+            coder.decode(np.zeros(10, dtype=np.uint8), 40)
+
+    def test_frame_shorter_than_preamble_raises(self):
+        coder = self.make()
+        with pytest.raises(ValueError):
+            coder.coded_symbols(4)
+
+
+class TestCodedLink:
+    def test_coded_roundtrip_clean(self):
+        cfg = BHSSConfig.paper_default(payload_bytes=8, seed=50, fec="hamming74")
+        out = LinkSimulator(cfg).run_packet(snr_db=25.0, rng=0)
+        assert out.accepted
+
+    def test_all_codecs_roundtrip(self):
+        for fec in ["rep3", "rep5", "hamming1511"]:
+            cfg = BHSSConfig.paper_default(payload_bytes=8, seed=51, fec=fec)
+            out = LinkSimulator(cfg).run_packet(snr_db=25.0, rng=1)
+            assert out.accepted, fec
+
+    def test_unknown_fec_raises_at_config(self):
+        with pytest.raises(ValueError):
+            BHSSConfig.paper_default(fec="ldpc")
+
+    def test_coding_lowers_ber_at_marginal_snr(self):
+        from repro.jamming import BandlimitedNoiseJammer
+
+        jam = BandlimitedNoiseJammer(2.5e6, 20e6)
+        uncoded = LinkSimulator(
+            BHSSConfig.paper_default(pattern="linear", payload_bytes=8, seed=52)
+        ).run_packets(8, snr_db=18.0, sjr_db=-12.0, jammer=jam, seed=2)
+        coded = LinkSimulator(
+            BHSSConfig.paper_default(pattern="linear", payload_bytes=8, seed=52, fec="rep3")
+        ).run_packets(8, snr_db=18.0, sjr_db=-12.0, jammer=jam, seed=2)
+        assert coded.bit_error_rate <= uncoded.bit_error_rate

@@ -1,0 +1,141 @@
+"""Property-based tests of the DSP substrate's core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.dsp import (
+    apply_fir,
+    excision_taps_from_psd,
+    fft_convolve,
+    frequency_shift,
+    lowpass_taps,
+    welch_psd,
+)
+from repro.dsp.pulse import HalfSinePulse
+from repro.utils import signal_energy, signal_power
+
+QUICK = settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+FS = 20e6
+
+
+class TestFirProperties:
+    @given(
+        num_taps=st.integers(min_value=5, max_value=301).filter(lambda n: n % 2 == 1),
+        cutoff_frac=st.floats(min_value=0.02, max_value=0.45),
+    )
+    @QUICK
+    def test_lowpass_dc_gain_always_unity(self, num_taps, cutoff_frac):
+        taps = lowpass_taps(num_taps, cutoff_frac * FS, FS)
+        assert taps.sum() == pytest.approx(1.0, abs=1e-9)
+
+    @given(
+        num_taps=st.integers(min_value=5, max_value=151).filter(lambda n: n % 2 == 1),
+        cutoff_frac=st.floats(min_value=0.05, max_value=0.4),
+    )
+    @QUICK
+    def test_lowpass_always_symmetric(self, num_taps, cutoff_frac):
+        taps = lowpass_taps(num_taps, cutoff_frac * FS, FS)
+        np.testing.assert_allclose(taps, taps[::-1], atol=1e-15)
+
+    @given(
+        nx=st.integers(min_value=1, max_value=300),
+        nh=st.integers(min_value=1, max_value=60),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @QUICK
+    def test_fft_convolve_matches_direct(self, nx, nh, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=nx)
+        h = rng.normal(size=nh)
+        np.testing.assert_allclose(fft_convolve(x, h), np.convolve(x, h), atol=1e-8)
+
+    @given(
+        n=st.integers(min_value=64, max_value=2000),
+        block=st.sampled_from([64, 128, 256, 1024]),
+    )
+    @QUICK
+    def test_overlap_save_block_size_invariant(self, n, block):
+        rng = np.random.default_rng(n)
+        x = rng.normal(size=n) + 1j * rng.normal(size=n)
+        h = rng.normal(size=31)
+        a = apply_fir(x, h, mode="full", block_size=block)
+        b = apply_fir(x, h, mode="full", block_size=4096)
+        np.testing.assert_allclose(a, b, atol=1e-9)
+
+    @given(gain=st.floats(min_value=0.01, max_value=100.0))
+    @QUICK
+    def test_filtering_is_linear(self, gain):
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=500) + 1j * rng.normal(size=500)
+        h = lowpass_taps(31, 3e6, FS)
+        np.testing.assert_allclose(
+            apply_fir(gain * x, h), gain * apply_fir(x, h), rtol=1e-9
+        )
+
+
+class TestSpectralProperties:
+    @given(
+        power=st.floats(min_value=0.01, max_value=100.0),
+        nperseg=st.sampled_from([64, 128, 256]),
+    )
+    @QUICK
+    def test_welch_parseval_property(self, power, nperseg):
+        rng = np.random.default_rng(int(power * 100) % 2**31)
+        x = np.sqrt(power / 2) * (rng.normal(size=16384) + 1j * rng.normal(size=16384))
+        freqs, psd = welch_psd(x, FS, nperseg=nperseg)
+        total = np.sum(psd) * (freqs[1] - freqs[0])
+        assert total == pytest.approx(signal_power(x), rel=0.15)
+
+    @given(shift=st.floats(min_value=-9e6, max_value=9e6))
+    @QUICK
+    def test_frequency_shift_power_invariant(self, shift):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=1024) + 1j * rng.normal(size=1024)
+        assert signal_power(frequency_shift(x, shift, FS)) == pytest.approx(
+            signal_power(x), rel=1e-12
+        )
+
+
+class TestExcisionProperties:
+    @given(
+        k=st.sampled_from([32, 64, 128, 257]),
+        jam_db=st.floats(min_value=10, max_value=50),
+        start_frac=st.floats(min_value=0.0, max_value=0.85),
+    )
+    @QUICK
+    def test_whitener_attenuation_tracks_jammer_power(self, k, jam_db, start_frac):
+        """|H| in the jammed bins is ~1/sqrt(jammer PSD) of the median."""
+        psd = np.ones(k)
+        start = int(start_frac * k)
+        width = max(1, k // 16)
+        psd[start : start + width] = 10 ** (jam_db / 10)
+        taps = excision_taps_from_psd(psd)
+        h = np.abs(np.fft.fft(taps))
+        expected = 10 ** (-jam_db / 20)
+        jam_gain = h[start : start + width].mean()
+        assert jam_gain == pytest.approx(expected, rel=0.01)
+
+    @given(k=st.sampled_from([16, 64, 256]), scale=st.floats(min_value=1e-3, max_value=1e3))
+    @QUICK
+    def test_whitener_scale_invariant(self, k, scale):
+        """Scaling the PSD must not change the normalized taps."""
+        rng = np.random.default_rng(k)
+        psd = rng.uniform(0.5, 2.0, size=k)
+        a = excision_taps_from_psd(psd)
+        b = excision_taps_from_psd(scale * psd)
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+
+class TestPulseProperties:
+    @given(sps=st.integers(min_value=1, max_value=512))
+    @QUICK
+    def test_half_sine_unit_energy_any_sps(self, sps):
+        assert signal_energy(HalfSinePulse().waveform(sps)) == pytest.approx(1.0)
+
+    @given(sps=st.integers(min_value=2, max_value=256))
+    @QUICK
+    def test_half_sine_symmetric_any_sps(self, sps):
+        p = HalfSinePulse().waveform(sps)
+        np.testing.assert_allclose(p, p[::-1], atol=1e-12)

@@ -1,0 +1,191 @@
+"""System-level property-based tests and failure injection.
+
+Cross-module invariants that must hold for *arbitrary* valid inputs
+(hypothesis explores the space), plus deliberately hostile inputs — the
+receiver in this problem domain must degrade gracefully, never crash:
+a jammed packet is the expected case, not the exceptional one.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.channel import Medium, complex_awgn
+from repro.core import BHSSConfig, BHSSReceiver, BHSSTransmitter, LinkSimulator, theory
+from repro.dsp import HalfSinePulse
+from repro.phy import ChipModulator
+from repro.spread import SixteenAryDSSS
+from repro.utils import db_to_linear, signal_power
+
+SLOW = settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestEndToEndProperties:
+    @given(
+        payload=st.binary(min_size=0, max_size=24),
+        seed=st.integers(min_value=0, max_value=2**31),
+        pattern=st.sampled_from(["linear", "exponential", "parabolic"]),
+    )
+    @SLOW
+    def test_clean_channel_roundtrip_any_payload(self, payload, seed, pattern):
+        """Noiseless channel: every payload, seed and pattern round-trips."""
+        cfg = BHSSConfig.paper_default(pattern=pattern, seed=seed, payload_bytes=max(len(payload), 1))
+        tx, rx = BHSSTransmitter(cfg), BHSSReceiver(cfg)
+        packet = tx.transmit(payload)
+        result = rx.receive(packet.waveform, payload_len=len(payload))
+        assert result.accepted
+        assert result.payload == payload
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        sph=st.integers(min_value=1, max_value=40),
+    )
+    @SLOW
+    def test_waveform_power_always_unit(self, seed, sph):
+        cfg = BHSSConfig.paper_default(seed=seed, payload_bytes=8, symbols_per_hop=sph)
+        packet = BHSSTransmitter(cfg).transmit()
+        assert signal_power(packet.waveform) == pytest.approx(1.0, rel=0.1)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        fec=st.sampled_from(["none", "rep3", "hamming74"]),
+    )
+    @SLOW
+    def test_coded_roundtrip_any_seed(self, seed, fec):
+        cfg = BHSSConfig.paper_default(seed=seed, payload_bytes=6, fec=fec)
+        out = LinkSimulator(cfg).run_packet(snr_db=30.0, rng=0)
+        assert out.accepted
+
+    @given(snr=st.floats(min_value=-5.0, max_value=30.0))
+    @SLOW
+    def test_medium_snr_calibration_property(self, snr):
+        rng = np.random.default_rng(0)
+        sig = rng.normal(size=30_000) + 1j * rng.normal(size=30_000)
+        block = Medium(20e6).combine(sig, snr_db=snr, rng=1)
+        measured = signal_power(sig) / signal_power(block.samples - sig)
+        assert 10 * np.log10(measured) == pytest.approx(snr, abs=0.5)
+
+
+class TestReceiverNeverCrashes:
+    """Failure injection: hostile waveforms must yield a rejected frame,
+    not an exception."""
+
+    def rx(self):
+        return BHSSReceiver(BHSSConfig.paper_default(seed=99, payload_bytes=8))
+
+    def expected_len(self):
+        cfg = BHSSConfig.paper_default(seed=99, payload_bytes=8)
+        counts = cfg.build_schedule().sample_counts(cfg.frame_symbols(), 32)
+        return sum(counts)
+
+    def test_pure_noise(self):
+        rng = np.random.default_rng(1)
+        n = self.expected_len()
+        noise = rng.normal(size=n) + 1j * rng.normal(size=n)
+        result = self.rx().receive(noise)
+        assert not result.accepted
+
+    def test_all_zeros(self):
+        result = self.rx().receive(np.zeros(self.expected_len(), dtype=complex))
+        assert not result.accepted
+
+    def test_constant_dc(self):
+        result = self.rx().receive(np.ones(self.expected_len(), dtype=complex))
+        assert not result.accepted
+
+    def test_pure_tone(self):
+        n = self.expected_len()
+        tone = np.exp(2j * np.pi * 0.13 * np.arange(n))
+        result = self.rx().receive(tone)
+        assert not result.accepted
+
+    def test_tiny_waveform(self):
+        result = self.rx().receive(np.ones(3, dtype=complex))
+        assert not result.accepted
+
+    def test_empty_waveform(self):
+        result = self.rx().receive(np.zeros(0, dtype=complex))
+        assert not result.accepted
+
+    def test_saturated_waveform(self):
+        cfg = BHSSConfig.paper_default(seed=99, payload_bytes=8)
+        packet = BHSSTransmitter(cfg).transmit()
+        clipped = np.clip(packet.waveform.real, -0.05, 0.05) + 1j * np.clip(
+            packet.waveform.imag, -0.05, 0.05
+        )
+        result = self.rx().receive(clipped)  # heavy clipping: may or may not decode
+        assert result.frame is not None  # but must always return a result
+
+    def test_extreme_jammer_power(self):
+        cfg = BHSSConfig.paper_default(seed=99, payload_bytes=8)
+        link = LinkSimulator(cfg)
+        from repro.jamming import BandlimitedNoiseJammer
+
+        out = link.run_packet(
+            snr_db=10.0, sjr_db=-60.0, jammer=BandlimitedNoiseJammer(2.5e6, 20e6), rng=2
+        )
+        assert not out.accepted
+        assert 0 <= out.bit_errors <= out.total_bits
+
+
+class TestTheoryProperties:
+    @given(
+        ebno=st.floats(min_value=-5, max_value=30),
+        sjr=st.floats(min_value=-30, max_value=10),
+        gamma_db=st.floats(min_value=0, max_value=30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_ber_bounds_property(self, ebno, sjr, gamma_db):
+        pb = theory.ber_from_ebno(ebno, sjr, 20.0, gamma=db_to_linear(gamma_db))
+        assert 0.0 <= pb <= 0.5
+
+    @given(
+        ebno_lo=st.floats(min_value=-5, max_value=14),
+        delta=st.floats(min_value=0.1, max_value=15),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_ber_monotone_in_ebno_property(self, ebno_lo, delta):
+        lo = theory.ber_from_ebno(ebno_lo, -10.0, 20.0)
+        hi = theory.ber_from_ebno(ebno_lo + delta, -10.0, 20.0)
+        assert hi <= lo + 1e-12
+
+    @given(
+        pb=st.floats(min_value=0, max_value=1),
+        n=st.integers(min_value=1, max_value=100_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_packet_error_rate_bounds_property(self, pb, n):
+        pp = theory.packet_error_rate(pb, n)
+        assert 0.0 <= pp <= 1.0
+        assert pp >= pb - 1e-12  # more bits can only make things worse
+
+    @given(
+        gamma_db=st.floats(min_value=-1, max_value=40),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_improvement_helps_ber_property(self, gamma_db):
+        base = theory.ber_from_ebno(10.0, -15.0, 20.0, gamma=1.0)
+        improved = theory.ber_from_ebno(10.0, -15.0, 20.0, gamma=max(db_to_linear(gamma_db), 1.0))
+        assert improved <= base + 1e-12
+
+
+class TestModemProperties:
+    @given(
+        data=st.lists(st.integers(min_value=0, max_value=15), min_size=2, max_size=20),
+        sps_exp=st.integers(min_value=1, max_value=7),
+        chip_snr_db=st.floats(min_value=12, max_value=40),
+    )
+    @SLOW
+    def test_spread_modulate_noise_roundtrip(self, data, sps_exp, chip_snr_db):
+        """The whole PHY chain survives any decent chip SNR."""
+        sps = 2**sps_exp
+        modem = SixteenAryDSSS(seed=5)
+        mod = ChipModulator(HalfSinePulse())
+        symbols = np.array(data)
+        chips = modem.spread(symbols)
+        wave = mod.modulate(chips, sps)
+        noise_power = signal_power(wave) / db_to_linear(chip_snr_db)
+        noisy = wave + complex_awgn(wave.size, noise_power, np.random.default_rng(0))
+        soft = mod.demodulate(noisy, sps)
+        out = modem.despread(soft)
+        np.testing.assert_array_equal(out.symbols, symbols)

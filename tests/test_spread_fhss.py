@@ -1,0 +1,134 @@
+"""Unit tests for the FHSS channel plan and modem."""
+
+import numpy as np
+import pytest
+
+from repro.dsp import welch_psd
+from repro.spread import FHSSChannelPlan, FHSSModem
+from repro.utils import signal_power
+
+FS = 20e6
+
+
+class TestChannelPlan:
+    def test_channel_bandwidth(self):
+        plan = FHSSChannelPlan(total_bandwidth=10e6, num_channels=10)
+        assert plan.channel_bandwidth == pytest.approx(1e6)
+
+    def test_centres_symmetric(self):
+        plan = FHSSChannelPlan(total_bandwidth=10e6, num_channels=10)
+        centres = plan.centres()
+        np.testing.assert_allclose(centres, -centres[::-1], atol=1e-6)
+
+    def test_centres_within_band(self):
+        plan = FHSSChannelPlan(total_bandwidth=8e6, num_channels=5)
+        assert np.all(np.abs(plan.centres()) < 4e6)
+
+    def test_first_centre(self):
+        plan = FHSSChannelPlan(total_bandwidth=10e6, num_channels=10)
+        assert plan.centre(0) == pytest.approx(-4.5e6)
+
+    def test_processing_gain(self):
+        assert FHSSChannelPlan(10e6, 100).processing_gain_db == pytest.approx(20.0)
+
+    def test_bad_channel_raises(self):
+        plan = FHSSChannelPlan(10e6, 4)
+        with pytest.raises(ValueError):
+            plan.centre(4)
+
+    def test_bad_params_raise(self):
+        with pytest.raises(ValueError):
+            FHSSChannelPlan(-1.0, 4)
+        with pytest.raises(ValueError):
+            FHSSChannelPlan(1e6, 0)
+
+
+def narrowband_segments(n_segments, seg_len, bw, seed=0):
+    """Band-limited unit-power baseband segments."""
+    from repro.dsp import apply_fir, lowpass_taps
+
+    rng = np.random.default_rng(seed)
+    taps = lowpass_taps(129, bw / 2, FS)
+    segs = []
+    for _ in range(n_segments):
+        noise = rng.normal(size=seg_len) + 1j * rng.normal(size=seg_len)
+        seg = apply_fir(noise, taps, mode="compensated")
+        segs.append(seg / np.sqrt(signal_power(seg)))
+    return segs
+
+
+class TestFHSSModem:
+    def make_modem(self, seed=0):
+        plan = FHSSChannelPlan(total_bandwidth=16e6, num_channels=8)
+        return FHSSModem(plan, FS, seed=seed)
+
+    def test_channel_sequence_deterministic(self):
+        m1, m2 = self.make_modem(3), self.make_modem(3)
+        np.testing.assert_array_equal(m1.channel_sequence(50), m2.channel_sequence(50))
+
+    def test_channel_sequence_seed_sensitive(self):
+        assert not np.array_equal(
+            self.make_modem(1).channel_sequence(50), self.make_modem(2).channel_sequence(50)
+        )
+
+    def test_channels_in_range(self):
+        seq = self.make_modem().channel_sequence(200)
+        assert seq.min() >= 0 and seq.max() < 8
+
+    def test_negative_hops_raises(self):
+        with pytest.raises(ValueError):
+            self.make_modem().channel_sequence(-1)
+
+    def test_hop_up_length(self):
+        modem = self.make_modem()
+        segs = narrowband_segments(4, 1024, modem.plan.channel_bandwidth)
+        assert modem.hop_up(segs).size == 4096
+
+    def test_hop_up_moves_spectrum(self):
+        modem = self.make_modem(seed=4)
+        seg_len = 8192
+        segs = narrowband_segments(1, seg_len, modem.plan.channel_bandwidth, seed=1)
+        wave = modem.hop_up(segs)
+        ch = int(modem.channel_sequence(1)[0])
+        centre = modem.plan.centre(ch)
+        freqs, psd = welch_psd(wave, FS, nperseg=512)
+        peak_freq = freqs[np.argmax(psd)]
+        assert abs(peak_freq - centre) < modem.plan.channel_bandwidth
+
+    def test_roundtrip_recovers_segments(self):
+        modem = self.make_modem(seed=5)
+        seg_len = 4096
+        segs = narrowband_segments(6, seg_len, modem.plan.channel_bandwidth, seed=2)
+        wave = modem.hop_up(segs)
+        rec = modem.hop_down(wave, [seg_len] * 6, filtered=False)
+        for orig, back in zip(segs, rec):
+            np.testing.assert_allclose(back, orig, atol=1e-9)
+
+    def test_dehop_filter_suppresses_out_of_channel_jammer(self):
+        modem = self.make_modem(seed=6)
+        seg_len = 16384
+        segs = narrowband_segments(1, seg_len, modem.plan.channel_bandwidth, seed=3)
+        wave = modem.hop_up(segs)
+        ch = int(modem.channel_sequence(1)[0])
+        # jam a *different* channel with 20 dB more power
+        other = (ch + 4) % 8
+        n = np.arange(wave.size)
+        jam = 10.0 * np.exp(2j * np.pi * modem.plan.centre(other) / FS * n)
+        rec = modem.hop_down(wave + jam, [seg_len], filtered=True)[0]
+        core = slice(400, -400)
+        clean = modem.hop_down(wave, [seg_len], filtered=True)[0]
+        residual = signal_power(rec[core] - clean[core])
+        assert residual < 0.02 * signal_power(jam)
+
+    def test_hop_down_length_mismatch_raises(self):
+        modem = self.make_modem()
+        with pytest.raises(ValueError):
+            modem.hop_down(np.zeros(100, dtype=complex), [200])
+
+    def test_band_exceeds_sample_rate_raises(self):
+        plan = FHSSChannelPlan(total_bandwidth=30e6, num_channels=4)
+        with pytest.raises(ValueError):
+            FHSSModem(plan, FS)
+
+    def test_empty_hop_up(self):
+        assert self.make_modem().hop_up([]).size == 0

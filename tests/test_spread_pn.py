@@ -1,0 +1,167 @@
+"""Unit tests for PN sequences, LFSRs, and Gold codes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.spread import (
+    LFSR,
+    MAXIMAL_TAPS,
+    autocorrelation,
+    gold_code,
+    gold_family,
+    lfsr_sequence,
+    random_pn_sequence,
+)
+
+
+class TestLFSR:
+    @pytest.mark.parametrize("degree", [3, 5, 7, 9, 10])
+    def test_maximal_period(self, degree):
+        reg = LFSR(degree)
+        period = reg.period
+        start = reg.state
+        seen_start_again = 0
+        for _ in range(period):
+            reg.step()
+        assert reg.state == start  # returns to initial state after 2^n - 1
+
+    @pytest.mark.parametrize("degree", [4, 6, 8])
+    def test_all_nonzero_states_visited(self, degree):
+        reg = LFSR(degree)
+        states = set()
+        for _ in range(reg.period):
+            states.add(reg.state)
+            reg.step()
+        assert len(states) == reg.period
+
+    def test_balance_property(self):
+        # m-sequence has 2^(n-1) ones and 2^(n-1)-1 zeros per period.
+        bits = LFSR(8).bits(255)
+        assert bits.sum() == 128
+
+    def test_chips_are_pm_one(self):
+        chips = LFSR(5).chips(31)
+        assert set(np.unique(chips)) <= {-1.0, 1.0}
+
+    def test_unknown_degree_raises(self):
+        with pytest.raises(ValueError):
+            LFSR(17)
+
+    def test_explicit_taps_allowed(self):
+        reg = LFSR(17, taps=(17, 14))  # known primitive polynomial
+        assert reg.degree == 17
+
+    def test_bad_state_raises(self):
+        with pytest.raises(ValueError):
+            LFSR(4, state=0)
+        with pytest.raises(ValueError):
+            LFSR(4, state=16)
+
+    def test_bad_taps_raise(self):
+        with pytest.raises(ValueError):
+            LFSR(4, taps=(5,))
+
+    def test_degree_too_small_raises(self):
+        with pytest.raises(ValueError):
+            LFSR(1, taps=(1,))
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            LFSR(4).bits(-1)
+
+    def test_deterministic_from_state(self):
+        a = LFSR(6, state=5).bits(100)
+        b = LFSR(6, state=5).bits(100)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestMSequenceAutocorrelation:
+    @pytest.mark.parametrize("degree", [5, 7, 9])
+    def test_two_valued_autocorrelation(self, degree):
+        seq = lfsr_sequence(degree)
+        corr = autocorrelation(seq, circular=True)
+        n = seq.size
+        assert corr[0] == pytest.approx(1.0)
+        np.testing.assert_allclose(corr[1:], -1.0 / n, atol=1e-9)
+
+    def test_noncircular_autocorrelation_peak(self):
+        seq = lfsr_sequence(6)
+        corr = autocorrelation(seq, circular=False)
+        assert corr[0] == pytest.approx(1.0)
+        assert np.all(np.abs(corr[1:]) < 0.3)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            autocorrelation(np.array([]))
+
+
+class TestRandomPn:
+    def test_deterministic(self):
+        np.testing.assert_array_equal(random_pn_sequence(64, 9), random_pn_sequence(64, 9))
+
+    def test_seed_sensitivity(self):
+        assert not np.array_equal(random_pn_sequence(64, 1), random_pn_sequence(64, 2))
+
+    def test_values(self):
+        seq = random_pn_sequence(1000, 3)
+        assert set(np.unique(seq)) == {-1.0, 1.0}
+
+    def test_approximately_balanced(self):
+        seq = random_pn_sequence(10_000, 4)
+        assert abs(seq.mean()) < 0.05
+
+    def test_whiteness(self):
+        seq = random_pn_sequence(8192, 5)
+        corr = autocorrelation(seq)
+        assert np.max(np.abs(corr[1:])) < 0.06
+
+    def test_zero_length(self):
+        assert random_pn_sequence(0, 1).size == 0
+
+    def test_negative_length_raises(self):
+        with pytest.raises(ValueError):
+            random_pn_sequence(-1, 1)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_any_seed_works(self, seed):
+        seq = random_pn_sequence(16, seed)
+        assert seq.size == 16
+
+
+class TestGoldCodes:
+    def test_family_size(self):
+        fam = gold_family(5)
+        assert fam.shape == (33, 31)  # 2^5 + 1 codes of length 2^5 - 1
+
+    def test_codes_are_pm_one(self):
+        fam = gold_family(5)
+        assert set(np.unique(fam)) <= {-1.0, 1.0}
+
+    def test_cross_correlation_bound(self):
+        # Gold bound for odd degree n: |theta| <= 2^((n+1)/2) + 1.
+        degree = 5
+        fam = gold_family(degree)
+        n = fam.shape[1]
+        bound = 2 ** ((degree + 1) // 2) + 1
+        rng = np.random.default_rng(0)
+        picks = rng.integers(0, fam.shape[0], size=(20, 2))
+        for i, j in picks:
+            if i == j:
+                continue
+            a, b = fam[i], fam[j]
+            spec = np.fft.fft(a) * np.conj(np.fft.fft(b))
+            cross = np.fft.ifft(spec).real
+            assert np.max(np.abs(cross)) <= bound + 1e-6
+
+    def test_gold_code_lookup(self):
+        np.testing.assert_array_equal(gold_code(5, 0), gold_family(5)[0])
+
+    def test_bad_index_raises(self):
+        with pytest.raises(ValueError):
+            gold_code(5, 99)
+
+    def test_unsupported_degree_raises(self):
+        with pytest.raises(ValueError):
+            gold_family(8)

@@ -1,0 +1,250 @@
+"""Unit tests for the synchronization substrate (Costas / Gardner / preamble)."""
+
+import numpy as np
+import pytest
+
+from repro.dsp import fractional_delay
+from repro.sync import (
+    CostasLoop,
+    GardnerTimingRecovery,
+    correlate_preamble,
+    detect_preamble,
+    estimate_cfo_from_preamble,
+    gardner_error,
+)
+
+QPSK = np.array([1 + 1j, 1 - 1j, -1 + 1j, -1 - 1j]) / np.sqrt(2)
+
+
+def qpsk_symbols(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return QPSK[rng.integers(0, 4, size=n)]
+
+
+class TestCostasLoop:
+    def test_corrects_constant_phase_offset(self):
+        syms = qpsk_symbols(2000)
+        rotated = syms * np.exp(1j * 0.6)
+        out = CostasLoop(loop_bandwidth=0.05).process(rotated)
+        # after convergence the residual rotation (mod pi/2) is tiny
+        tail = out.corrected[1000:]
+        err = np.angle(tail**4).mean() / 4  # 4th-power removes data
+        assert abs(err) < 0.05
+
+    def test_tracks_frequency_offset(self):
+        syms = qpsk_symbols(5000, seed=1)
+        f = 0.002  # cycles/sample
+        n = np.arange(syms.size)
+        received = syms * np.exp(2j * np.pi * f * n)
+        out = CostasLoop(loop_bandwidth=0.05).process(received)
+        assert out.final_frequency == pytest.approx(2 * np.pi * f, rel=0.1)
+
+    def test_no_offset_stays_locked(self):
+        syms = qpsk_symbols(1000, seed=2)
+        out = CostasLoop().process(syms)
+        np.testing.assert_allclose(out.corrected[500:], syms[500:], atol=0.2)
+
+    def test_state_persists_across_blocks(self):
+        syms = qpsk_symbols(4000, seed=3)
+        n = np.arange(syms.size)
+        f = 0.001
+        received = syms * np.exp(2j * np.pi * f * n)
+        loop = CostasLoop(loop_bandwidth=0.05)
+        loop.process(received[:2000])
+        out2 = loop.process(received[2000:])
+        assert out2.final_frequency == pytest.approx(2 * np.pi * f, rel=0.15)
+
+    def test_reset_clears_state(self):
+        loop = CostasLoop()
+        loop.process(qpsk_symbols(500) * np.exp(1j * 1.0))
+        loop.reset()
+        assert loop._phase == 0.0 and loop._freq == 0.0
+
+    def test_amplitude_invariance(self):
+        syms = qpsk_symbols(3000, seed=4) * 37.0
+        n = np.arange(syms.size)
+        received = syms * np.exp(2j * np.pi * 0.002 * n)
+        out = CostasLoop(loop_bandwidth=0.05).process(received)
+        assert out.final_frequency == pytest.approx(2 * np.pi * 0.002, rel=0.15)
+
+    def test_works_under_moderate_noise(self):
+        rng = np.random.default_rng(5)
+        syms = qpsk_symbols(6000, seed=5)
+        n = np.arange(syms.size)
+        noise = 0.1 * (rng.normal(size=syms.size) + 1j * rng.normal(size=syms.size))
+        received = syms * np.exp(2j * np.pi * 0.0015 * n) + noise
+        out = CostasLoop(loop_bandwidth=0.03).process(received)
+        assert out.final_frequency == pytest.approx(2 * np.pi * 0.0015, rel=0.2)
+
+    def test_bad_bandwidth_raises(self):
+        with pytest.raises(ValueError):
+            CostasLoop(loop_bandwidth=0.0)
+        with pytest.raises(ValueError):
+            CostasLoop(loop_bandwidth=0.9)
+
+    def test_empty_input(self):
+        out = CostasLoop().process(np.array([], dtype=complex))
+        assert out.corrected.size == 0
+        assert out.final_frequency == 0.0
+
+
+def shaped_qpsk(n_sym, sps, seed=0):
+    """QPSK symbol stream with raised-cosine-ish (half-sine) shaping."""
+    from repro.dsp import HalfSinePulse
+
+    syms = qpsk_symbols(n_sym, seed=seed)
+    pulse = HalfSinePulse().waveform(sps)
+    wave = np.zeros(n_sym * sps, dtype=complex)
+    wave[::sps] = syms
+    return np.convolve(wave, pulse)[: n_sym * sps], syms
+
+
+class TestGardner:
+    def test_error_sign_convention(self):
+        # sampling late: mid-sample correlates with the direction of change
+        assert gardner_error(1 + 0j, 0.5 + 0j, -1 + 0j) == pytest.approx(-1.0)
+        assert gardner_error(-1 + 0j, 0.5 + 0j, 1 + 0j) == pytest.approx(1.0)
+
+    def test_zero_error_at_perfect_timing(self):
+        assert gardner_error(1 + 0j, 0.0 + 0j, -1 + 0j) == 0.0
+
+    def test_recovers_fractional_offset(self):
+        sps = 4
+        wave, _syms = shaped_qpsk(800, sps, seed=6)
+        delayed = fractional_delay(wave, 1.7)
+        loop = GardnerTimingRecovery(sps=sps, loop_bandwidth=0.03)
+        result = loop.process(delayed)
+        # steady-state positions should land ~1.7 samples late modulo sps
+        # relative to the pulse peak; verify via decision quality instead:
+        tail = np.array(result.symbols[400:])
+        evm = np.mean(np.abs(np.abs(tail.real) - np.median(np.abs(tail.real))))
+        assert evm < 0.25 * np.median(np.abs(tail.real))
+
+    def test_symbol_count_close_to_expected(self):
+        sps = 4
+        wave, syms = shaped_qpsk(500, sps, seed=7)
+        result = GardnerTimingRecovery(sps=sps).process(wave)
+        assert abs(result.symbols.size - 500) < 10
+
+    def test_errors_shrink_after_convergence(self):
+        sps = 4
+        wave, _ = shaped_qpsk(1000, sps, seed=8)
+        delayed = fractional_delay(wave, 2.3)
+        result = GardnerTimingRecovery(sps=sps, loop_bandwidth=0.05).process(delayed)
+        early = np.abs(result.errors[:100]).mean()
+        late = np.abs(result.errors[-200:]).mean()
+        assert late <= early + 0.1
+
+    def test_sps_one_raises(self):
+        with pytest.raises(ValueError):
+            GardnerTimingRecovery(sps=1)
+
+    def test_empty_signal(self):
+        result = GardnerTimingRecovery(sps=2).process(np.array([], dtype=complex))
+        assert result.symbols.size == 0
+
+
+class TestPreamble:
+    def make_ref(self, n=128, seed=9):
+        rng = np.random.default_rng(seed)
+        return QPSK[rng.integers(0, 4, size=n)]
+
+    def test_correlation_peak_at_true_offset(self):
+        ref = self.make_ref()
+        rng = np.random.default_rng(10)
+        noise = 0.05 * (rng.normal(size=1000) + 1j * rng.normal(size=1000))
+        received = noise.copy()
+        received[300 : 300 + ref.size] += ref
+        corr = correlate_preamble(received, ref)
+        assert np.argmax(corr) == 300
+
+    def test_detect_returns_start(self):
+        ref = self.make_ref()
+        received = np.concatenate([np.zeros(137, dtype=complex), ref, np.zeros(50, dtype=complex)])
+        det = detect_preamble(received, ref, threshold=0.5)
+        assert det.found and det.start == 137
+        assert det.peak == pytest.approx(1.0, abs=1e-6)
+
+    def test_detect_missing_preamble(self):
+        ref = self.make_ref()
+        rng = np.random.default_rng(11)
+        noise = rng.normal(size=600) + 1j * rng.normal(size=600)
+        det = detect_preamble(noise, ref, threshold=0.6)
+        assert not det.found
+        assert det.start is None
+
+    def test_detect_under_strong_noise(self):
+        ref = self.make_ref(n=256)
+        rng = np.random.default_rng(12)
+        noise = 0.7 * (rng.normal(size=2000) + 1j * rng.normal(size=2000))
+        received = noise.copy()
+        received[700 : 700 + ref.size] += ref
+        det = detect_preamble(received, ref, threshold=0.3)
+        assert det.found and abs(det.start - 700) <= 1
+
+    def test_received_shorter_than_ref(self):
+        ref = self.make_ref()
+        det = detect_preamble(ref[:10], ref, threshold=0.5)
+        assert not det.found
+
+    def test_bad_threshold_raises(self):
+        ref = self.make_ref()
+        with pytest.raises(ValueError):
+            detect_preamble(ref, ref, threshold=0.0)
+
+    def test_empty_reference_raises(self):
+        with pytest.raises(ValueError):
+            correlate_preamble(np.ones(10, dtype=complex), np.array([], dtype=complex))
+
+    def test_correlation_invariant_to_scale(self):
+        ref = self.make_ref()
+        received = np.concatenate([np.zeros(50, dtype=complex), ref * 100.0])
+        corr = correlate_preamble(received, ref)
+        assert corr[50] == pytest.approx(1.0, abs=1e-6)
+
+
+class TestCfoEstimation:
+    def test_estimates_positive_cfo(self):
+        fs = 1e6
+        ref = np.repeat(QPSK[[0, 1, 2, 3] * 64], 2)  # 512-sample preamble
+        cfo = 1200.0
+        n = np.arange(ref.size)
+        received = ref * np.exp(2j * np.pi * cfo / fs * n)
+        est = estimate_cfo_from_preamble(received, ref, fs)
+        assert est == pytest.approx(cfo, rel=0.05)
+
+    def test_estimates_negative_cfo(self):
+        fs = 1e6
+        ref = np.repeat(QPSK[[0, 3, 1, 2] * 64], 2)
+        cfo = -800.0
+        n = np.arange(ref.size)
+        received = ref * np.exp(2j * np.pi * cfo / fs * n)
+        est = estimate_cfo_from_preamble(received, ref, fs)
+        assert est == pytest.approx(cfo, rel=0.05)
+
+    def test_zero_cfo(self):
+        fs = 1e6
+        ref = np.repeat(QPSK[[2, 1, 0, 3] * 32], 2)
+        est = estimate_cfo_from_preamble(ref, ref, fs)
+        assert abs(est) < 10.0
+
+    def test_robust_to_noise(self):
+        fs = 1e6
+        rng = np.random.default_rng(13)
+        ref = np.repeat(QPSK[rng.integers(0, 4, size=256)], 2)
+        cfo = 2000.0
+        n = np.arange(ref.size)
+        received = ref * np.exp(2j * np.pi * cfo / fs * n)
+        received = received + 0.2 * (rng.normal(size=ref.size) + 1j * rng.normal(size=ref.size))
+        est = estimate_cfo_from_preamble(received, ref, fs)
+        assert est == pytest.approx(cfo, rel=0.15)
+
+    def test_too_short_received_raises(self):
+        ref = np.ones(64, dtype=complex)
+        with pytest.raises(ValueError):
+            estimate_cfo_from_preamble(ref[:32], ref, 1e6)
+
+    def test_bad_segments_raises(self):
+        ref = np.ones(64, dtype=complex)
+        with pytest.raises(ValueError):
+            estimate_cfo_from_preamble(ref, ref, 1e6, num_segments=1)

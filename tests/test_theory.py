@@ -1,0 +1,277 @@
+"""Unit tests for the analytical results (Section 5 + Appendix equations)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import theory
+from repro.hopping import paper_bandwidths
+from repro.utils import db_to_linear, linear_to_db
+
+scipy_special = pytest.importorskip("scipy.special")
+
+
+class TestCorrelatorSnr:
+    def test_no_filter_formula(self):
+        # eq. (7): SNR = L / (rho_j(0) + sigma_n^2)
+        assert theory.correlator_snr_no_filter(100, 100.0, 0.01) == pytest.approx(100 / 100.01)
+
+    def test_no_filter_no_interference(self):
+        assert theory.correlator_snr_no_filter(100, 0.0, 0.01) == pytest.approx(10000.0)
+
+    def test_no_filter_zero_denominator(self):
+        assert theory.correlator_snr_no_filter(100, 0.0, 0.0) == float("inf")
+
+    def test_identity_filter_matches_no_filter(self):
+        # h = delta at lag 0 -> eq. (6) must reduce to eq. (7).
+        taps = np.zeros(8)
+        taps[0] = 1.0
+        rho = np.zeros(8)
+        rho[0] = 50.0  # white-ish jammer: power 50, no correlation at lag>0
+        snr_filt = theory.correlator_snr_with_filter(taps, 100, rho, 0.01)
+        snr_none = theory.correlator_snr_no_filter(100, 50.0, 0.01)
+        assert snr_filt == pytest.approx(snr_none)
+
+    def test_filter_suppressing_correlated_jammer_improves(self):
+        # A DC jammer (rho_j constant over lags) vs a two-tap differencer.
+        k = 16
+        rho = np.full(k, 100.0)  # perfectly correlated (DC) interference
+        taps = np.zeros(k)
+        taps[0], taps[1] = 1.0, -1.0  # notch at DC
+        snr_filt = theory.correlator_snr_with_filter(taps, 100, rho, 0.01)
+        snr_none = theory.correlator_snr_no_filter(100, 100.0, 0.01)
+        assert snr_filt > 10 * snr_none
+
+    def test_callable_autocorrelation(self):
+        taps = np.array([1.0, 0.0])
+        snr = theory.correlator_snr_with_filter(taps, 10, lambda lag: 5.0 if lag == 0 else 0.0, 0.0)
+        assert snr == pytest.approx(2.0)
+
+    def test_bad_args_raise(self):
+        with pytest.raises(ValueError):
+            theory.correlator_snr_with_filter(np.array([]), 10, np.ones(4), 0.01)
+        with pytest.raises(ValueError):
+            theory.correlator_snr_with_filter(np.ones(4), 0, np.ones(4), 0.01)
+        with pytest.raises(ValueError):
+            theory.correlator_snr_with_filter(np.ones(4), 10, np.ones(2), 0.01)
+        with pytest.raises(ValueError):
+            theory.correlator_snr_no_filter(0, 1.0, 1.0)
+
+
+class TestImprovementFactor:
+    def test_matched_bandwidth_gives_unity(self):
+        assert theory.improvement_factor(1e6, 1e6, 100.0) == pytest.approx(1.0)
+
+    def test_very_narrow_jammer_saturates_at_jammer_power(self):
+        # Figure 7: for Bp/Bj >> 1 gamma converges near rho_j(0).
+        g = theory.improvement_factor(10e6, 0.01e6, 100.0, 0.01)
+        assert g == pytest.approx(100.0, rel=0.05)
+
+    def test_wideband_regime_linear_in_ratio(self):
+        # Figure 7: for 0.01 < Bp/Bj < 1 gamma ~= Bj/Bp, power-independent.
+        for power in [10.0, 100.0, 1000.0]:
+            g = theory.improvement_factor(1e6, 10e6, power, 0.01)
+            assert linear_to_db(g) == pytest.approx(10.0, abs=1.0)
+
+    def test_wideband_100x_is_20db(self):
+        g = theory.improvement_factor(0.1e6, 10e6, 1000.0, 0.01)
+        assert linear_to_db(g) == pytest.approx(20.0, abs=0.5)
+
+    def test_eq10_notch_region_gamma_one(self):
+        # Just-narrower jammer than eq. (10) threshold: filter withheld.
+        rho, sn = 100.0, 0.01
+        threshold = theory.narrowband_filter_useful_threshold(rho, sn)
+        bp = 1e6
+        bj = (threshold + 0.005) * bp  # just above the useful region
+        assert bj < bp
+        assert theory.improvement_factor(bp, bj, rho, sn) == 1.0
+
+    def test_weak_jammer_never_filters(self):
+        # rho_j <= 1: excision can only hurt, gamma stays 1 for Bj < Bp.
+        assert theory.narrowband_filter_useful_threshold(0.5, 0.01) == 0.0
+        assert theory.improvement_factor(1e6, 0.1e6, 0.5, 0.01) == 1.0
+
+    def test_gamma_never_below_one(self):
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            bp = 10 ** rng.uniform(4, 7)
+            bj = 10 ** rng.uniform(4, 7)
+            power = 10 ** rng.uniform(-1, 3)
+            g = theory.improvement_factor(bp, bj, power, 0.01)
+            assert g >= 1.0
+
+    def test_asymmetry_of_figure7(self):
+        # Stronger gains on the narrow-jammer side than the wide side at
+        # equal offset, for a strong jammer (30 dB).
+        power = 1000.0
+        g_narrow = theory.improvement_factor(10e6, 10e6 / 64, power, 0.01)
+        g_wide = theory.improvement_factor(10e6 / 64, 10e6, power, 0.01)
+        assert g_narrow > g_wide
+
+    def test_vectorized_broadcast(self):
+        bp = np.array([1e6, 2e6])
+        bj = 1e6
+        g = theory.improvement_factor(bp, bj, 100.0)
+        assert g.shape == (2,)
+        assert g[0] == 1.0 and g[1] > 1.0
+
+    def test_db_wrapper(self):
+        g_db = theory.improvement_factor_db(0.1e6, 10e6, 20.0, 0.01)
+        g = theory.improvement_factor(0.1e6, 10e6, 100.0, 0.01)
+        assert g_db == pytest.approx(linear_to_db(g))
+
+    def test_bad_bandwidths_raise(self):
+        with pytest.raises(ValueError):
+            theory.improvement_factor(-1.0, 1.0, 10.0)
+        with pytest.raises(ValueError):
+            theory.improvement_factor(1.0, 0.0, 10.0)
+
+    @given(
+        st.floats(min_value=1e4, max_value=1e7),
+        st.floats(min_value=1e4, max_value=1e7),
+        st.floats(min_value=0.0, max_value=1e4),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_gamma_at_least_one_property(self, bp, bj, power):
+        assert theory.improvement_factor(bp, bj, power, 0.01) >= 1.0
+
+
+class TestBer:
+    def test_matches_scipy_erfc(self):
+        snrs = np.array([0.1, 1.0, 4.0, 10.0, 25.0])
+        ours = theory.ber_qpsk(snrs)
+        reference = 0.5 * scipy_special.erfc(np.sqrt(snrs / 2))
+        np.testing.assert_allclose(ours, reference, rtol=1e-6)
+
+    def test_zero_snr_is_half(self):
+        assert theory.ber_qpsk(0.0) == pytest.approx(0.5)
+
+    def test_monotone_decreasing(self):
+        snrs = np.linspace(0, 30, 50)
+        pb = theory.ber_qpsk(snrs)
+        assert np.all(np.diff(pb) <= 0)
+
+    def test_negative_snr_raises(self):
+        with pytest.raises(ValueError):
+            theory.ber_qpsk(-1.0)
+
+    def test_ber_from_ebno_jammer_dominated_floor(self):
+        # Figure 9's DSSS curve: at SJR -20 dB and L = 20 dB the BER stays
+        # near coin-flip territory even at Eb/N0 = 15 dB.
+        pb = theory.ber_from_ebno(15.0, -20.0, 20.0, gamma=1.0)
+        assert pb > 0.1
+
+    def test_ber_from_ebno_gamma_rescues(self):
+        pb_plain = theory.ber_from_ebno(15.0, -20.0, 20.0, gamma=1.0)
+        pb_filtered = theory.ber_from_ebno(15.0, -20.0, 20.0, gamma=db_to_linear(20.0))
+        assert pb_filtered < pb_plain / 100
+
+    def test_ber_from_ebno_noise_limited_regime(self):
+        # Without jamming the curve follows the AWGN waterfall.
+        pb_low = theory.ber_from_ebno(0.0, 300.0, 20.0)
+        pb_high = theory.ber_from_ebno(18.0, 300.0, 20.0)
+        assert pb_high < 1e-10
+        assert pb_low > 1e-3
+
+
+class TestBhssBer:
+    BWS = paper_bandwidths(count=9)  # log-spaced, range 256
+
+    def test_fixed_jammer_scalar(self):
+        w = np.full(self.BWS.size, 1 / self.BWS.size)
+        pb = theory.bhss_ber(15.0, -20.0, 20.0, self.BWS, w, jammer_bandwidths=self.BWS[0])
+        assert 0 <= pb <= 0.5
+
+    def test_bhss_beats_dsss_figure9(self):
+        w = np.full(self.BWS.size, 1 / self.BWS.size)
+        pb_dsss = theory.ber_from_ebno(15.0, -20.0, 20.0)
+        for bj in [self.BWS[0], self.BWS[4], self.BWS[-1]]:
+            pb_bhss = theory.bhss_ber(15.0, -20.0, 20.0, self.BWS, w, bj)
+            assert pb_bhss < pb_dsss
+
+    def test_random_jammer_between_extremes(self):
+        # Figure 9: the random-hopping jammer sits between the best and
+        # worst fixed-bandwidth jammers.
+        w = np.full(self.BWS.size, 1 / self.BWS.size)
+        fixed = [
+            theory.bhss_ber(15.0, -20.0, 20.0, self.BWS, w, bj) for bj in self.BWS
+        ]
+        random_jam = theory.bhss_ber(
+            15.0, -20.0, 20.0, self.BWS, w, self.BWS, jammer_weights=w
+        )
+        assert min(fixed) <= random_jam <= max(fixed)
+
+    def test_ber_curve_decreases_with_ebno(self):
+        w = np.full(self.BWS.size, 1 / self.BWS.size)
+        ebno = np.linspace(0, 20, 11)
+        pb = theory.bhss_ber(ebno, -20.0, 20.0, self.BWS, w, self.BWS[2])
+        assert np.all(np.diff(pb) <= 1e-15)
+
+    def test_figure10_maximum_exists_for_some_sjr(self):
+        # Figure 10: BER vs Bj has an interior maximum whose location
+        # depends on the SJR.
+        w = np.full(self.BWS.size, 1 / self.BWS.size)
+        bjs = paper_bandwidths(count=13)
+        curves = {}
+        for sjr in [-10.0, -15.0, -20.0]:
+            curves[sjr] = np.array(
+                [theory.bhss_ber(15.0, sjr, 20.0, self.BWS, w, bj) for bj in bjs]
+            )
+        # stronger jamming -> higher peak BER
+        assert curves[-20.0].max() > curves[-10.0].max()
+
+    def test_mismatched_weights_raise(self):
+        with pytest.raises(ValueError):
+            theory.bhss_ber(10.0, -20.0, 20.0, self.BWS, [0.5, 0.5], 1e6)
+
+
+class TestThroughput:
+    def test_packet_error_rate_formula(self):
+        # eq. (18) with small numbers checks exactly
+        assert theory.packet_error_rate(0.5, 2) == pytest.approx(0.75)
+        assert theory.packet_error_rate(0.0, 100) == 0.0
+        assert theory.packet_error_rate(1.0, 1) == 1.0
+
+    def test_packet_error_rate_tiny_ber_stable(self):
+        pp = theory.packet_error_rate(1e-12, 4000)
+        assert pp == pytest.approx(4e-9, rel=0.01)
+
+    def test_bad_args_raise(self):
+        with pytest.raises(ValueError):
+            theory.packet_error_rate(0.5, 0)
+        with pytest.raises(ValueError):
+            theory.packet_error_rate(1.5, 10)
+
+    def test_normalized_throughput_limits(self):
+        assert theory.normalized_throughput(0.0, 1000) == pytest.approx(1.0)
+        assert theory.normalized_throughput(0.5, 1000) == pytest.approx(0.0, abs=1e-6)
+
+    def test_equal_rate_processing_gain_paper_value(self):
+        # Section 5.4: L_BHSS = 20 dB and hop range 100 -> ~25.4 dB for DSSS.
+        bws = paper_bandwidths(max_bandwidth=1.0, count=9)  # range 256... use 100-range set
+        # Build a log-spaced set with range exactly 100:
+        bws = np.logspace(0, -2, 9)
+        w = np.full(9, 1 / 9)
+        l_dsss = theory.equal_rate_processing_gain_db(20.0, bws, w)
+        assert l_dsss == pytest.approx(25.4, abs=0.7)
+
+    def test_throughput_curve_dsss_flat_under_strong_jamming(self):
+        ebno = np.linspace(0, 20, 5)
+        t = theory.throughput_curve(ebno, -20.0, 4000, 20.0)
+        assert np.all(t < 0.1)
+
+    def test_throughput_curve_bhss_rises(self):
+        bws = np.logspace(0, -2, 9)
+        w = np.full(9, 1 / 9)
+        ebno = np.linspace(0, 30, 7)
+        t = theory.throughput_curve(
+            ebno, -20.0, 4000, 20.0, bandwidths=bws, hop_weights=w, jammer_bandwidths=0.01
+        )
+        # the hop band matched to the jammer (1/9 of packets) never
+        # recovers, so the ceiling is 8/9
+        assert t[-1] > 0.85
+        assert np.all(np.diff(t) >= -1e-9)
+
+    def test_throughput_scalar_input(self):
+        t = theory.throughput_curve(10.0, -20.0, 100, 20.0)
+        assert isinstance(t, float)

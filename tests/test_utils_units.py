@@ -1,0 +1,124 @@
+"""Unit tests for repro.utils.units."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils import (
+    db_to_linear,
+    dbm_to_watt,
+    linear_to_db,
+    normalize_power,
+    papr_db,
+    rms,
+    scale_to_power,
+    signal_energy,
+    signal_power,
+    watt_to_dbm,
+)
+
+
+class TestDbConversions:
+    def test_zero_db_is_unity(self):
+        assert db_to_linear(0.0) == pytest.approx(1.0)
+
+    def test_ten_db_is_ten(self):
+        assert db_to_linear(10.0) == pytest.approx(10.0)
+
+    def test_twenty_db_is_hundred(self):
+        assert db_to_linear(20.0) == pytest.approx(100.0)
+
+    def test_negative_db(self):
+        assert db_to_linear(-3.0) == pytest.approx(0.501187, rel=1e-5)
+
+    def test_linear_to_db_unity(self):
+        assert linear_to_db(1.0) == pytest.approx(0.0)
+
+    def test_linear_to_db_floor_avoids_inf(self):
+        assert np.isfinite(linear_to_db(0.0))
+
+    def test_array_input_roundtrip(self):
+        vals = np.array([0.1, 1.0, 10.0, 123.4])
+        np.testing.assert_allclose(db_to_linear(linear_to_db(vals)), vals, rtol=1e-12)
+
+    @given(st.floats(min_value=-100, max_value=100))
+    def test_roundtrip_property(self, db):
+        assert linear_to_db(db_to_linear(db)) == pytest.approx(db, abs=1e-9)
+
+    @given(st.floats(min_value=-100, max_value=100), st.floats(min_value=-100, max_value=100))
+    def test_db_addition_is_linear_multiplication(self, a, b):
+        assert db_to_linear(a + b) == pytest.approx(db_to_linear(a) * db_to_linear(b), rel=1e-9)
+
+
+class TestDbm:
+    def test_zero_dbm_is_milliwatt(self):
+        assert dbm_to_watt(0.0) == pytest.approx(1e-3)
+
+    def test_thirty_dbm_is_watt(self):
+        assert dbm_to_watt(30.0) == pytest.approx(1.0)
+
+    def test_watt_to_dbm_roundtrip(self):
+        assert watt_to_dbm(dbm_to_watt(17.3)) == pytest.approx(17.3)
+
+
+class TestSignalPower:
+    def test_unit_tone_power(self):
+        n = np.arange(1000)
+        x = np.exp(1j * 2 * np.pi * 0.1 * n)
+        assert signal_power(x) == pytest.approx(1.0)
+
+    def test_real_signal(self):
+        assert signal_power(np.array([3.0, -3.0])) == pytest.approx(9.0)
+
+    def test_empty_signal_is_zero(self):
+        assert signal_power(np.array([])) == 0.0
+
+    def test_energy_is_power_times_length(self):
+        x = np.array([1.0, 2.0, 2.0])
+        assert signal_energy(x) == pytest.approx(signal_power(x) * 3)
+
+    def test_rms(self):
+        assert rms(np.array([3.0, 4.0, 3.0, 4.0])) == pytest.approx(np.sqrt(12.5))
+
+    def test_normalize_power_gives_unit_power(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=500) + 1j * rng.normal(size=500)
+        assert signal_power(normalize_power(x)) == pytest.approx(1.0)
+
+    def test_normalize_zero_signal_unchanged(self):
+        x = np.zeros(4, dtype=complex)
+        np.testing.assert_array_equal(normalize_power(x), x)
+
+    def test_scale_to_power(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=400)
+        assert signal_power(scale_to_power(x, 7.5)) == pytest.approx(7.5)
+
+    def test_scale_to_negative_power_raises(self):
+        with pytest.raises(ValueError):
+            scale_to_power(np.ones(4), -1.0)
+
+    @given(st.floats(min_value=1e-6, max_value=1e6))
+    def test_scale_to_power_property(self, p):
+        x = np.linspace(1, 2, 64) * (1 + 1j)
+        assert signal_power(scale_to_power(x, p)) == pytest.approx(p, rel=1e-9)
+
+
+class TestPapr:
+    def test_constant_envelope_papr_zero(self):
+        n = np.arange(256)
+        x = np.exp(1j * 2 * np.pi * 0.05 * n)
+        assert papr_db(x) == pytest.approx(0.0, abs=1e-9)
+
+    def test_impulse_has_high_papr(self):
+        x = np.zeros(100)
+        x[0] = 1.0
+        assert papr_db(x) == pytest.approx(20.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            papr_db(np.array([]))
+
+    def test_zero_signal_raises(self):
+        with pytest.raises(ValueError):
+            papr_db(np.zeros(5))

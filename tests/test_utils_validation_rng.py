@@ -1,0 +1,142 @@
+"""Unit tests for repro.utils.validation and repro.utils.rng."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils import (
+    as_complex_array,
+    as_float_array,
+    child_rng,
+    derive_seed,
+    ensure_in_range,
+    ensure_non_negative,
+    ensure_odd,
+    ensure_positive,
+    ensure_power_of_two,
+    ensure_probability_vector,
+    make_rng,
+)
+
+
+class TestEnsurePositive:
+    def test_accepts_positive(self):
+        assert ensure_positive(2.5, "x") == 2.5
+
+    @pytest.mark.parametrize("bad", [0, -1, float("nan"), float("inf")])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError, match="x"):
+            ensure_positive(bad, "x")
+
+
+class TestEnsureNonNegative:
+    def test_accepts_zero(self):
+        assert ensure_non_negative(0.0, "x") == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ensure_non_negative(-0.1, "x")
+
+
+class TestEnsureInRange:
+    def test_accepts_bounds(self):
+        assert ensure_in_range(0.0, 0.0, 1.0, "x") == 0.0
+        assert ensure_in_range(1.0, 0.0, 1.0, "x") == 1.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            ensure_in_range(1.5, 0.0, 1.0, "x")
+
+
+class TestEnsureOdd:
+    def test_accepts_odd(self):
+        assert ensure_odd(7, "n") == 7
+
+    @pytest.mark.parametrize("bad", [4, 2.5])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError):
+            ensure_odd(bad, "n")
+
+
+class TestEnsurePowerOfTwo:
+    @pytest.mark.parametrize("good", [1, 2, 64, 4096])
+    def test_accepts(self, good):
+        assert ensure_power_of_two(good, "n") == good
+
+    @pytest.mark.parametrize("bad", [0, 3, 6, -4])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError):
+            ensure_power_of_two(bad, "n")
+
+
+class TestProbabilityVector:
+    def test_normalizes(self):
+        w = ensure_probability_vector([1, 1, 2], "w")
+        np.testing.assert_allclose(w, [0.25, 0.25, 0.5])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ensure_probability_vector([0.5, -0.5], "w")
+
+    def test_rejects_zero_total(self):
+        with pytest.raises(ValueError):
+            ensure_probability_vector([0.0, 0.0], "w")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ensure_probability_vector([], "w")
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            ensure_probability_vector([[1.0]], "w")
+
+    @given(st.lists(st.floats(min_value=0.001, max_value=100), min_size=1, max_size=20))
+    def test_always_sums_to_one(self, weights):
+        assert ensure_probability_vector(weights, "w").sum() == pytest.approx(1.0)
+
+
+class TestArrayCoercion:
+    def test_complex_coercion(self):
+        out = as_complex_array([1, 2, 3])
+        assert out.dtype == np.complex128
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            as_complex_array(np.zeros((2, 2)))
+
+    def test_float_coercion(self):
+        assert as_float_array([1, 2]).dtype == np.float64
+
+
+class TestRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(42).normal(size=10)
+        b = make_rng(42).normal(size=10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = make_rng(1)
+        assert make_rng(gen) is gen
+
+    def test_derive_seed_deterministic(self):
+        assert derive_seed(7, "hop") == derive_seed(7, "hop")
+
+    def test_derive_seed_label_sensitive(self):
+        assert derive_seed(7, "hop") != derive_seed(7, "pn")
+
+    def test_derive_seed_root_sensitive(self):
+        assert derive_seed(7, "hop") != derive_seed(8, "hop")
+
+    def test_derive_seed_path_not_concat_ambiguous(self):
+        # ("ab", "c") must differ from ("a", "bc"): labels are delimited.
+        assert derive_seed(1, "ab", "c") != derive_seed(1, "a", "bc")
+
+    def test_child_rng_independent_labels(self):
+        x = child_rng(3, "a").normal(size=5)
+        y = child_rng(3, "b").normal(size=5)
+        assert not np.allclose(x, y)
+
+    @given(st.integers(min_value=0, max_value=2**31), st.text(max_size=20))
+    def test_derive_seed_in_64bit_range(self, root, label):
+        s = derive_seed(root, label)
+        assert 0 <= s < 2**64
