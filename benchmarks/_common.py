@@ -14,9 +14,11 @@ paper's 10 000-packets-per-point fidelity.
 
 from __future__ import annotations
 
+import json
 import os
 
 from repro.analysis import SweepResult, ThresholdSearch, env_scale, write_csv
+from repro.runtime import ParallelExecutor
 from repro.utils import format_table
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
@@ -40,7 +42,13 @@ def default_search(packets: int = 12, tolerance_db: float = 1.0) -> ThresholdSea
 
 
 def save_and_print(result: SweepResult, name: str, title: str) -> str:
-    """Persist a sweep as CSV + formatted text and print the table."""
+    """Persist a sweep as CSV + formatted text and print the table.
+
+    When the sweep carries timing telemetry (it came out of
+    ``run_sweep``), the one-line summary is printed under the table and
+    the full telemetry is written as a ``.timing.json`` sidecar, so
+    speedups are tracked next to the results they time.
+    """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     csv_path = write_csv(result, os.path.join(RESULTS_DIR, f"{name}.csv"))
     table = format_table(result.columns, result.as_table_rows(), title=title)
@@ -48,7 +56,16 @@ def save_and_print(result: SweepResult, name: str, title: str) -> str:
         fh.write(table + "\n")
     print()
     print(table)
+    if result.timing is not None:
+        print(result.timing.summary())
+        with open(os.path.join(RESULTS_DIR, f"{name}.timing.json"), "w") as fh:
+            json.dump(result.timing.to_dict(), fh, indent=2)
     return csv_path
+
+
+def pool_executor() -> ParallelExecutor:
+    """The ``REPRO_WORKERS``-configured executor for benchmark sweeps."""
+    return ParallelExecutor.from_env()
 
 
 def run_once(benchmark, fn):

@@ -7,14 +7,21 @@ with pytest-benchmark's normal multi-round statistics (unlike the
 experiment benchmarks, which execute once).
 """
 
+import json
+import os
+
 import numpy as np
 import pytest
 
-from repro.core import BHSSConfig, BHSSReceiver, BHSSTransmitter, ControlLogic
+from repro.analysis import run_sweep
+from repro.core import BHSSConfig, BHSSReceiver, BHSSTransmitter, ControlLogic, LinkSimulator
 from repro.dsp import apply_fir, design_excision_filter, lowpass_taps, welch_psd
-from repro.jamming import bandlimited_noise
+from repro.jamming import BandlimitedNoiseJammer, bandlimited_noise
 from repro.phy import ChipModulator
+from repro.runtime import ParallelExecutor
 from repro.spread import SixteenAryDSSS
+
+from _common import RESULTS_DIR
 
 FS = 20e6
 rng = np.random.default_rng(0)
@@ -85,3 +92,54 @@ def test_perf_control_decision(benchmark):
     logic = ControlLogic(sample_rate=FS)
     jammed = BLOCK[:65536] + 5 * bandlimited_noise(65536, 0.625e6, FS, rng=4)
     benchmark(logic.decide, jammed, 10e6)
+
+
+def test_perf_parallel_sweep_speedup():
+    """Parallel sweep engine: bit-identical to serial, tracked speedup.
+
+    Times a multi-point link sweep once serially and once across a
+    4-process pool, asserts the results match exactly (the engine's
+    determinism contract), and writes the wall times to a BENCH JSON so
+    the speedup is tracked across PRs.  The >= 2x speedup assertion only
+    applies on machines with >= 4 cores — on smaller runners the pool
+    path is still exercised and timed, just not held to the ratio.
+    """
+    workers = 4
+    cfg = BHSSConfig.paper_default(payload_bytes=4, seed=17)
+    link = LinkSimulator(cfg)
+    snrs = [float(s) for s in np.linspace(0.0, 18.0, 8)]
+    serial = ParallelExecutor(0)
+
+    def evaluate(snr_db):
+        stats = link.run_packets(
+            4, snr_db=snr_db, sjr_db=-10.0,
+            jammer=BandlimitedNoiseJammer(2.5e6, FS), seed=3,
+            executor=serial, cache=False,
+        )
+        return {"snr_db": snr_db, "per": stats.packet_error_rate, "ber": stats.bit_error_rate}
+
+    columns = ["snr_db", "per", "ber"]
+    base = run_sweep(columns, snrs, evaluate, executor=serial)
+    pool = run_sweep(columns, snrs, evaluate, executor=ParallelExecutor(workers))
+    assert pool.rows == base.rows  # determinism: parallel == serial, bit for bit
+
+    speedup = base.timing.wall_seconds / pool.timing.wall_seconds
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, "BENCH_parallel_sweep.json"), "w") as fh:
+        json.dump(
+            {
+                "points": len(snrs),
+                "packets_per_point": 4,
+                "workers": workers,
+                "cpu_count": os.cpu_count(),
+                "serial": base.timing.to_dict(),
+                "parallel": pool.timing.to_dict(),
+                "speedup": speedup,
+            },
+            fh,
+            indent=2,
+        )
+    print(f"\nparallel sweep speedup: {speedup:.2f}x "
+          f"(serial {base.timing.wall_seconds:.2f} s, pool {pool.timing.wall_seconds:.2f} s)")
+    if ParallelExecutor.fork_available() and (os.cpu_count() or 1) >= 4:
+        assert speedup >= 2.0, f"expected >= 2x speedup on >= 4 cores, got {speedup:.2f}x"

@@ -13,6 +13,8 @@ import os
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
+from repro.runtime import ParallelExecutor, SweepTiming
+
 __all__ = ["SweepResult", "run_sweep", "write_csv", "env_scale"]
 
 
@@ -21,11 +23,14 @@ class SweepResult:
     """A tidy table of sweep records.
 
     ``columns`` fixes the field order; ``rows`` holds one dict per grid
-    point.
+    point.  ``timing`` carries the sweep's wall-time telemetry when the
+    result came out of :func:`run_sweep` (it does not participate in
+    equality — two sweeps with identical rows are the same result).
     """
 
     columns: tuple[str, ...]
     rows: list[dict] = field(default_factory=list)
+    timing: SweepTiming | None = field(default=None, repr=False, compare=False)
 
     def add(self, **record) -> None:
         """Append one record (must cover every column)."""
@@ -56,19 +61,44 @@ def run_sweep(
     columns: Sequence[str],
     grid: Iterable,
     evaluate: Callable[..., dict],
+    *,
+    unpack: bool = True,
+    executor: ParallelExecutor | None = None,
 ) -> SweepResult:
     """Evaluate a function over a grid of points.
 
-    ``grid`` yields either scalars or tuples, splatted into ``evaluate``;
-    the function returns a record dict which is appended to the result.
+    ``grid`` yields scalars or tuples; with ``unpack=True`` (the default)
+    tuple points are splatted into ``evaluate(*point)``.  Grids whose
+    *scalar* points happen to be tuples — e.g. ``(lo, hi)`` bracket values
+    — must pass ``unpack=False`` to receive each point as one argument;
+    the historical behavior silently splatted them.
+
+    ``executor`` fans the grid points out over a process pool (default:
+    the ``REPRO_WORKERS``-configured executor; serial when unset).
+    Results are merged in grid order, so a parallel sweep is bit-identical
+    to a serial one whenever ``evaluate`` is a pure function of its point
+    — which holds for evaluators that build their links/jammers per call
+    (shared *stateful* objects mutated across points are outside the
+    guarantee).  The sweep's wall-time telemetry is attached as
+    ``result.timing``.
     """
+    points = list(grid)
+    ex = executor if executor is not None else ParallelExecutor.from_env()
+
+    def call(point):
+        if unpack and isinstance(point, tuple):
+            return evaluate(*point)
+        return evaluate(point)
+
+    report = ex.map_timed(call, points)
     result = SweepResult(columns=tuple(columns))
-    for point in grid:
-        if isinstance(point, tuple):
-            record = evaluate(*point)
-        else:
-            record = evaluate(point)
+    for record in report.values:
         result.add(**record)
+    result.timing = SweepTiming(
+        wall_seconds=report.wall_seconds,
+        point_seconds=report.seconds,
+        workers=report.workers,
+    )
     return result
 
 

@@ -15,6 +15,7 @@ from typing import Callable
 
 from repro.core.link import LinkSimulator
 from repro.jamming.base import Jammer
+from repro.runtime import ParallelExecutor, ResultCache
 
 __all__ = ["min_snr_for_per", "power_advantage_db", "ThresholdSearch"]
 
@@ -62,6 +63,8 @@ def min_snr_for_per(
     seed: int = 0,
     jammer_delay_samples: int = 0,
     jnr_db: float | None = None,
+    executor: ParallelExecutor | None = None,
+    cache: ResultCache | None = None,
 ) -> float:
     """Minimum SNR (dB) at which the link's PER drops below the target.
 
@@ -81,6 +84,11 @@ def min_snr_for_per(
     hurts an AWGN link).  The return value is censored at the bracket
     edges rather than raising, so sweeps over hopeless configurations
     (e.g. a perfectly matched strong jammer) stay well defined.
+
+    The bisection itself is inherently sequential (each probe depends on
+    the last verdict), but each probed SNR's packet batch parallelizes:
+    ``executor``/``cache`` are passed straight through to
+    :meth:`LinkSimulator.run_packets`.
     """
     s = search or ThresholdSearch()
 
@@ -93,6 +101,8 @@ def min_snr_for_per(
             jammer=jammer,
             seed=seed,
             jammer_delay_samples=jammer_delay_samples,
+            executor=executor,
+            cache=cache,
         )
         return stats.packet_error_rate
 
@@ -119,6 +129,8 @@ def power_advantage_db(
     jnr_db: float | None = None,
     sjr_db: float | None = None,
     baseline_jammer_factory: Callable[[], Jammer | None] | None = None,
+    executor: ParallelExecutor | None = None,
+    cache: ResultCache | None = None,
 ) -> tuple[float, float, float]:
     """Power advantage of one link over another at equal jamming.
 
@@ -137,7 +149,7 @@ def power_advantage_db(
     if (jnr_db is None) == (sjr_db is None):
         raise ValueError("specify exactly one of jnr_db or sjr_db")
     base_factory = baseline_jammer_factory or jammer_factory
-    kwargs = dict(search=search, seed=seed)
+    kwargs = dict(search=search, seed=seed, executor=executor, cache=cache)
     if jnr_db is not None:
         kwargs["jnr_db"] = jnr_db
     else:

@@ -19,16 +19,21 @@ Installed as ``repro-bhss`` (see ``pyproject.toml``); also runnable as
     sidecar for external SDR tooling.
 ``theory``
     Evaluate the eq.-(11)/(12) improvement bound for one (Bp, Bj) pair.
+``bench``
+    Time a multi-point sweep serially and across the ``REPRO_WORKERS``
+    process pool, verify bit-identical results, and report speedup,
+    packets/sec and worker utilization (optionally to a BENCH JSON).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
 
-from repro.analysis import ThresholdSearch, min_snr_for_per
+from repro.analysis import ThresholdSearch, min_snr_for_per, run_sweep
 from repro.core import BHSSConfig, BHSSTransmitter, LinkSimulator, theory
 from repro.hopping import (
     expected_bandwidth,
@@ -218,33 +223,110 @@ def cmd_record(args) -> int:
 def cmd_sweep(args) -> int:
     config = _build_config(args)
     link = LinkSimulator(config)
-    jammer = _build_jammer(args, config)
     sjrs = [float(s) for s in args.sjr_list.split(",")]
-    rows = []
-    csv_lines = ["sjr_db,per,per_lo,per_hi,ber"]
-    for sjr in sjrs:
+
+    # Each grid point builds its own jammer, so every point is a pure
+    # function of its SJR and the sweep parallelizes (REPRO_WORKERS)
+    # bit-identically to the serial run.
+    def evaluate(sjr: float) -> dict:
         stats = link.run_packets(
-            args.packets, snr_db=args.snr, sjr_db=sjr, jammer=jammer, seed=args.run_seed
+            args.packets, snr_db=args.snr, sjr_db=sjr,
+            jammer=_build_jammer(args, config), seed=args.run_seed,
         )
         lo, hi = stats.per_confidence_interval()
-        rows.append(
-            [f"{sjr:g}", f"{stats.packet_error_rate:.3f}", f"[{lo:.2f},{hi:.2f}]", f"{stats.bit_error_rate:.5f}"]
-        )
-        csv_lines.append(
-            f"{sjr:g},{stats.packet_error_rate:.6f},{lo:.6f},{hi:.6f},{stats.bit_error_rate:.6f}"
-        )
+        return {
+            "sjr_db": sjr,
+            "per": stats.packet_error_rate,
+            "per_lo": lo,
+            "per_hi": hi,
+            "ber": stats.bit_error_rate,
+        }
+
+    result = run_sweep(["sjr_db", "per", "per_lo", "per_hi", "ber"], sjrs, evaluate)
+    rows = [
+        [f"{r['sjr_db']:g}", f"{r['per']:.3f}", f"[{r['per_lo']:.2f},{r['per_hi']:.2f}]", f"{r['ber']:.5f}"]
+        for r in result.rows
+    ]
     print(
         format_table(
             ["SJR (dB)", "PER", "95% CI", "BER"],
             rows,
-            title=f"PER/BER vs SJR at SNR {args.snr:g} dB — {jammer.description}",
+            title=f"PER/BER vs SJR at SNR {args.snr:g} dB — {_build_jammer(args, config).description}",
         )
     )
+    if result.timing is not None:
+        print(result.timing.summary())
     if args.output:
+        csv_lines = ["sjr_db,per,per_lo,per_hi,ber"] + [
+            f"{r['sjr_db']:g},{r['per']:.6f},{r['per_lo']:.6f},{r['per_hi']:.6f},{r['ber']:.6f}"
+            for r in result.rows
+        ]
         with open(args.output, "w") as fh:
             fh.write("\n".join(csv_lines) + "\n")
         print(f"\nwrote {args.output}")
     return 0
+
+
+def cmd_bench(args) -> int:
+    """Serial-vs-parallel sweep timing with a determinism cross-check."""
+    from repro.runtime import ParallelExecutor, resolve_workers
+
+    config = _build_config(args)
+    link = LinkSimulator(config)
+    snrs = [float(s) for s in np.linspace(args.snr_low, args.snr_high, args.points)]
+    serial = ParallelExecutor(0)
+
+    def evaluate(snr_db: float) -> dict:
+        stats = link.run_packets(
+            args.packets, snr_db=snr_db, sjr_db=args.sjr,
+            jammer=_build_jammer(args, config), seed=args.run_seed,
+            executor=serial, cache=False,
+        )
+        return {"snr_db": snr_db, "per": stats.packet_error_rate, "ber": stats.bit_error_rate}
+
+    columns = ["snr_db", "per", "ber"]
+    workers = args.workers if args.workers is not None else (resolve_workers() or os.cpu_count() or 1)
+    base = run_sweep(columns, snrs, evaluate, executor=serial)
+    pool = run_sweep(columns, snrs, evaluate, executor=ParallelExecutor(workers))
+    identical = base.rows == pool.rows
+    speedup = base.timing.wall_seconds / pool.timing.wall_seconds if pool.timing.wall_seconds > 0 else 0.0
+    packets = args.packets * len(snrs)
+
+    rows = []
+    for label, timing in [("serial", base.timing), (f"{workers} workers", pool.timing)]:
+        pkt_rate = packets / timing.wall_seconds if timing.wall_seconds > 0 else 0.0
+        rows.append([
+            label,
+            f"{timing.wall_seconds:.2f}",
+            f"{timing.points_per_second:.2f}",
+            f"{pkt_rate:.1f}",
+            f"{100 * timing.utilization:.0f}%",
+        ])
+    print(
+        format_table(
+            ["run", "wall (s)", "points/s", "packets/s", "utilization"],
+            rows,
+            title=f"sweep benchmark: {len(snrs)} points x {args.packets} packets",
+        )
+    )
+    print(f"speedup           : {speedup:.2f}x")
+    print(f"bit-identical     : {'yes' if identical else 'NO — determinism violation'}")
+    if args.output:
+        import json
+
+        payload = {
+            "points": len(snrs),
+            "packets_per_point": args.packets,
+            "workers": workers,
+            "serial": base.timing.to_dict(),
+            "parallel": pool.timing.to_dict(),
+            "speedup": speedup,
+            "bit_identical": identical,
+        }
+        with open(args.output, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.output}")
+    return 0 if identical else 1
 
 
 def cmd_reproduce(args) -> int:
@@ -346,6 +428,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--scale", type=float, default=1.0, help="packet-budget multiplier")
     p_rep.add_argument("--output", "-o", default=None, help="write result CSV(s) here")
     p_rep.set_defaults(func=cmd_reproduce)
+
+    p_bench = sub.add_parser("bench", help="time a sweep serially vs the worker pool")
+    _add_link_options(p_bench)
+    _add_jammer_options(p_bench)
+    p_bench.add_argument("--points", type=int, default=8, help="grid points in the timed sweep")
+    p_bench.add_argument("--packets", type=int, default=6, help="packets per grid point")
+    p_bench.add_argument("--snr-low", type=float, default=0.0)
+    p_bench.add_argument("--snr-high", type=float, default=20.0)
+    p_bench.add_argument("--sjr", type=float, default=-10.0)
+    p_bench.add_argument("--workers", type=int, default=None, help="pool size (default: REPRO_WORKERS or CPU count)")
+    p_bench.add_argument("--run-seed", type=int, default=0)
+    p_bench.add_argument("--output", "-o", default=None, help="write a BENCH JSON here")
+    p_bench.set_defaults(func=cmd_bench)
 
     p_thy = sub.add_parser("theory", help="evaluate the SNR improvement bound")
     p_thy.add_argument("--bp", type=float, required=True, help="signal bandwidth (Hz)")

@@ -22,6 +22,7 @@ from repro.core.transmitter import BHSSTransmitter
 from repro.jamming.base import Jammer, NoJammer
 from repro.jamming.reactive import MatchedReactiveJammer
 from repro.phy.bits import hamming_distance_bits
+from repro.runtime import ParallelExecutor, ResultCache, canonical
 from repro.utils.rng import child_rng, make_rng
 
 __all__ = ["LinkSimulator", "PacketOutcome", "LinkStats"]
@@ -52,6 +53,11 @@ class LinkStats:
     bit_errors: int
     data_rate_bps: float
     filter_usage: dict
+
+    def __post_init__(self) -> None:
+        # Defensive copy: the stats must not alias the caller's counter
+        # dict (frozen dataclasses are only as immutable as their fields).
+        object.__setattr__(self, "filter_usage", dict(self.filter_usage))
 
     @property
     def packet_error_rate(self) -> float:
@@ -161,10 +167,17 @@ class LinkSimulator:
 
         jam_wave = None
         use_jammer = jammer is not None and not isinstance(jammer, NoJammer)
-        if use_jammer and np.isfinite(sjr_db):
+        if use_jammer:
             if isinstance(jammer, MatchedReactiveJammer):
                 jammer.observe(packet.bandwidth_profile())
-            jam_wave = jammer.waveform(packet.num_samples, gen)
+            # Draw the jammer waveform even at sjr_db=+inf, where it is
+            # not injected: the draw keeps the shared RNG stream (and any
+            # jammer-internal state) advancing exactly as in a finite-SJR
+            # run, so an SJR sweep that includes inf as its unjammed
+            # baseline sees the same noise realization at every point.
+            wave = jammer.waveform(packet.num_samples, gen)
+            if np.isfinite(sjr_db):
+                jam_wave = wave
 
         block = self.medium.combine(
             tx_wave,
@@ -225,15 +238,131 @@ class LinkSimulator:
         seed: int = 0,
         payload: bytes | None = None,
         jammer_delay_samples: int = 0,
+        executor: ParallelExecutor | None = None,
+        cache: "ResultCache | bool | None" = None,
     ) -> LinkStats:
-        """Simulate a batch of packets and aggregate the statistics."""
+        """Simulate a batch of packets and aggregate the statistics.
+
+        Every packet ``k`` draws from the independent stream
+        ``child_rng(seed, "packet", str(k))``, so the batch can be split
+        into contiguous chunks and fanned out over ``executor`` (default:
+        the ``REPRO_WORKERS``-configured pool; serial when unset) with
+        bit-identical aggregate statistics.  Stateful jammers (hoppers,
+        sweepers — see :attr:`Jammer.is_stateful`) must see packets in
+        order and therefore always run on the serial path.
+
+        With ``cache`` (default: the ``REPRO_CACHE``-configured on-disk
+        cache, disabled when unset) the aggregated statistics of
+        memoryless-jammer batches are memoized under a stable hash of
+        (config fingerprint, operating point, seed, packet budget).
+        ``cache=False`` forces caching off regardless of the environment
+        (used by timing benchmarks).
+        """
         if num_packets < 1:
             raise ValueError(f"num_packets must be >= 1, got {num_packets}")
+        ex = executor if executor is not None else ParallelExecutor.from_env()
+        if cache is None:
+            store = ResultCache.from_env()
+        elif cache is False:
+            store = None
+        else:
+            store = cache
+        order_free = jammer is None or not jammer.is_stateful
+
+        key = None
+        if store is not None and order_free:
+            key = {
+                "kind": "LinkSimulator.run_packets",
+                "config": canonical(self.config),
+                "impairments": canonical(self.impairments),
+                "channel": canonical(self.channel),
+                "num_packets": int(num_packets),
+                "snr_db": canonical(float(snr_db)),
+                "sjr_db": canonical(float(sjr_db)),
+                "jammer": canonical(jammer),
+                "seed": int(seed),
+                "payload": canonical(payload),
+                "jammer_delay_samples": int(jammer_delay_samples),
+            }
+            hit = store.get(key)
+            if hit is not None:
+                return LinkStats(**hit)
+
+        chunk_kwargs = dict(
+            snr_db=snr_db,
+            sjr_db=sjr_db,
+            jammer=jammer,
+            seed=seed,
+            payload=payload,
+            jammer_delay_samples=jammer_delay_samples,
+        )
+        if ex.parallel and order_free and num_packets >= 2:
+            bounds = self._chunk_bounds(num_packets, ex.workers)
+            partials = ex.map(lambda se: self._run_packet_chunk(*se, **chunk_kwargs), bounds)
+        else:
+            partials = [self._run_packet_chunk(0, num_packets, **chunk_kwargs)]
+
         accepted = 0
         bit_errors = 0
         total_bits = 0
         usage: dict[str, int] = {}
-        for k in range(num_packets):
+        for part_accepted, part_bit_errors, part_total_bits, part_usage in partials:
+            accepted += part_accepted
+            bit_errors += part_bit_errors
+            total_bits += part_total_bits
+            for filter_kind, count in part_usage.items():
+                usage[filter_kind] = usage.get(filter_kind, 0) + count
+        stats = LinkStats(
+            num_packets=num_packets,
+            num_accepted=accepted,
+            total_bits=total_bits,
+            bit_errors=bit_errors,
+            data_rate_bps=self.data_rate_bps(),
+            filter_usage=usage,
+        )
+        if key is not None:
+            store.put(
+                key,
+                {
+                    "num_packets": stats.num_packets,
+                    "num_accepted": stats.num_accepted,
+                    "total_bits": stats.total_bits,
+                    "bit_errors": stats.bit_errors,
+                    "data_rate_bps": stats.data_rate_bps,
+                    "filter_usage": stats.filter_usage,
+                },
+            )
+        return stats
+
+    @staticmethod
+    def _chunk_bounds(num_packets: int, workers: int) -> list[tuple[int, int]]:
+        """Contiguous ``(start, stop)`` packet ranges for the pool.
+
+        A few chunks per worker keeps stragglers from serializing the
+        tail; chunk boundaries do not affect results (packet seeding is
+        per-index), only load balance.
+        """
+        target = max(1, min(num_packets, 4 * workers))
+        edges = np.linspace(0, num_packets, target + 1).astype(int)
+        return [(int(a), int(b)) for a, b in zip(edges[:-1], edges[1:]) if b > a]
+
+    def _run_packet_chunk(
+        self,
+        start: int,
+        stop: int,
+        snr_db: float,
+        sjr_db: float,
+        jammer: Jammer | None,
+        seed: int,
+        payload: bytes | None,
+        jammer_delay_samples: int,
+    ) -> tuple[int, int, int, dict[str, int]]:
+        """Aggregate packets ``start..stop-1``; the serial inner loop."""
+        accepted = 0
+        bit_errors = 0
+        total_bits = 0
+        usage: dict[str, int] = {}
+        for k in range(start, stop):
             outcome = self.run_packet(
                 snr_db=snr_db,
                 sjr_db=sjr_db,
@@ -248,14 +377,7 @@ class LinkSimulator:
             total_bits += outcome.total_bits
             for kind, count in outcome.receive.filter_usage().items():
                 usage[kind] = usage.get(kind, 0) + count
-        return LinkStats(
-            num_packets=num_packets,
-            num_accepted=accepted,
-            total_bits=total_bits,
-            bit_errors=bit_errors,
-            data_rate_bps=self.data_rate_bps(),
-            filter_usage=usage,
-        )
+        return accepted, bit_errors, total_bits, usage
 
     def data_rate_bps(self) -> float:
         """Average payload data rate of the configured link in bits/second.

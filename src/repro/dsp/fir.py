@@ -18,7 +18,7 @@ import math
 
 import numpy as np
 
-from repro.dsp.windows import get_window, kaiser_beta
+from repro.dsp.windows import get_window
 from repro.utils.validation import as_complex_array, ensure_positive
 
 __all__ = [

@@ -33,6 +33,17 @@ class Jammer(abc.ABC):
         """Human-readable description used in reports and logs."""
         return type(self).__name__
 
+    @property
+    def is_stateful(self) -> bool:
+        """Whether ``waveform`` output depends on earlier calls.
+
+        Stateful jammers (hoppers, sweepers, tone phase continuity) must
+        be driven strictly in packet order, so the link layer keeps them
+        on the serial path and out of the result cache.  The conservative
+        default is ``True``; memoryless jammers override to ``False``.
+        """
+        return True
+
     def reset(self) -> None:
         """Forget internal state (hop phase, sweep position).  Default no-op."""
 
@@ -57,3 +68,7 @@ class NoJammer(Jammer):
     @property
     def description(self) -> str:
         return "no jammer"
+
+    @property
+    def is_stateful(self) -> bool:
+        return False

@@ -94,3 +94,9 @@ class BandlimitedNoiseJammer(Jammer):
     @property
     def description(self) -> str:
         return f"band-limited noise jammer (Bj = {self.bandwidth / 1e6:.4g} MHz)"
+
+    @property
+    def is_stateful(self) -> bool:
+        # Every call draws fresh noise from the supplied stream; no
+        # carry-over, so packet batches may be chunked and cached.
+        return False

@@ -1,0 +1,36 @@
+"""Parallel execution runtime: process pools, result caching, timing.
+
+The sweep and link layers are embarrassingly parallel once every packet is
+seeded independently (``child_rng(seed, "packet", str(k))``): grid points
+and packet chunks can be fanned out over a process pool and merged in
+deterministic order, producing *bit-identical* results to a serial run.
+This package provides the three pieces the analysis layer threads through:
+
+``ParallelExecutor``
+    Ordered, fork-based ``map`` over a ``multiprocessing`` pool, with a
+    serial fallback (the default when ``REPRO_WORKERS`` is unset) and
+    per-item wall-time capture.
+``ResultCache``
+    On-disk memoization of packet-batch statistics keyed by a stable hash
+    of (config fingerprint, operating point, seed, packet budget) —
+    enabled by the ``REPRO_CACHE`` environment variable.
+``SweepTiming``
+    Lightweight instrumentation (per-point wall time, points/sec,
+    packets/sec, worker utilization) attached to sweep results and
+    surfaced by the benchmark harness and the ``repro-bhss bench``
+    subcommand.
+"""
+
+from repro.runtime.cache import ResultCache, canonical, stable_hash
+from repro.runtime.executor import MapReport, ParallelExecutor, resolve_workers
+from repro.runtime.instrument import SweepTiming
+
+__all__ = [
+    "ParallelExecutor",
+    "MapReport",
+    "ResultCache",
+    "canonical",
+    "stable_hash",
+    "SweepTiming",
+    "resolve_workers",
+]

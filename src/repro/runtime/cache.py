@@ -1,0 +1,145 @@
+"""On-disk memoization of simulation results.
+
+Packet-batch statistics are pure functions of (link configuration,
+operating point, seed, packet budget) — *not* of the code revision — so a
+benchmark re-run after an unrelated change can reuse yesterday's points.
+The cache keys entries by a stable SHA-256 over a canonicalized view of
+those inputs: dataclasses are flattened to ``{class, fields}`` mappings,
+numpy arrays to lists, dict keys are sorted, so the hash is reproducible
+across processes, platforms and insertion orders.
+
+The cache is **opt-in**: it activates only when the ``REPRO_CACHE``
+environment variable is set — to ``1`` for the default location
+(``~/.cache/repro-bhss``) or to an explicit directory path.  Entries are
+plain JSON files; invalidation is ``rm -rf`` of the directory (or
+``ResultCache.clear()``).  Callers must only cache results whose inputs
+the key fully captures — the link layer skips caching for stateful
+jammers for exactly that reason.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+
+import numpy as np
+
+__all__ = ["ResultCache", "canonical", "stable_hash"]
+
+_DEFAULT_ROOT = os.path.join("~", ".cache", "repro-bhss")
+_OFF_VALUES = {"", "0", "off", "no", "false"}
+_ON_VALUES = {"1", "on", "yes", "true"}
+
+
+def canonical(obj):
+    """Reduce ``obj`` to a JSON-able structure with a stable layout.
+
+    Handles the configuration vocabulary of this library: dataclasses,
+    numpy arrays/scalars, tuples/sets, callables (by qualified name), and
+    arbitrary objects with a ``__dict__`` (by class name + fields).
+    """
+    if isinstance(obj, np.generic):
+        obj = obj.item()  # numpy scalars subclass float/int — unify first
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return repr(obj)  # repr round-trips; avoids JSON NaN/Infinity quirks
+    if isinstance(obj, bytes):
+        return {"__bytes__": obj.hex()}
+    if isinstance(obj, np.ndarray):
+        return [canonical(v) for v in obj.tolist()]
+    if isinstance(obj, (list, tuple)):
+        return [canonical(v) for v in obj]
+    if isinstance(obj, (set, frozenset)):
+        return sorted(canonical(v) for v in obj)
+    if isinstance(obj, dict):
+        return {str(k): canonical(v) for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))}
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {f.name: canonical(getattr(obj, f.name)) for f in dataclasses.fields(obj)}
+        return {"__dataclass__": type(obj).__name__, **fields}
+    if callable(obj):
+        return {"__callable__": getattr(obj, "__qualname__", repr(obj))}
+    if hasattr(obj, "__dict__"):
+        return {"__class__": type(obj).__name__, **canonical(vars(obj))}
+    return {"__repr__": repr(obj)}
+
+
+def stable_hash(obj) -> str:
+    """Hex SHA-256 of the canonical JSON encoding of ``obj``."""
+    text = json.dumps(canonical(obj), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+class ResultCache:
+    """A directory of JSON result files addressed by stable key hashes.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created lazily on the first ``put``).
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = os.path.expanduser(root)
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def from_env(cls, env: str = "REPRO_CACHE") -> "ResultCache | None":
+        """The cache configured by ``REPRO_CACHE``, or ``None`` (disabled).
+
+        Unset / ``0`` / ``off`` → disabled; ``1`` / ``on`` → the default
+        directory; anything else is taken as the cache directory path.
+        """
+        raw = os.environ.get(env)
+        if raw is None or raw.strip().lower() in _OFF_VALUES:
+            return None
+        if raw.strip().lower() in _ON_VALUES:
+            return cls(_DEFAULT_ROOT)
+        return cls(raw)
+
+    def _path(self, digest: str) -> str:
+        return os.path.join(self.root, digest[:2], f"{digest}.json")
+
+    def get(self, key) -> dict | None:
+        """The cached dict for ``key``, or ``None`` on a miss."""
+        path = self._path(stable_hash(key))
+        try:
+            with open(path) as fh:
+                value = json.load(fh)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, key, value: dict) -> None:
+        """Store a JSON-able dict under ``key`` (atomic rename)."""
+        path = self._path(stable_hash(key))
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(value, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        removed = 0
+        if not os.path.isdir(self.root):
+            return removed
+        for dirpath, _dirs, files in os.walk(self.root):
+            for name in files:
+                if name.endswith(".json"):
+                    os.unlink(os.path.join(dirpath, name))
+                    removed += 1
+        return removed

@@ -1,0 +1,175 @@
+"""Ordered parallel ``map`` over a forked process pool.
+
+Sweep evaluators and packet-chunk workers are usually *closures* (they
+capture a link, a jammer factory, CLI arguments), which the pickling
+transport of ``concurrent.futures`` cannot ship.  On platforms with
+``fork`` (Linux — the only place a multi-worker sweep makes sense for this
+library) the closure does not need to be shipped at all: the payload is
+parked in a module-level global immediately before the pool forks, the
+children inherit it through copy-on-write memory, and only integer indices
+and picklable *results* cross the pipe.
+
+Determinism: ``map``/``map_timed`` always return results in input order,
+whatever order the workers finished in, so any fold over the results is
+identical to the serial fold.  Workers never nest pools — a worker that
+calls back into the executor gets the serial path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+__all__ = ["ParallelExecutor", "MapReport", "resolve_workers"]
+
+#: (fn, items) visible to forked children; only set around a pool launch.
+_WORKER_PAYLOAD: tuple | None = None
+
+#: Set in pool children so nested executors degrade to serial.
+_IN_WORKER = False
+
+
+def _init_worker() -> None:
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+def _run_indexed(index: int):
+    """Pool target: run payload item ``index``, timing the call."""
+    fn, items = _WORKER_PAYLOAD
+    t0 = time.perf_counter()
+    value = fn(items[index])
+    return index, value, time.perf_counter() - t0
+
+
+def resolve_workers(env: str = "REPRO_WORKERS") -> int:
+    """Worker count from the environment; 0 (= serial) when unset.
+
+    ``REPRO_WORKERS=4`` fans sweeps and packet batches out over 4
+    processes; unset, ``0`` and ``1`` all mean the plain serial path.
+    """
+    raw = os.environ.get(env)
+    if raw is None or raw.strip() == "":
+        return 0
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(f"{env} must be an integer, got {raw!r}") from None
+    if value < 0:
+        raise ValueError(f"{env} must be >= 0, got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class MapReport:
+    """Results of one (possibly parallel) map, with timing telemetry.
+
+    ``values`` are in input order.  ``seconds`` holds each item's own wall
+    time as measured inside the worker; ``wall_seconds`` is the end-to-end
+    time of the whole map, so ``busy_seconds / (workers * wall_seconds)``
+    estimates how well the pool was utilized.
+    """
+
+    values: tuple
+    seconds: tuple[float, ...]
+    wall_seconds: float
+    workers: int
+
+    @property
+    def busy_seconds(self) -> float:
+        """Total in-worker compute time across all items."""
+        return float(sum(self.seconds))
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the pool's wall-time capacity spent computing."""
+        if self.wall_seconds <= 0 or self.workers <= 0:
+            return 0.0
+        return min(1.0, self.busy_seconds / (self.workers * self.wall_seconds))
+
+
+class ParallelExecutor:
+    """Ordered map over items, serial or across a forked worker pool.
+
+    Parameters
+    ----------
+    workers:
+        Number of pool processes.  ``0`` or ``1`` selects the serial
+        path; ``None`` reads ``REPRO_WORKERS`` from the environment.
+        Serial is also forced where ``fork`` is unavailable and inside
+        pool workers (no nested pools).
+    """
+
+    def __init__(self, workers: int | None = None) -> None:
+        self.workers = resolve_workers() if workers is None else max(0, int(workers))
+
+    @classmethod
+    def from_env(cls) -> "ParallelExecutor":
+        """The executor configured by ``REPRO_WORKERS`` (serial if unset)."""
+        return cls(resolve_workers())
+
+    @staticmethod
+    def fork_available() -> bool:
+        """Whether the forked-pool transport exists on this platform."""
+        return "fork" in multiprocessing.get_all_start_methods()
+
+    @property
+    def parallel(self) -> bool:
+        """Whether maps will actually use a worker pool."""
+        return self.workers > 1 and self.fork_available() and not _IN_WORKER
+
+    def map(self, fn: Callable, items: Iterable) -> list:
+        """``[fn(x) for x in items]`` with pool fan-out, in input order."""
+        return list(self.map_timed(fn, items).values)
+
+    def map_timed(self, fn: Callable, items: Iterable) -> MapReport:
+        """Like :meth:`map` but returning a :class:`MapReport` with timing."""
+        items = list(items)
+        if not items:
+            return MapReport(values=(), seconds=(), wall_seconds=0.0, workers=1)
+        t0 = time.perf_counter()
+        if not self.parallel or len(items) < 2:
+            values, seconds = self._map_serial(fn, items)
+            workers = 1
+        else:
+            values, seconds = self._map_pool(fn, items)
+            workers = min(self.workers, len(items))
+        return MapReport(
+            values=tuple(values),
+            seconds=tuple(seconds),
+            wall_seconds=time.perf_counter() - t0,
+            workers=workers,
+        )
+
+    @staticmethod
+    def _map_serial(fn: Callable, items: Sequence) -> tuple[list, list]:
+        values, seconds = [], []
+        for item in items:
+            t0 = time.perf_counter()
+            values.append(fn(item))
+            seconds.append(time.perf_counter() - t0)
+        return values, seconds
+
+    def _map_pool(self, fn: Callable, items: Sequence) -> tuple[list, list]:
+        global _WORKER_PAYLOAD
+        n = len(items)
+        processes = min(self.workers, n)
+        # Small chunks keep a few heavy grid points from serializing the
+        # tail; index order is restored from the returned triples anyway.
+        chunksize = max(1, n // (4 * processes))
+        ctx = multiprocessing.get_context("fork")
+        _WORKER_PAYLOAD = (fn, items)
+        try:
+            with ctx.Pool(processes=processes, initializer=_init_worker) as pool:
+                triples = pool.map(_run_indexed, range(n), chunksize=chunksize)
+        finally:
+            _WORKER_PAYLOAD = None
+        values: list = [None] * n
+        seconds: list = [0.0] * n
+        for index, value, secs in triples:
+            values[index] = value
+            seconds[index] = secs
+        return values, seconds

@@ -1,6 +1,5 @@
 """Unit tests for the end-to-end link simulator and statistics."""
 
-import numpy as np
 import pytest
 
 from repro.channel import Impairments
@@ -46,6 +45,29 @@ class TestRunPacket:
         jam = BandlimitedNoiseJammer(5e6, 20e6)
         out = make_link().run_packet(snr_db=20.0, sjr_db=float("inf"), jammer=jam, rng=4)
         assert out.accepted
+
+    def test_infinite_sjr_seed_comparable_to_finite(self):
+        """sjr=inf must consume the jammer RNG exactly like a finite SJR.
+
+        An SJR sweep that includes inf as its unjammed baseline must see
+        the same noise realization at every point: a +300 dB jammer is
+        physically negligible (power 1e-30 of the signal), so at the same
+        seed its packet outcomes must match the inf point bit for bit.
+        Before the gating fix the inf branch skipped the jammer draw and
+        the two points silently diverged in their noise streams.
+        """
+        link = make_link()
+        for k, snr in enumerate([18.0, 3.0, -3.0]):
+            at_inf = link.run_packet(
+                snr_db=snr, sjr_db=float("inf"),
+                jammer=BandlimitedNoiseJammer(2.5e6, 20e6), rng=40 + k,
+            )
+            negligible = link.run_packet(
+                snr_db=snr, sjr_db=300.0,
+                jammer=BandlimitedNoiseJammer(2.5e6, 20e6), rng=40 + k,
+            )
+            assert at_inf.accepted == negligible.accepted
+            assert at_inf.bit_errors == negligible.bit_errors
 
     def test_no_jammer_class_equivalent_to_none(self):
         a = make_link().run_packet(snr_db=15.0, jammer=None, rng=5)
@@ -180,6 +202,30 @@ class TestBHSSBeatFixedUnderReactiveJamming:
             8, snr_db=15.0, sjr_db=-12.0, jammer=jam_factory(), seed=9
         )
         assert with_filter.bit_error_rate <= without.bit_error_rate
+
+
+class TestStatsIsolation:
+    def test_filter_usage_copied_on_construction(self):
+        from repro.core.link import LinkStats
+
+        usage = {"lowpass": 2, "none": 1}
+        stats = LinkStats(
+            num_packets=3, num_accepted=2, total_bits=192, bit_errors=4,
+            data_rate_bps=1e6, filter_usage=usage,
+        )
+        usage["excision"] = 99  # caller mutates its dict afterwards
+        usage["lowpass"] = 0
+        assert stats.filter_usage == {"lowpass": 2, "none": 1}
+
+    def test_to_dict_returns_a_copy(self):
+        from repro.core.link import LinkStats
+
+        stats = LinkStats(
+            num_packets=1, num_accepted=1, total_bits=64, bit_errors=0,
+            data_rate_bps=1e6, filter_usage={"none": 1},
+        )
+        stats.to_dict()["filter_usage"]["none"] = 7
+        assert stats.filter_usage == {"none": 1}
 
 
 class TestStatsSerialization:

@@ -8,8 +8,6 @@ benchmark, and the public names the API guide shows actually resolve.
 import os
 import re
 
-import pytest
-
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 

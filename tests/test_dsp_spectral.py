@@ -92,6 +92,49 @@ class TestWelchAndBartlett:
         freqs, psd = welch_psd(x, FS, nperseg=256)
         assert psd.size == freqs.size
 
+    def test_short_signal_shrinks_to_single_full_segment(self):
+        # Degraded nperseg = x.size, so exactly one segment contributes
+        # and the estimate equals the single-segment Hann periodogram.
+        x = white_noise(100)
+        freqs_w, psd_w = welch_psd(x, FS, nperseg=256)
+        freqs_p, psd_p = periodogram(x, FS, window="hann")
+        assert psd_w.size == x.size  # nfft defaults to the *shrunk* nperseg
+        np.testing.assert_allclose(freqs_w, freqs_p)
+        np.testing.assert_allclose(psd_w, psd_p, rtol=1e-12)
+
+    def test_short_signal_parseval_preserved(self):
+        # Rectangular window (Bartlett) keeps Parseval exact even on the
+        # degraded single-short-segment path; Hann only in expectation.
+        x = white_noise(75, power=2.0, seed=3)
+        freqs, psd = bartlett_psd(x, FS, nperseg=512)
+        df = freqs[1] - freqs[0]
+        assert float(np.sum(psd) * df) == pytest.approx(
+            float(np.mean(np.abs(x) ** 2)), rel=1e-9
+        )
+
+    def test_short_signal_float_noverlap_accepted(self):
+        # The shrink path rescales noverlap *before* truncation, so a
+        # float noverlap (e.g. 0.5 * nperseg computed upstream) must
+        # still satisfy 0 <= noverlap < nperseg afterwards.
+        x = white_noise(90)
+        freqs, psd = welch_psd(x, FS, nperseg=256, noverlap=128.0)
+        assert psd.size == freqs.size == 90
+        # and an all-but-total float overlap shrinks below the new nperseg
+        freqs2, psd2 = welch_psd(x, FS, nperseg=256, noverlap=255.0)
+        assert psd2.size == 90
+
+    def test_short_signal_explicit_nfft_respected_after_shrink(self):
+        x = white_noise(60)
+        freqs, psd = welch_psd(x, FS, nperseg=256, nfft=128)
+        assert psd.size == freqs.size == 128
+
+    def test_bartlett_short_signal_degrades_like_welch(self):
+        x = white_noise(50, seed=5)
+        freqs, psd = bartlett_psd(x, FS, nperseg=4096)
+        assert psd.size == 50
+        freqs_p, psd_p = periodogram(x, FS, window="rectangular")
+        np.testing.assert_allclose(psd, psd_p, rtol=1e-12)
+
     def test_bad_noverlap_raises(self):
         with pytest.raises(ValueError):
             welch_psd(white_noise(1024), FS, nperseg=256, noverlap=256)

@@ -7,7 +7,6 @@ same experiments at full scale; these tests pin the claims into CI.
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis import ThresholdSearch, min_snr_for_per
 from repro.core import BHSSConfig, BHSSTransmitter, LinkSimulator

@@ -1,0 +1,306 @@
+"""Unit tests for the parallel execution runtime (pool, cache, timing)."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.analysis import run_sweep
+from repro.core import BHSSConfig, LinkSimulator
+from repro.jamming import BandlimitedNoiseJammer, HoppingJammer
+from repro.runtime import (
+    MapReport,
+    ParallelExecutor,
+    ResultCache,
+    SweepTiming,
+    canonical,
+    resolve_workers,
+    stable_hash,
+)
+
+FORK = ParallelExecutor.fork_available()
+needs_fork = pytest.mark.skipif(not FORK, reason="fork start method unavailable")
+
+
+def make_link(**kw):
+    return LinkSimulator(BHSSConfig.paper_default(payload_bytes=4, seed=21, **kw))
+
+
+class TestResolveWorkers:
+    def test_unset_means_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers() == 0
+        assert not ParallelExecutor.from_env().parallel
+
+    def test_explicit_count(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        assert resolve_workers() == 4
+
+    def test_invalid_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.raises(ValueError):
+            resolve_workers()
+
+    def test_negative_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "-2")
+        with pytest.raises(ValueError):
+            resolve_workers()
+
+    def test_one_means_serial(self):
+        assert not ParallelExecutor(1).parallel
+
+
+class TestParallelExecutor:
+    def test_serial_map_order(self):
+        ex = ParallelExecutor(0)
+        assert ex.map(lambda x: x * x, [3, 1, 2]) == [9, 1, 4]
+
+    def test_empty_items(self):
+        report = ParallelExecutor(2).map_timed(lambda x: x, [])
+        assert report.values == ()
+        assert report.wall_seconds == 0.0
+
+    @needs_fork
+    def test_pool_map_matches_serial_with_closure(self):
+        offset = 7  # captured by the closure — unpicklable transports fail here
+        fn = lambda x: x + offset
+        items = list(range(23))
+        assert ParallelExecutor(3).map(fn, items) == ParallelExecutor(0).map(fn, items)
+
+    @needs_fork
+    def test_pool_preserves_input_order(self):
+        items = list(range(17))
+        assert ParallelExecutor(4).map(lambda x: x, items) == items
+
+    @needs_fork
+    def test_pool_worker_exception_propagates(self):
+        def boom(x):
+            raise RuntimeError("worker failure")
+
+        with pytest.raises(RuntimeError):
+            ParallelExecutor(2).map(boom, [1, 2, 3])
+
+    @needs_fork
+    def test_no_nested_pools(self):
+        from repro.runtime import executor as executor_module
+
+        def probe(_x):
+            # Inside a pool worker the module flag is set and any nested
+            # executor must take the serial path.
+            return executor_module._IN_WORKER and not ParallelExecutor(8).parallel
+
+        flags = ParallelExecutor(2).map(probe, [0, 1, 2])
+        assert all(flags)
+
+    def test_map_timed_report(self):
+        report = ParallelExecutor(0).map_timed(lambda x: x, [1, 2])
+        assert isinstance(report, MapReport)
+        assert len(report.seconds) == 2
+        assert report.workers == 1
+        assert 0.0 <= report.utilization <= 1.0
+
+
+class TestCanonicalAndHash:
+    def test_dict_order_insensitive(self):
+        assert stable_hash({"a": 1, "b": 2.5}) == stable_hash({"b": 2.5, "a": 1})
+
+    def test_numpy_equals_python(self):
+        assert stable_hash({"x": np.float64(1.5)}) == stable_hash({"x": 1.5})
+        assert canonical(np.array([1.0, 2.0])) == [repr(1.0), repr(2.0)]
+
+    def test_distinguishes_values(self):
+        assert stable_hash({"seed": 1}) != stable_hash({"seed": 2})
+
+    def test_config_fingerprint_stable_and_discriminating(self):
+        a = canonical(BHSSConfig.paper_default(seed=1))
+        b = canonical(BHSSConfig.paper_default(seed=1))
+        c = canonical(BHSSConfig.paper_default(seed=2))
+        assert stable_hash(a) == stable_hash(b)
+        assert stable_hash(a) != stable_hash(c)
+
+    def test_inf_and_bytes(self):
+        assert stable_hash(float("inf")) != stable_hash(float("-inf"))
+        assert canonical(b"\x01\x02") == {"__bytes__": "0102"}
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        key = {"config": "x", "seed": 3}
+        assert cache.get(key) is None
+        cache.put(key, {"value": 42})
+        assert cache.get(key) == {"value": 42}
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put({"k": 1}, {"v": 1})
+        path = cache._path(stable_hash({"k": 1}))
+        with open(path, "w") as fh:
+            fh.write("{not json")
+        assert cache.get({"k": 1}) is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put({"k": 1}, {"v": 1})
+        cache.put({"k": 2}, {"v": 2})
+        assert cache.clear() == 2
+        assert cache.get({"k": 1}) is None
+
+    def test_from_env_disabled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        assert ResultCache.from_env() is None
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        assert ResultCache.from_env() is None
+
+    def test_from_env_path(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path / "c"))
+        cache = ResultCache.from_env()
+        assert cache is not None
+        assert cache.root == str(tmp_path / "c")
+
+
+class TestLinkParallelEquivalence:
+    """Same seed => identical LinkStats, serial or pooled (the contract)."""
+
+    @needs_fork
+    def test_unjammed_batch_identical(self):
+        link = make_link()
+        a = link.run_packets(6, snr_db=6.0, seed=5, executor=ParallelExecutor(0), cache=False)
+        b = link.run_packets(6, snr_db=6.0, seed=5, executor=ParallelExecutor(3), cache=False)
+        assert a == b
+
+    @needs_fork
+    def test_jammed_batch_identical(self):
+        link = make_link()
+        jam = lambda: BandlimitedNoiseJammer(2.5e6, 20e6)
+        a = link.run_packets(
+            8, snr_db=10.0, sjr_db=-8.0, jammer=jam(), seed=2,
+            executor=ParallelExecutor(0), cache=False,
+        )
+        b = link.run_packets(
+            8, snr_db=10.0, sjr_db=-8.0, jammer=jam(), seed=2,
+            executor=ParallelExecutor(4), cache=False,
+        )
+        assert a == b
+        assert a.filter_usage == b.filter_usage
+
+    @needs_fork
+    def test_stateful_jammer_forces_serial_path(self):
+        link = make_link()
+        jam = lambda: HoppingJammer([10e6, 2.5e6], 20e6, dwell_samples=4096, seed=9)
+        a = link.run_packets(
+            5, snr_db=10.0, sjr_db=-8.0, jammer=jam(), seed=2,
+            executor=ParallelExecutor(0), cache=False,
+        )
+        b = link.run_packets(
+            5, snr_db=10.0, sjr_db=-8.0, jammer=jam(), seed=2,
+            executor=ParallelExecutor(4), cache=False,
+        )
+        assert a == b  # pooled call fell back to the ordered serial loop
+
+    def test_chunk_bounds_cover_range(self):
+        bounds = LinkSimulator._chunk_bounds(10, 3)
+        assert bounds[0][0] == 0 and bounds[-1][1] == 10
+        covered = [k for a, b in bounds for k in range(a, b)]
+        assert covered == list(range(10))
+        assert LinkSimulator._chunk_bounds(1, 8) == [(0, 1)]
+
+    def test_run_packets_cache_hit(self, tmp_path):
+        link = make_link()
+        cache = ResultCache(str(tmp_path))
+        a = link.run_packets(3, snr_db=12.0, seed=7, cache=cache)
+        assert cache.hits == 0
+        b = link.run_packets(3, snr_db=12.0, seed=7, cache=cache)
+        assert cache.hits == 1
+        assert a == b
+
+    def test_cache_distinguishes_operating_points(self, tmp_path):
+        link = make_link()
+        cache = ResultCache(str(tmp_path))
+        link.run_packets(3, snr_db=12.0, seed=7, cache=cache)
+        link.run_packets(3, snr_db=13.0, seed=7, cache=cache)
+        link.run_packets(3, snr_db=12.0, seed=8, cache=cache)
+        link.run_packets(4, snr_db=12.0, seed=7, cache=cache)
+        assert cache.hits == 0
+
+    def test_stateful_jammer_never_cached(self, tmp_path):
+        link = make_link()
+        cache = ResultCache(str(tmp_path))
+        jam = lambda: HoppingJammer([10e6, 2.5e6], 20e6, dwell_samples=4096, seed=9)
+        link.run_packets(3, snr_db=10.0, sjr_db=-5.0, jammer=jam(), seed=1, cache=cache)
+        link.run_packets(3, snr_db=10.0, sjr_db=-5.0, jammer=jam(), seed=1, cache=cache)
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_cache_false_disables_env_cache(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path))
+        link = make_link()
+        link.run_packets(2, snr_db=12.0, seed=7, cache=False)
+        link.run_packets(2, snr_db=12.0, seed=7, cache=False)
+        assert not any(
+            name.endswith(".json")
+            for _root, _dirs, files in os.walk(tmp_path)
+            for name in files
+        )
+
+
+class TestSweepParallelEquivalence:
+    @needs_fork
+    def test_link_sweep_rows_identical(self):
+        link = make_link()
+
+        def evaluate(snr):
+            stats = link.run_packets(
+                3, snr_db=snr, sjr_db=-6.0,
+                jammer=BandlimitedNoiseJammer(2.5e6, 20e6), seed=4,
+                executor=ParallelExecutor(0), cache=False,
+            )
+            return {"snr": snr, "per": stats.packet_error_rate, "ber": stats.bit_error_rate}
+
+        grid = [0.0, 5.0, 10.0, 15.0]
+        serial = run_sweep(["snr", "per", "ber"], grid, evaluate, executor=ParallelExecutor(0))
+        pooled = run_sweep(["snr", "per", "ber"], grid, evaluate, executor=ParallelExecutor(4))
+        assert serial.rows == pooled.rows
+        assert serial == pooled  # timing differs but is excluded from equality
+
+    def test_timing_attached(self):
+        result = run_sweep(["x"], [1, 2, 3], lambda x: {"x": x}, executor=ParallelExecutor(0))
+        assert isinstance(result.timing, SweepTiming)
+        assert result.timing.num_points == 3
+        assert result.timing.wall_seconds > 0
+        assert result.timing.workers == 1
+        assert json.dumps(result.timing.to_dict())  # JSON-able for BENCH files
+
+    def test_tuple_scalar_points_not_splatted_with_unpack_false(self):
+        # Regression: a grid of (lo, hi) bracket "scalars" used to be
+        # silently splatted into evaluate(lo, hi).
+        grid = [(0.0, 1.0), (2.0, 5.0)]
+        result = run_sweep(
+            ["bracket", "width"],
+            grid,
+            lambda p: {"bracket": p, "width": p[1] - p[0]},
+            unpack=False,
+        )
+        assert result.column("bracket") == grid
+        assert result.column("width") == [1.0, 3.0]
+
+    def test_unpack_default_still_splats(self):
+        result = run_sweep(["s"], [(1, 2), (3, 4)], lambda a, b: {"s": a + b})
+        assert result.column("s") == [3, 7]
+
+
+class TestSweepTiming:
+    def test_derived_quantities(self):
+        t = SweepTiming(wall_seconds=2.0, point_seconds=(1.0, 1.0, 2.0), workers=2, packets=40)
+        assert t.busy_seconds == 4.0
+        assert t.utilization == 1.0
+        assert t.points_per_second == 1.5
+        assert t.packets_per_second == 20.0
+        assert "pkt/s" in t.summary()
+
+    def test_zero_wall_is_safe(self):
+        t = SweepTiming(wall_seconds=0.0, point_seconds=(), workers=1)
+        assert t.utilization == 0.0
+        assert t.points_per_second == 0.0
+        assert t.packets_per_second is None
