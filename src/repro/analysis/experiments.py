@@ -20,7 +20,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.analysis.sweep import SweepResult, env_scale
+from repro.analysis.sweep import SweepResult, env_scale, run_sweep
 from repro.analysis.thresholds import ThresholdSearch, min_snr_for_per
 from repro.core import BHSSConfig, ControlLogic, FHSSLink, FHSSLinkConfig, LinkSimulator, theory
 from repro.core.receiver import BHSSReceiver
@@ -33,9 +33,8 @@ from repro.hopping import (
     maximin_score_db,
     optimize_parabolic_weights,
     paper_bandwidths,
-    pattern_weights,
 )
-from repro.jamming import BandlimitedNoiseJammer, HoppingJammer
+from repro.jamming import jammer_from_spec
 from repro.phy.fec import get_codec
 
 __all__ = [
@@ -86,6 +85,24 @@ FIG11_PACKET_BITS = 500 * 8
 PATTERNS = ["linear", "exponential", "parabolic"]
 
 
+def _paper_config(**spec) -> BHSSConfig:
+    """A paper-default configuration from a declarative field spec.
+
+    Thin wrapper over :meth:`BHSSConfig.from_dict` — the experiments below
+    describe their links as plain spec dicts, the same vocabulary scenario
+    JSON files use, so every measured figure is reproducible from data.
+    """
+    return BHSSConfig.from_dict(spec)
+
+
+def _noise(bandwidth: float, centre: float = 0.0):
+    """A band-limited noise jammer from its registry spec."""
+    spec = {"type": "noise", "bandwidth": float(bandwidth)}
+    if centre:
+        spec["centre"] = float(centre)
+    return jammer_from_spec(spec, sample_rate=FS)
+
+
 def default_search(packets: int = 12, tolerance_db: float = 1.0, scale: float | None = None) -> ThresholdSearch:
     """A threshold search sized by ``scale`` (default: ``REPRO_SCALE``)."""
     if scale is None:
@@ -102,92 +119,87 @@ def default_search(packets: int = 12, tolerance_db: float = 1.0, scale: float | 
 # analytic figures (Section 5)
 # ---------------------------------------------------------------------------
 
+def _bound_record(r) -> dict:
+    """One Figure-7/8 grid point: the γ bound at ratio ``r`` per jammer power."""
+    gammas = [
+        float(theory.improvement_factor_db(1.0, 1.0 / r, p_db, FIG7_NOISE_POWER))
+        for p_db in FIG7_JAMMER_POWERS_DB
+    ]
+    return {
+        "bp_over_bj": float(r),
+        "gamma_db_10dBm": gammas[0],
+        "gamma_db_20dBm": gammas[1],
+        "gamma_db_30dBm": gammas[2],
+    }
+
+
 def figure07(num_points: int = 81) -> SweepResult:
     """Figure 7: γ upper bound vs Bp/Bj for 10/20/30 dB jammers."""
-    ratios = np.logspace(-2, 2, num_points)
-    result = SweepResult(
-        columns=("bp_over_bj", "gamma_db_10dBm", "gamma_db_20dBm", "gamma_db_30dBm")
+    return run_sweep(
+        ("bp_over_bj", "gamma_db_10dBm", "gamma_db_20dBm", "gamma_db_30dBm"),
+        np.logspace(-2, 2, num_points),
+        _bound_record,
     )
-    for r in ratios:
-        gammas = [
-            float(theory.improvement_factor_db(1.0, 1.0 / r, p_db, FIG7_NOISE_POWER))
-            for p_db in FIG7_JAMMER_POWERS_DB
-        ]
-        result.add(
-            bp_over_bj=float(r),
-            gamma_db_10dBm=gammas[0],
-            gamma_db_20dBm=gammas[1],
-            gamma_db_30dBm=gammas[2],
-        )
-    return result
 
 
 def figure08(num_points: int = 61) -> SweepResult:
     """Figure 8: the Figure-7 bound zoomed to Bp/Bj in [0.5, 2]."""
-    ratios = np.linspace(0.5, 2.0, num_points)
-    result = SweepResult(
-        columns=("bp_over_bj", "gamma_db_10dBm", "gamma_db_20dBm", "gamma_db_30dBm")
+    return run_sweep(
+        ("bp_over_bj", "gamma_db_10dBm", "gamma_db_20dBm", "gamma_db_30dBm"),
+        np.linspace(0.5, 2.0, num_points),
+        _bound_record,
     )
-    for r in ratios:
-        gammas = [
-            float(theory.improvement_factor_db(1.0, 1.0 / r, p_db, FIG7_NOISE_POWER))
-            for p_db in FIG7_JAMMER_POWERS_DB
-        ]
-        result.add(
-            bp_over_bj=float(r),
-            gamma_db_10dBm=gammas[0],
-            gamma_db_20dBm=gammas[1],
-            gamma_db_30dBm=gammas[2],
+
+
+def _fig9_record(e) -> dict:
+    """One Figure-9 grid point: all BER curves at Eb/N0 ``e`` dB."""
+    record = {
+        "ebno_db": float(e),
+        "dsss_fhss": float(theory.ber_from_ebno(float(e), FIG9_SJR_DB, FIG9_L_DB, gamma=1.0)),
+    }
+    for r in FIG9_FIXED_RATIOS:
+        record[f"bhss_bj_{r}"] = float(
+            theory.bhss_ber(
+                float(e), FIG9_SJR_DB, FIG9_L_DB, FIG9_BANDWIDTHS, FIG9_WEIGHTS,
+                r * FIG9_BANDWIDTHS.max(),
+            )
         )
-    return result
+    record["bhss_bj_random"] = float(
+        theory.bhss_ber(
+            float(e), FIG9_SJR_DB, FIG9_L_DB, FIG9_BANDWIDTHS, FIG9_WEIGHTS,
+            FIG9_BANDWIDTHS, jammer_weights=FIG9_WEIGHTS,
+        )
+    )
+    return record
 
 
 def figure09(num_points: int = 21) -> SweepResult:
     """Figure 9: BER vs Eb/N0 for DSSS/FHSS and BHSS (SJR −20 dB, L = 20 dB)."""
-    ebno = np.linspace(0.0, 20.0, num_points)
     columns = (
         ["ebno_db", "dsss_fhss"]
         + [f"bhss_bj_{r}" for r in FIG9_FIXED_RATIOS]
         + ["bhss_bj_random"]
     )
-    result = SweepResult(columns=tuple(columns))
-    for e in ebno:
-        record = {
-            "ebno_db": float(e),
-            "dsss_fhss": float(theory.ber_from_ebno(float(e), FIG9_SJR_DB, FIG9_L_DB, gamma=1.0)),
-        }
-        for r in FIG9_FIXED_RATIOS:
-            record[f"bhss_bj_{r}"] = float(
-                theory.bhss_ber(
-                    float(e), FIG9_SJR_DB, FIG9_L_DB, FIG9_BANDWIDTHS, FIG9_WEIGHTS,
-                    r * FIG9_BANDWIDTHS.max(),
-                )
-            )
-        record["bhss_bj_random"] = float(
-            theory.bhss_ber(
-                float(e), FIG9_SJR_DB, FIG9_L_DB, FIG9_BANDWIDTHS, FIG9_WEIGHTS,
-                FIG9_BANDWIDTHS, jammer_weights=FIG9_WEIGHTS,
-            )
-        )
-        result.add(**record)
-    return result
+    return run_sweep(tuple(columns), np.linspace(0.0, 20.0, num_points), _fig9_record)
 
 
 def figure10(num_points: int = 41, ebno_db: float = 15.0) -> SweepResult:
     """Figure 10: BHSS BER vs jammer bandwidth per SJR (−10/−15/−20 dB)."""
-    ratios = np.logspace(-2, 0, num_points)
-    result = SweepResult(
-        columns=("bj_over_max_bp", "ber_sjr_-10dB", "ber_sjr_-15dB", "ber_sjr_-20dB")
-    )
-    for r in ratios:
-        record = {"bj_over_max_bp": float(r)}
+
+    def record(r) -> dict:
+        out = {"bj_over_max_bp": float(r)}
         for sjr in [-10.0, -15.0, -20.0]:
             ber = theory.bhss_ber(
                 ebno_db, sjr, FIG9_L_DB, FIG9_BANDWIDTHS, FIG9_WEIGHTS, r * FIG9_BANDWIDTHS.max()
             )
-            record[f"ber_sjr_{sjr:.0f}dB"] = float(ber)
-        result.add(**record)
-    return result
+            out[f"ber_sjr_{sjr:.0f}dB"] = float(ber)
+        return out
+
+    return run_sweep(
+        ("bj_over_max_bp", "ber_sjr_-10dB", "ber_sjr_-15dB", "ber_sjr_-20dB"),
+        np.logspace(-2, 0, num_points),
+        record,
+    )
 
 
 def figure11(num_points: int = 36) -> SweepResult:
@@ -199,27 +211,28 @@ def figure11(num_points: int = 36) -> SweepResult:
         + [f"bhss_bj_{r}" for r in FIG9_FIXED_RATIOS]
         + ["bhss_bj_random"]
     )
-    result = SweepResult(columns=tuple(columns))
     dsss_curve = theory.throughput_curve(ebno, FIG9_SJR_DB, FIG11_PACKET_BITS, l_dsss)
-    for i, e in enumerate(ebno):
-        record = {"ebno_db": float(e), "dsss_fhss": float(dsss_curve[i])}
+
+    def record(i, e) -> dict:
+        out = {"ebno_db": float(e), "dsss_fhss": float(dsss_curve[i])}
         for r in FIG9_FIXED_RATIOS:
-            record[f"bhss_bj_{r}"] = float(
+            out[f"bhss_bj_{r}"] = float(
                 theory.throughput_curve(
                     float(e), FIG9_SJR_DB, FIG11_PACKET_BITS, FIG9_L_DB,
                     bandwidths=FIG11_BANDWIDTHS, hop_weights=FIG11_WEIGHTS,
                     jammer_bandwidths=r * FIG11_BANDWIDTHS.max(),
                 )
             )
-        record["bhss_bj_random"] = float(
+        out["bhss_bj_random"] = float(
             theory.throughput_curve(
                 float(e), FIG9_SJR_DB, FIG11_PACKET_BITS, FIG9_L_DB,
                 bandwidths=FIG11_BANDWIDTHS, hop_weights=FIG11_WEIGHTS,
                 jammer_bandwidths=FIG11_BANDWIDTHS, jammer_weights=FIG11_WEIGHTS,
             )
         )
-        result.add(**record)
-    return result
+        return out
+
+    return run_sweep(tuple(columns), list(enumerate(ebno)), record)
 
 
 def table1(num_trials: int = 3000, seed: int = 0) -> tuple[SweepResult, SweepResult]:
@@ -280,25 +293,28 @@ def figure13(scale: float | None = None, payload_bytes: int = 4, seed: int = 17)
     """
     search = default_search(packets=6, tolerance_db=1.5, scale=scale)
     bandwidths = BHSSConfig.paper_default().bandwidth_set.as_array()
-    per_pair = SweepResult(
-        columns=("bp_mhz", "bj_mhz", "ratio", "thr_filtered_db", "thr_unfiltered_db", "advantage_db")
-    )
-    for bp in bandwidths:
-        cfg = BHSSConfig.paper_default(seed=seed, payload_bytes=payload_bytes).with_fixed_bandwidth(bp)
+
+    def evaluate(bp, bj) -> dict:
+        cfg = _paper_config(seed=seed, payload_bytes=payload_bytes, fixed_bandwidth=float(bp))
         link_filtered = LinkSimulator(cfg)
         link_baseline = LinkSimulator(cfg.as_theory_baseline())
-        for bj in bandwidths:
-            jammer = BandlimitedNoiseJammer(bj, FS)
-            t_filt = min_snr_for_per(link_filtered, jnr_db=JNR_DB, jammer=jammer, search=search, seed=3)
-            t_base = min_snr_for_per(link_baseline, jnr_db=JNR_DB, jammer=jammer, search=search, seed=3)
-            per_pair.add(
-                bp_mhz=float(bp / 1e6),
-                bj_mhz=float(bj / 1e6),
-                ratio=float(bp / bj),
-                thr_filtered_db=float(t_filt),
-                thr_unfiltered_db=float(t_base),
-                advantage_db=float(t_base - t_filt),
-            )
+        jammer = _noise(bj)
+        t_filt = min_snr_for_per(link_filtered, jnr_db=JNR_DB, jammer=jammer, search=search, seed=3)
+        t_base = min_snr_for_per(link_baseline, jnr_db=JNR_DB, jammer=jammer, search=search, seed=3)
+        return {
+            "bp_mhz": float(bp / 1e6),
+            "bj_mhz": float(bj / 1e6),
+            "ratio": float(bp / bj),
+            "thr_filtered_db": float(t_filt),
+            "thr_unfiltered_db": float(t_base),
+            "advantage_db": float(t_base - t_filt),
+        }
+
+    per_pair = run_sweep(
+        ("bp_mhz", "bj_mhz", "ratio", "thr_filtered_db", "thr_unfiltered_db", "advantage_db"),
+        [(float(bp), float(bj)) for bp in bandwidths for bj in bandwidths],
+        evaluate,
+    )
 
     groups: dict[float, list[float]] = defaultdict(list)
     for row in per_pair.rows:
@@ -324,32 +340,27 @@ def figure14(
 ) -> SweepResult:
     """Figure 14: power advantage per hop pattern vs fixed jammers."""
     search = default_search(packets=8, tolerance_db=1.0, scale=scale)
+    base = dict(seed=seed, payload_bytes=payload_bytes, symbols_per_hop=symbols_per_hop)
+    bandwidths = _paper_config(**base).bandwidth_set.as_array()
+    baseline = LinkSimulator(_paper_config(**base, fixed_bandwidth=10e6))
+    t_base = min_snr_for_per(baseline, jnr_db=JNR_DB, jammer=_noise(10e6), search=search, seed=5)
 
-    def config(**kw):
-        return BHSSConfig.paper_default(
-            seed=seed, payload_bytes=payload_bytes, symbols_per_hop=symbols_per_hop, **kw
-        )
+    def evaluate(pattern, bj) -> dict:
+        link = LinkSimulator(_paper_config(**base, pattern=pattern))
+        t = min_snr_for_per(link, jnr_db=JNR_DB, jammer=_noise(bj), search=search, seed=5)
+        return {
+            "pattern": pattern,
+            "bj_mhz": float(bj / 1e6),
+            "threshold_db": float(t),
+            "baseline_db": float(t_base),
+            "advantage_db": float(t_base - t),
+        }
 
-    bandwidths = config().bandwidth_set.as_array()
-    baseline = LinkSimulator(config().with_fixed_bandwidth(10e6))
-    t_base = min_snr_for_per(
-        baseline, jnr_db=JNR_DB, jammer=BandlimitedNoiseJammer(10e6, FS), search=search, seed=5
+    return run_sweep(
+        ("pattern", "bj_mhz", "threshold_db", "baseline_db", "advantage_db"),
+        [(pattern, float(bj)) for pattern in PATTERNS for bj in bandwidths],
+        evaluate,
     )
-    result = SweepResult(columns=("pattern", "bj_mhz", "threshold_db", "baseline_db", "advantage_db"))
-    for pattern in PATTERNS:
-        link = LinkSimulator(config(pattern=pattern))
-        for bj in bandwidths:
-            t = min_snr_for_per(
-                link, jnr_db=JNR_DB, jammer=BandlimitedNoiseJammer(float(bj), FS), search=search, seed=5
-            )
-            result.add(
-                pattern=pattern,
-                bj_mhz=float(bj / 1e6),
-                threshold_db=float(t),
-                baseline_db=float(t_base),
-                advantage_db=float(t_base - t),
-            )
-    return result
 
 
 def table2(
@@ -361,33 +372,36 @@ def table2(
 ) -> SweepResult:
     """Table 2: power advantage matrix, hopping signal x hopping jammer."""
     search = default_search(packets=8, tolerance_db=1.0, scale=scale)
+    base = dict(seed=seed, payload_bytes=payload_bytes, symbols_per_hop=symbols_per_hop)
+    bandwidths = _paper_config(**base).bandwidth_set.as_array()
+    baseline = LinkSimulator(_paper_config(**base, fixed_bandwidth=10e6))
+    t_base = min_snr_for_per(baseline, jnr_db=JNR_DB, jammer=_noise(10e6), search=search, seed=7)
 
-    def config(**kw):
-        return BHSSConfig.paper_default(
-            seed=seed, payload_bytes=payload_bytes, symbols_per_hop=symbols_per_hop, **kw
+    def evaluate(sig, jam) -> dict:
+        link = LinkSimulator(_paper_config(**base, pattern=sig))
+        jammer = jammer_from_spec(
+            {
+                "type": "hopping",
+                "bandwidths": [float(b) for b in bandwidths],
+                "dwell_samples": jammer_dwell_samples,
+                "weights": jam,
+                "seed": 101,
+            },
+            sample_rate=FS,
         )
+        t = min_snr_for_per(link, jnr_db=JNR_DB, jammer=jammer, search=search, seed=7)
+        return {
+            "signal_pattern": sig,
+            "jammer_pattern": jam,
+            "threshold_db": float(t),
+            "advantage_db": float(t_base - t),
+        }
 
-    bandwidths = config().bandwidth_set.as_array()
-    baseline = LinkSimulator(config().with_fixed_bandwidth(10e6))
-    t_base = min_snr_for_per(
-        baseline, jnr_db=JNR_DB, jammer=BandlimitedNoiseJammer(10e6, FS), search=search, seed=7
+    return run_sweep(
+        ("signal_pattern", "jammer_pattern", "threshold_db", "advantage_db"),
+        [(sig, jam) for sig in PATTERNS for jam in PATTERNS],
+        evaluate,
     )
-    result = SweepResult(columns=("signal_pattern", "jammer_pattern", "threshold_db", "advantage_db"))
-    for sig in PATTERNS:
-        link = LinkSimulator(config(pattern=sig))
-        for jam in PATTERNS:
-            jammer = HoppingJammer(
-                bandwidths, FS, dwell_samples=jammer_dwell_samples,
-                weights=pattern_weights(jam, bandwidths), seed=101,
-            )
-            t = min_snr_for_per(link, jnr_db=JNR_DB, jammer=jammer, search=search, seed=7)
-            result.add(
-                signal_pattern=sig,
-                jammer_pattern=jam,
-                threshold_db=float(t),
-                advantage_db=float(t_base - t),
-            )
-    return result
 
 
 def validation_ber(scale: float | None = None, payload_bytes: int = 16, seed: int = 61) -> tuple[SweepResult, SweepResult]:
@@ -395,7 +409,7 @@ def validation_ber(scale: float | None = None, payload_bytes: int = 16, seed: in
     if scale is None:
         scale = env_scale()
     packets = max(6, int(round(12 * scale)))
-    cfg = BHSSConfig.paper_default(seed=seed, payload_bytes=payload_bytes).with_fixed_bandwidth(10e6)
+    cfg = _paper_config(seed=seed, payload_bytes=payload_bytes, fixed_bandwidth=10e6)
     link = LinkSimulator(cfg)
 
     def ber(snr_db, sjr_db=float("inf"), jammer=None, run_seed=0):
@@ -407,7 +421,7 @@ def validation_ber(scale: float | None = None, payload_bytes: int = 16, seed: in
     for snr in [-18.0, -15.0, -12.0, -9.0, -6.0]:
         waterfall.add(snr_db=snr, ber=ber(snr, run_seed=1))
 
-    jam = BandlimitedNoiseJammer(10e6, cfg.sample_rate)
+    jam = _noise(10e6)
     matched = SweepResult(columns=("sjr_db", "ber_jammed", "ber_unjammed_at_sjr_plus_gain"))
     for sjr in [-16.0, -13.0, -10.0]:
         matched.add(
@@ -432,29 +446,30 @@ def ablation_dwells(
     """Ablation: power advantage vs hop-dwell count per packet."""
     search = default_search(packets=8, tolerance_db=1.0, scale=scale)
     baseline = LinkSimulator(
-        BHSSConfig.paper_default(seed=seed, payload_bytes=payload_bytes).with_fixed_bandwidth(10e6)
+        _paper_config(seed=seed, payload_bytes=payload_bytes, fixed_bandwidth=10e6)
     )
-    t_base = min_snr_for_per(
-        baseline, jnr_db=JNR_DB, jammer=BandlimitedNoiseJammer(10e6, FS), search=search, seed=9
-    )
-    result = SweepResult(
-        columns=("symbols_per_hop", "dwells_per_packet", "threshold_db", "advantage_db")
-    )
-    for sph in [4, 8, 16, 32]:
-        cfg = BHSSConfig.paper_default(
+    t_base = min_snr_for_per(baseline, jnr_db=JNR_DB, jammer=_noise(10e6), search=search, seed=9)
+
+    def evaluate(sph) -> dict:
+        cfg = _paper_config(
             pattern="exponential", seed=seed, payload_bytes=payload_bytes, symbols_per_hop=sph
         )
         link = LinkSimulator(cfg)
         t = min_snr_for_per(
-            link, jnr_db=JNR_DB, jammer=BandlimitedNoiseJammer(jammer_bandwidth, FS), search=search, seed=9
+            link, jnr_db=JNR_DB, jammer=_noise(jammer_bandwidth), search=search, seed=9
         )
-        result.add(
-            symbols_per_hop=sph,
-            dwells_per_packet=int(-(-cfg.frame_symbols() // sph)),
-            threshold_db=float(t),
-            advantage_db=float(t_base - t),
-        )
-    return result
+        return {
+            "symbols_per_hop": sph,
+            "dwells_per_packet": int(-(-cfg.frame_symbols() // sph)),
+            "threshold_db": float(t),
+            "advantage_db": float(t_base - t),
+        }
+
+    return run_sweep(
+        ("symbols_per_hop", "dwells_per_packet", "threshold_db", "advantage_db"),
+        [4, 8, 16, 32],
+        evaluate,
+    )
 
 
 def ablation_filters(scale: float | None = None, payload_bytes: int = 4, seed: int = 37) -> SweepResult:
@@ -462,7 +477,7 @@ def ablation_filters(scale: float | None = None, payload_bytes: int = 4, seed: i
     search = default_search(packets=8, tolerance_db=1.0, scale=scale)
 
     def make_link(bp: float, variant: str) -> LinkSimulator:
-        cfg = BHSSConfig.paper_default(seed=seed, payload_bytes=payload_bytes).with_fixed_bandwidth(bp)
+        cfg = _paper_config(seed=seed, payload_bytes=payload_bytes, fixed_bandwidth=float(bp))
         if variant == "none":
             return LinkSimulator(cfg.without_filtering())
         kwargs = dict(sample_rate=cfg.sample_rate, pulse=cfg.pulse)
@@ -480,7 +495,7 @@ def ablation_filters(scale: float | None = None, payload_bytes: int = 4, seed: i
         for variant in ["full", "lpf-only", "ef-only", "none"]:
             t = min_snr_for_per(
                 make_link(bp, variant), jnr_db=JNR_DB,
-                jammer=BandlimitedNoiseJammer(bj, FS), search=search, seed=11,
+                jammer=_noise(bj), search=search, seed=11,
             )
             result.add(scenario=label, variant=variant, threshold_db=float(t))
     return result
@@ -499,12 +514,12 @@ def ablation_fec(
     )
     thresholds: dict[str, float] = {}
     for fec in ["none", "hamming74", "hamming1511", "rep3", "rep5"]:
-        cfg = BHSSConfig.paper_default(
+        cfg = _paper_config(
             pattern="linear", seed=seed, payload_bytes=payload_bytes, symbols_per_hop=4, fec=fec
         )
         t = min_snr_for_per(
             LinkSimulator(cfg), jnr_db=JNR_DB,
-            jammer=BandlimitedNoiseJammer(jammer_bandwidth, FS), search=search, seed=13,
+            jammer=_noise(jammer_bandwidth), search=search, seed=13,
         )
         thresholds[fec] = t
         result.add(
@@ -522,7 +537,7 @@ def ext_fhss_vs_bhss(scale: float | None = None, payload_bytes: int = 8, seed: i
     search = default_search(packets=8, tolerance_db=1.0, scale=scale)
     fhss = FHSSLink(FHSSLinkConfig(payload_bytes=payload_bytes, seed=seed, symbols_per_hop=4))
     bhss = LinkSimulator(
-        BHSSConfig.paper_default(
+        _paper_config(
             pattern="parabolic", seed=seed, payload_bytes=payload_bytes, symbols_per_hop=16
         )
     )
@@ -549,9 +564,9 @@ def ext_fhss_vs_bhss(scale: float | None = None, payload_bytes: int = 8, seed: i
         return hi
 
     scenarios = [
-        ("full-band 10 MHz", BandlimitedNoiseJammer(10e6, FS)),
-        ("partial-band 1.25 MHz", BandlimitedNoiseJammer(1.25e6, FS, centre=2.5e6)),
-        ("narrow 0.156 MHz", BandlimitedNoiseJammer(0.15625e6, FS, centre=-1e6)),
+        ("full-band 10 MHz", _noise(10e6)),
+        ("partial-band 1.25 MHz", _noise(1.25e6, centre=2.5e6)),
+        ("narrow 0.156 MHz", _noise(0.15625e6, centre=-1e6)),
     ]
     result = SweepResult(
         columns=("jammer", "fhss_threshold_db", "bhss_threshold_db", "bhss_advantage_db")
@@ -570,7 +585,7 @@ def ext_fhss_vs_bhss(scale: float | None = None, payload_bytes: int = 8, seed: i
 
 def ext_multipath(scale: float | None = None, payload_bytes: int = 8, seed: int = 97) -> SweepResult:
     """Extension: PER per hop bandwidth over multipath, ± MMSE equalizer."""
-    from repro.channel import MultipathChannel
+    from repro.channel import channel_from_spec
     from repro.core import BHSSTransmitter
     from repro.sync import equalize, estimate_channel, mmse_equalizer_taps
 
@@ -582,9 +597,12 @@ def ext_multipath(scale: float | None = None, payload_bytes: int = 8, seed: int 
     channel_taps = 16
 
     def run(bandwidth: float, equalized: bool) -> float:
-        cfg = BHSSConfig.paper_default(seed=seed, payload_bytes=payload_bytes).with_fixed_bandwidth(bandwidth)
+        cfg = _paper_config(seed=seed, payload_bytes=payload_bytes, fixed_bandwidth=float(bandwidth))
         tx, rx = BHSSTransmitter(cfg), BHSSReceiver(cfg)
-        channel = MultipathChannel(num_taps=channel_taps, decay_samples=5.3, seed=3, line_of_sight=0.0)
+        channel = channel_from_spec(
+            {"type": "multipath", "num_taps": channel_taps, "decay_samples": 5.3,
+             "seed": 3, "line_of_sight": 0.0}
+        )
         failures = 0
         for k in range(packets):
             packet = tx.transmit(packet_index=k)

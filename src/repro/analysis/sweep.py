@@ -58,20 +58,26 @@ class SweepResult:
 
 
 def run_sweep(
-    columns: Sequence[str],
-    grid: Iterable,
-    evaluate: Callable[..., dict],
+    columns,
+    grid: Iterable | None = None,
+    evaluate: Callable[..., dict] | None = None,
     *,
     unpack: bool = True,
     executor: ParallelExecutor | None = None,
+    cache=None,
 ) -> SweepResult:
-    """Evaluate a function over a grid of points.
+    """Evaluate a function over a grid of points — or a whole scenario.
 
-    ``grid`` yields scalars or tuples; with ``unpack=True`` (the default)
-    tuple points are splatted into ``evaluate(*point)``.  Grids whose
-    *scalar* points happen to be tuples — e.g. ``(lo, hi)`` bracket values
-    — must pass ``unpack=False`` to receive each point as one argument;
-    the historical behavior silently splatted them.
+    Passing a :class:`~repro.scenario.spec.Scenario` as the first argument
+    dispatches to :func:`~repro.scenario.runner.run_scenario`: the
+    scenario carries its own grid and evaluator, so ``grid``/``evaluate``
+    must be omitted (``cache`` applies only on this path).
+
+    Otherwise ``grid`` yields scalars or tuples; with ``unpack=True`` (the
+    default) tuple points are splatted into ``evaluate(*point)``.  Grids
+    whose *scalar* points happen to be tuples — e.g. ``(lo, hi)`` bracket
+    values — must pass ``unpack=False`` to receive each point as one
+    argument; the historical behavior silently splatted them.
 
     ``executor`` fans the grid points out over a process pool (default:
     the ``REPRO_WORKERS``-configured executor; serial when unset).
@@ -82,6 +88,18 @@ def run_sweep(
     guarantee).  The sweep's wall-time telemetry is attached as
     ``result.timing``.
     """
+    from repro.scenario.spec import Scenario
+
+    if isinstance(columns, Scenario):
+        if grid is not None or evaluate is not None:
+            raise ValueError("a Scenario carries its own grid and evaluator")
+        from repro.scenario.runner import run_scenario
+
+        return run_scenario(columns, executor=executor, cache=cache)
+    if grid is None or evaluate is None:
+        raise ValueError("run_sweep requires grid and evaluate (or a Scenario)")
+    if cache is not None:
+        raise ValueError("cache applies only to Scenario sweeps")
     points = list(grid)
     ex = executor if executor is not None else ParallelExecutor.from_env()
 

@@ -4,6 +4,14 @@ from repro.channel.awgn import add_awgn, complex_awgn, noise_power_for_snr
 from repro.channel.impairments import IDEAL_FRONT_END, Impairments
 from repro.channel.link_medium import Medium, ReceivedBlock
 from repro.channel.multipath import MultipathChannel, exponential_power_delay_profile
+from repro.channel.registry import (
+    CHANNEL_REGISTRY,
+    channel_from_spec,
+    channel_names,
+    channel_spec,
+    impairments_from_spec,
+    register_channel,
+)
 
 __all__ = [
     "complex_awgn",
@@ -15,4 +23,10 @@ __all__ = [
     "ReceivedBlock",
     "MultipathChannel",
     "exponential_power_delay_profile",
+    "CHANNEL_REGISTRY",
+    "channel_from_spec",
+    "channel_names",
+    "channel_spec",
+    "impairments_from_spec",
+    "register_channel",
 ]

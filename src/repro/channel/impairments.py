@@ -114,6 +114,64 @@ class Impairments:
             out = quantize(out.real) + 1j * quantize(out.imag)
         return out
 
+    def to_dict(self) -> dict:
+        """Lossless JSON-able spec; :meth:`from_dict` inverts it.
+
+        The complex ``dc_offset`` serializes as a ``[real, imag]`` pair.
+        """
+        return {
+            "cfo_hz": float(self.cfo_hz),
+            "phase_rad": float(self.phase_rad),
+            "timing_offset_samples": float(self.timing_offset_samples),
+            "clock_skew_ppm": float(self.clock_skew_ppm),
+            "iq_gain_imbalance": float(self.iq_gain_imbalance),
+            "iq_phase_error_rad": float(self.iq_phase_error_rad),
+            "dc_offset": [float(complex(self.dc_offset).real), float(complex(self.dc_offset).imag)],
+            "phase_noise_std": float(self.phase_noise_std),
+            "adc_bits": int(self.adc_bits),
+            "noise_seed": int(self.noise_seed),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Impairments":
+        """Rebuild impairments from :meth:`to_dict` output.
+
+        Every field is optional (defaults to the ideal front end); unknown
+        and mistyped fields are rejected by name.
+        """
+        if not isinstance(data, dict):
+            raise ValueError(f"impairments spec must be a mapping, got {type(data).__name__}")
+        floats = {
+            "cfo_hz", "phase_rad", "timing_offset_samples", "clock_skew_ppm",
+            "iq_gain_imbalance", "iq_phase_error_rad", "phase_noise_std",
+        }
+        ints = {"adc_bits", "noise_seed"}
+        known = floats | ints | {"dc_offset"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown impairments field(s): {sorted(unknown)}")
+        kwargs: dict = {}
+        for name in floats & set(data):
+            value = data[name]
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ValueError(f"impairments field {name!r} must be a number")
+            kwargs[name] = float(value)
+        for name in ints & set(data):
+            value = data[name]
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ValueError(f"impairments field {name!r} must be an integer")
+            kwargs[name] = value
+        if "dc_offset" in data:
+            value = data["dc_offset"]
+            if (
+                not isinstance(value, (list, tuple))
+                or len(value) != 2
+                or not all(isinstance(v, (int, float)) and not isinstance(v, bool) for v in value)
+            ):
+                raise ValueError("impairments field 'dc_offset' must be a [real, imag] pair")
+            kwargs["dc_offset"] = complex(float(value[0]), float(value[1]))
+        return cls(**kwargs)
+
     @classmethod
     def typical_sdr(cls, rng=None) -> "Impairments":
         """A random draw representative of unsynchronized USRP N210s.

@@ -55,6 +55,10 @@ class MultipathChannel:
     ) -> None:
         if line_of_sight < 0:
             raise ValueError("line_of_sight must be >= 0")
+        self.num_taps = int(num_taps)
+        self.decay_samples = float(decay_samples)
+        self.seed = seed
+        self.line_of_sight = float(line_of_sight)
         profile = exponential_power_delay_profile(num_taps, decay_samples)
         rng = make_rng(seed)
         diffuse = np.sqrt(profile / 2) * (
@@ -65,6 +69,18 @@ class MultipathChannel:
         # normalize to unit average power gain so SNR calibration holds
         taps /= np.sqrt(np.sum(np.abs(taps) ** 2))
         self.taps = taps
+
+    def spec(self) -> dict:
+        """JSON-able construction spec; the channel registry inverts it."""
+        out = {
+            "type": "multipath",
+            "num_taps": int(self.num_taps),
+            "decay_samples": float(self.decay_samples),
+            "line_of_sight": float(self.line_of_sight),
+        }
+        if self.seed is not None:
+            out["seed"] = int(self.seed)
+        return out
 
     @property
     def delay_spread_samples(self) -> int:

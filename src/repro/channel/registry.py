@@ -1,0 +1,104 @@
+"""String-keyed channel registry: propagation models from plain data.
+
+Mirrors :mod:`repro.jamming.registry` for the signal-path side of a
+scenario: a channel spec like ``{"type": "multipath", "num_taps": 16}``
+rebuilds the propagation model, and ``{"type": "none"}`` / ``None`` is the
+paper's coax testbed (no channel).  Front-end impairments are a dataclass
+with their own :meth:`~repro.channel.impairments.Impairments.to_dict` /
+``from_dict`` pair, re-exported here for symmetry.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+from repro.channel.impairments import Impairments
+from repro.channel.multipath import MultipathChannel
+
+__all__ = [
+    "CHANNEL_REGISTRY",
+    "register_channel",
+    "channel_from_spec",
+    "channel_spec",
+    "channel_names",
+    "impairments_from_spec",
+]
+
+#: registry key -> channel class; keys are the ``"type"`` values of specs.
+CHANNEL_REGISTRY: dict[str, type] = {
+    "multipath": MultipathChannel,
+}
+
+
+def channel_names() -> list[str]:
+    """Registered channel type names (plus the implicit ``"none"``)."""
+    return sorted(CHANNEL_REGISTRY) + ["none"]
+
+
+def register_channel(name: str, cls: type) -> None:
+    """Admit a channel class under a new registry key.
+
+    The class must provide ``apply(waveform)`` and a ``spec()`` returning
+    ``{"type": name, ...constructor params...}``.
+    """
+    key = str(name).lower()
+    if key == "none" or key in CHANNEL_REGISTRY:
+        raise ValueError(f"channel type {key!r} is already registered")
+    if not (isinstance(cls, type) and callable(getattr(cls, "apply", None))):
+        raise TypeError("cls must be a class with an apply() method")
+    CHANNEL_REGISTRY[key] = cls
+
+
+def channel_spec(channel) -> dict:
+    """The JSON-able spec of a channel (``None`` → ``{"type": "none"}``)."""
+    if channel is None:
+        return {"type": "none"}
+    spec = getattr(channel, "spec", None)
+    if not callable(spec):
+        raise ValueError(f"channel {type(channel).__name__} does not define spec()")
+    return spec()
+
+
+def channel_from_spec(spec: dict | None):
+    """Build a channel from a registry spec mapping.
+
+    ``None`` and ``{"type": "none"}`` both mean "no channel" (the paper's
+    cabled testbed) and return ``None``.  Field names are validated against
+    the constructor so typos fail with the offending field spelled out.
+    """
+    if spec is None:
+        return None
+    if not isinstance(spec, dict):
+        raise ValueError(f"channel spec must be a mapping, got {type(spec).__name__}")
+    if "type" not in spec:
+        raise ValueError("channel spec must contain a 'type' field")
+    name = spec["type"]
+    if isinstance(name, str) and name.lower() == "none":
+        extras = set(spec) - {"type"}
+        if extras:
+            raise ValueError(f"channel type 'none' takes no fields, got {sorted(extras)}")
+        return None
+    if not isinstance(name, str) or name.lower() not in CHANNEL_REGISTRY:
+        raise ValueError(
+            f"unknown channel type {name!r}; registered types: {channel_names()}"
+        )
+    cls = CHANNEL_REGISTRY[name.lower()]
+    params = {k: v for k, v in spec.items() if k != "type"}
+    accepted = set(inspect.signature(cls.__init__).parameters) - {"self"}
+    unknown = set(params) - accepted
+    if unknown:
+        raise ValueError(
+            f"channel spec field(s) {sorted(unknown)} not recognized for type {name!r}; "
+            f"accepted: {sorted(accepted)}"
+        )
+    try:
+        return cls(**params)
+    except TypeError as exc:
+        raise ValueError(f"channel spec for type {name!r} is incomplete: {exc}") from None
+
+
+def impairments_from_spec(spec: dict | None) -> Impairments | None:
+    """Build front-end impairments from a spec mapping (``None`` = ideal)."""
+    if spec is None:
+        return None
+    return Impairments.from_dict(spec)

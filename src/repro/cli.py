@@ -23,6 +23,13 @@ Installed as ``repro-bhss`` (see ``pyproject.toml``); also runnable as
     Time a multi-point sweep serially and across the ``REPRO_WORKERS``
     process pool, verify bit-identical results, and report speedup,
     packets/sec and worker utilization (optionally to a BENCH JSON).
+``run``
+    Execute a declarative scenario JSON file (``--scenario file.json``)
+    over its (SNR x SJR) grid and print/export the tidy result table.
+``scenario``
+    Tooling for scenario files: ``scenario validate <paths...>``
+    parse-validates files or directories of them; ``scenario list [dir]``
+    summarizes a directory (default ``examples/scenarios``).
 """
 
 from __future__ import annotations
@@ -362,6 +369,120 @@ def cmd_reproduce(args) -> int:
     return 0
 
 
+def cmd_run(args) -> int:
+    from repro.scenario import Scenario, ScenarioError, run_scenario
+
+    try:
+        scenario = Scenario.load(args.scenario)
+    except ScenarioError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    label = f" — {scenario.description}" if scenario.description else ""
+    print(
+        f"scenario {scenario.name!r}{label}: "
+        f"{len(scenario.points())} points x {scenario.packets} packets"
+    )
+    result = run_scenario(scenario)
+    rows = [
+        [
+            f"{r['snr_db']:g}",
+            f"{r['sjr_db']:g}",
+            f"{r['per']:.3f}",
+            f"[{r['per_lo']:.2f},{r['per_hi']:.2f}]",
+            f"{r['ber']:.5f}",
+            f"{r['throughput_bps'] / 1e3:.1f}",
+        ]
+        for r in result.rows
+    ]
+    print(
+        format_table(
+            ["SNR (dB)", "SJR (dB)", "PER", "95% CI", "BER", "goodput (kb/s)"],
+            rows,
+            title=f"scenario: {scenario.name}",
+        )
+    )
+    if result.timing is not None:
+        print(result.timing.summary())
+    if args.output:
+        from repro.analysis import write_csv
+
+        print(f"wrote {write_csv(result, args.output)}")
+    return 0
+
+
+def _scenario_files(paths: list[str]) -> list[str]:
+    """Expand files/directories into a sorted list of scenario JSON files."""
+    files: list[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            files.extend(
+                sorted(
+                    os.path.join(path, name)
+                    for name in os.listdir(path)
+                    if name.endswith(".json")
+                )
+            )
+        else:
+            files.append(path)
+    return files
+
+
+def cmd_scenario_validate(args) -> int:
+    from repro.scenario import Scenario, ScenarioError
+
+    files = _scenario_files(args.paths)
+    if not files:
+        print("no scenario files found", file=sys.stderr)
+        return 2
+    failures = 0
+    for path in files:
+        try:
+            scenario = Scenario.load(path)
+        except ScenarioError as exc:
+            failures += 1
+            print(f"FAIL  {exc}")
+        else:
+            print(
+                f"ok    {path}: {scenario.name} "
+                f"({len(scenario.points())} points x {scenario.packets} packets)"
+            )
+    print(f"{len(files) - failures}/{len(files)} scenario files valid")
+    return 1 if failures else 0
+
+
+def cmd_scenario_list(args) -> int:
+    from repro.scenario import Scenario, ScenarioError
+
+    files = _scenario_files([args.directory])
+    if not files:
+        print(f"no scenario files in {args.directory!r}", file=sys.stderr)
+        return 2
+    rows = []
+    for path in files:
+        try:
+            s = Scenario.load(path)
+        except ScenarioError:
+            rows.append([os.path.basename(path), "(invalid)", "-", "-", "-"])
+            continue
+        rows.append(
+            [
+                os.path.basename(path),
+                s.name,
+                str(s.jammer.get("type", "?")),
+                f"{len(s.points())}x{s.packets}",
+                s.description[:48],
+            ]
+        )
+    print(
+        format_table(
+            ["file", "name", "jammer", "points x packets", "description"],
+            rows,
+            title=f"scenarios in {args.directory}",
+        )
+    )
+    return 0
+
+
 def cmd_theory(args) -> int:
     gamma_db = theory.improvement_factor_db(args.bp, args.bj, args.jammer_power, args.noise_power)
     print(f"Bp = {args.bp:g} Hz, Bj = {args.bj:g} Hz (ratio {args.bp / args.bj:g})")
@@ -441,6 +562,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--run-seed", type=int, default=0)
     p_bench.add_argument("--output", "-o", default=None, help="write a BENCH JSON here")
     p_bench.set_defaults(func=cmd_bench)
+
+    p_run = sub.add_parser("run", help="execute a declarative scenario JSON file")
+    p_run.add_argument("--scenario", required=True, metavar="FILE", help="scenario JSON file")
+    p_run.add_argument("--output", "-o", default=None, help="also write the result CSV here")
+    p_run.set_defaults(func=cmd_run)
+
+    p_scn = sub.add_parser("scenario", help="validate or list scenario files")
+    scn_sub = p_scn.add_subparsers(dest="scenario_command", required=True)
+    p_val = scn_sub.add_parser("validate", help="parse-validate scenario files or directories")
+    p_val.add_argument("paths", nargs="+", help="scenario JSON files and/or directories")
+    p_val.set_defaults(func=cmd_scenario_validate)
+    p_lst = scn_sub.add_parser("list", help="summarize a directory of scenario files")
+    p_lst.add_argument("directory", nargs="?", default="examples/scenarios")
+    p_lst.set_defaults(func=cmd_scenario_list)
 
     p_thy = sub.add_parser("theory", help="evaluate the SNR improvement bound")
     p_thy.add_argument("--bp", type=float, required=True, help="signal bandwidth (Hz)")

@@ -13,8 +13,9 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from repro.dsp.pulse import PulseShape, get_pulse
+from repro.dsp.pulse import PulseShape, get_pulse, pulse_spec
 from repro.hopping.bands import BandwidthSet
+from repro.hopping.patterns import pattern_from_spec, pattern_spec
 from repro.hopping.schedule import HopSchedule
 from repro.phy.fec import get_codec
 from repro.phy.frame import DEFAULT_FRAME_FORMAT, FrameFormat
@@ -117,6 +118,99 @@ class BHSSConfig:
     def processing_gain_db(self) -> float:
         """Spreading processing gain (~9 dB for the 16-ary PHY)."""
         return SixteenAryDSSS().processing_gain_db
+
+    # -- serialization --------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Lossless JSON-able spec of this configuration.
+
+        :meth:`from_dict` inverts it: ``BHSSConfig.from_dict(cfg.to_dict())``
+        equals ``cfg`` for every constructible configuration, which is what
+        lets scenarios, caches and remote workers treat a link config as
+        plain data.
+        """
+        return {
+            "bandwidth_set": self.bandwidth_set.to_dict(),
+            "pattern": pattern_spec(self.pattern),
+            "symbols_per_hop": int(self.symbols_per_hop),
+            "pulse": pulse_spec(self.pulse),
+            "seed": int(self.seed),
+            "payload_bytes": int(self.payload_bytes),
+            "frame_format": self.frame_format.to_dict(),
+            "filtering": bool(self.filtering),
+            "excision_taps": int(self.excision_taps),
+            "lpf_transition_fraction": float(self.lpf_transition_fraction),
+            "fixed_bandwidth": None if self.fixed_bandwidth is None else float(self.fixed_bandwidth),
+            "matched_filter": bool(self.matched_filter),
+            "fec": str(self.fec),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BHSSConfig":
+        """Rebuild a configuration from :meth:`to_dict` output.
+
+        Every field is optional (defaults match the dataclass defaults;
+        an omitted ``bandwidth_set`` means the paper's seven-bandwidth
+        set), and validation errors name the offending field.
+        """
+        if not isinstance(data, dict):
+            raise ValueError(f"config spec must be a mapping, got {type(data).__name__}")
+        known = {
+            "bandwidth_set", "pattern", "symbols_per_hop", "pulse", "seed",
+            "payload_bytes", "frame_format", "filtering", "excision_taps",
+            "lpf_transition_fraction", "fixed_bandwidth", "matched_filter", "fec",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown config field(s): {sorted(unknown)}")
+        kwargs: dict = {}
+
+        def parse(field, fn):
+            if field not in data:
+                return
+            try:
+                kwargs[field] = fn(data[field])
+            except ValueError as exc:
+                raise ValueError(f"config field {field!r}: {exc}") from None
+
+        def number(value, cast=float):
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ValueError(f"expected a number, got {value!r}")
+            return cast(value)
+
+        def integer(value):
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ValueError(f"expected an integer, got {value!r}")
+            return value
+
+        def boolean(value):
+            if not isinstance(value, bool):
+                raise ValueError(f"expected a boolean, got {value!r}")
+            return value
+
+        def string(value):
+            if not isinstance(value, str):
+                raise ValueError(f"expected a string, got {value!r}")
+            return value
+
+        parse("bandwidth_set", BandwidthSet.from_dict)
+        kwargs.setdefault("bandwidth_set", BandwidthSet.paper_default())
+        parse("pattern", pattern_from_spec)
+        parse("symbols_per_hop", integer)
+        parse("pulse", get_pulse)
+        parse("seed", integer)
+        parse("payload_bytes", integer)
+        parse("frame_format", FrameFormat.from_dict)
+        parse("filtering", boolean)
+        parse("excision_taps", integer)
+        parse("lpf_transition_fraction", number)
+        parse("fixed_bandwidth", lambda v: None if v is None else number(v))
+        parse("matched_filter", boolean)
+        parse("fec", string)
+        try:
+            return cls(**kwargs)
+        except ValueError as exc:
+            raise ValueError(f"invalid config spec: {exc}") from None
 
     # -- factories ------------------------------------------------------------
 

@@ -28,6 +28,26 @@ from repro.utils.rng import child_rng, make_rng
 __all__ = ["LinkSimulator", "PacketOutcome", "LinkStats"]
 
 
+def _spec_view(obj):
+    """A serializable fingerprint of a link component for cache keys.
+
+    Prefers the component's declarative spec (``spec()`` / ``to_dict()``)
+    so that a link built from scenario JSON and one built in code hash to
+    the same cache entry; objects without a spec (custom jammers, ad-hoc
+    channels) fall back to the structural :func:`canonical` view.
+    """
+    if obj is None:
+        return None
+    for attr in ("spec", "to_dict"):
+        method = getattr(obj, attr, None)
+        if callable(method):
+            try:
+                return method()
+            except NotImplementedError:
+                break
+    return canonical(obj)
+
+
 @dataclass(frozen=True)
 class PacketOutcome:
     """Result of one simulated packet."""
@@ -273,13 +293,13 @@ class LinkSimulator:
         if store is not None and order_free:
             key = {
                 "kind": "LinkSimulator.run_packets",
-                "config": canonical(self.config),
-                "impairments": canonical(self.impairments),
-                "channel": canonical(self.channel),
+                "config": _spec_view(self.config),
+                "impairments": _spec_view(self.impairments),
+                "channel": _spec_view(self.channel),
                 "num_packets": int(num_packets),
                 "snr_db": canonical(float(snr_db)),
                 "sjr_db": canonical(float(sjr_db)),
-                "jammer": canonical(jammer),
+                "jammer": _spec_view(jammer),
                 "seed": int(seed),
                 "payload": canonical(payload),
                 "jammer_delay_samples": int(jammer_delay_samples),

@@ -130,8 +130,12 @@ class BHSSReceiver:
             block = x[pos : pos + n_samples]
             pos += n_samples
             if block.size < n_samples:
-                # truncated capture: decide the missing symbols arbitrarily
+                # Truncated capture: decide the missing symbols arbitrarily
+                # and record them as zero-quality so the packet's mean
+                # despreading quality reflects the loss (averaging only the
+                # surviving segments would read biased-high).
                 all_symbols[seg.start_symbol : seg.start_symbol + seg.num_symbols] = 0
+                qualities.extend([0.0] * seg.num_symbols)
                 continue
 
             if self.config.filtering:

@@ -28,7 +28,14 @@ from repro.dsp.spectral import (
     periodogram,
     welch_psd,
 )
-from repro.dsp.pulse import HalfSinePulse, PulseShape, RectPulse, RootRaisedCosinePulse, get_pulse
+from repro.dsp.pulse import (
+    HalfSinePulse,
+    PulseShape,
+    RectPulse,
+    RootRaisedCosinePulse,
+    get_pulse,
+    pulse_spec,
+)
 from repro.dsp.mixing import chirp, frequency_shift, phase_rotate
 from repro.dsp.resample import fractional_delay, linear_interpolate, resample_linear
 from repro.dsp.decimate import decimate, decimation_taps
@@ -66,6 +73,7 @@ __all__ = [
     "RectPulse",
     "RootRaisedCosinePulse",
     "get_pulse",
+    "pulse_spec",
     "frequency_shift",
     "phase_rotate",
     "chirp",

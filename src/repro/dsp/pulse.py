@@ -19,7 +19,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["PulseShape", "HalfSinePulse", "RectPulse", "RootRaisedCosinePulse", "get_pulse"]
+__all__ = [
+    "PulseShape",
+    "HalfSinePulse",
+    "RectPulse",
+    "RootRaisedCosinePulse",
+    "get_pulse",
+    "pulse_spec",
+]
 
 
 @dataclass(frozen=True)
@@ -132,11 +139,41 @@ _PULSES = {
 
 
 def get_pulse(name, **kwargs) -> PulseShape:
-    """Look up a pulse shape by name; an existing instance passes through."""
+    """Look up a pulse shape by name or spec dict.
+
+    Accepts an existing :class:`PulseShape` (passes through), a registry
+    name (``"half_sine"``, ``"rect"``, ``"rrc"``), or a spec mapping like
+    ``{"name": "rrc", "beta": 0.35, "span": 8}`` as produced by
+    :func:`pulse_spec`.
+    """
     if isinstance(name, PulseShape):
         return name
+    if isinstance(name, dict):
+        spec = dict(name)
+        try:
+            name = spec.pop("name")
+        except KeyError:
+            raise ValueError("pulse spec must contain a 'name' field") from None
+        kwargs = {**spec, **kwargs}
     try:
         cls = _PULSES[str(name).lower()]
     except KeyError:
         raise ValueError(f"unknown pulse shape {name!r}; choose from {sorted(_PULSES)}") from None
-    return cls(**kwargs)
+    try:
+        return cls(**kwargs)
+    except TypeError:
+        raise ValueError(
+            f"invalid parameters {sorted(kwargs)} for pulse shape {name!r}"
+        ) from None
+
+
+def pulse_spec(pulse) -> dict:
+    """The JSON-able spec of a pulse shape; ``get_pulse`` inverts it."""
+    pulse = get_pulse(pulse)
+    if isinstance(pulse, RootRaisedCosinePulse):
+        return {"name": "rrc", "beta": float(pulse.beta), "span": int(pulse.span)}
+    if isinstance(pulse, HalfSinePulse):
+        return {"name": "half_sine"}
+    if isinstance(pulse, RectPulse):
+        return {"name": "rect"}
+    raise ValueError(f"pulse shape {type(pulse).__name__} has no registered spec")

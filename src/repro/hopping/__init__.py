@@ -10,6 +10,9 @@ from repro.hopping.patterns import (
     linear_weights,
     parabolic_weights,
     pattern_weights,
+    PATTERN_NAMES,
+    pattern_spec,
+    pattern_from_spec,
 )
 from repro.hopping.optimizer import (
     OptimizedPattern,
@@ -28,6 +31,9 @@ __all__ = [
     "parabolic_weights",
     "PAPER_PARABOLIC_WEIGHTS",
     "pattern_weights",
+    "PATTERN_NAMES",
+    "pattern_spec",
+    "pattern_from_spec",
     "expected_bandwidth",
     "expected_throughput",
     "maximin_score_db",

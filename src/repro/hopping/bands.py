@@ -76,6 +76,34 @@ class BandwidthSet:
         """The paper's seven-bandwidth set at 20 MS/s."""
         return cls(tuple(paper_bandwidths(sample_rate / 2.0, count)), sample_rate)
 
+    def to_dict(self) -> dict:
+        """JSON-able spec; :meth:`from_dict` inverts it losslessly."""
+        return {
+            "bandwidths": [float(b) for b in self.bandwidths],
+            "sample_rate": float(self.sample_rate),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BandwidthSet":
+        """Rebuild a bandwidth set from :meth:`to_dict` output."""
+        if not isinstance(data, dict):
+            raise ValueError(f"bandwidth set spec must be a mapping, got {type(data).__name__}")
+        unknown = set(data) - {"bandwidths", "sample_rate"}
+        if unknown:
+            raise ValueError(f"unknown bandwidth set field(s): {sorted(unknown)}")
+        bandwidths = data.get("bandwidths")
+        if not isinstance(bandwidths, (list, tuple)) or not bandwidths:
+            raise ValueError("bandwidth set field 'bandwidths' must be a non-empty list")
+        if not all(isinstance(b, (int, float)) and not isinstance(b, bool) for b in bandwidths):
+            raise ValueError("bandwidth set field 'bandwidths' must contain numbers")
+        kwargs = {}
+        if "sample_rate" in data:
+            sample_rate = data["sample_rate"]
+            if isinstance(sample_rate, bool) or not isinstance(sample_rate, (int, float)):
+                raise ValueError("bandwidth set field 'sample_rate' must be a number")
+            kwargs["sample_rate"] = float(sample_rate)
+        return cls(tuple(float(b) for b in bandwidths), **kwargs)
+
     def __len__(self) -> int:
         return len(self.bandwidths)
 

@@ -31,7 +31,13 @@ __all__ = [
     "expected_bandwidth",
     "expected_throughput",
     "pattern_weights",
+    "PATTERN_NAMES",
+    "pattern_spec",
+    "pattern_from_spec",
 ]
+
+#: The registry of named hop distributions (Table 1's three patterns).
+PATTERN_NAMES = ("linear", "exponential", "parabolic")
 
 #: Table 1's parabolic distribution for the 7-bandwidth set (percent
 #: values 27.1, 15.8, 6.3, 0.1, 1.3, 22.0, 27.4, normalized).
@@ -131,3 +137,40 @@ def pattern_weights(name: str, bandwidths) -> np.ndarray:
             return PAPER_PARABOLIC_WEIGHTS.copy()
         return parabolic_weights(b.size)
     raise ValueError(f"unknown hopping pattern {name!r}; use linear/exponential/parabolic")
+
+
+def pattern_spec(pattern) -> str | list[float]:
+    """The JSON-able form of a hop pattern (name or explicit weights).
+
+    Named patterns serialize as their registry name; explicit weight
+    vectors as plain float lists.  :func:`pattern_from_spec` inverts it.
+    """
+    if isinstance(pattern, str):
+        key = pattern.lower()
+        if key not in PATTERN_NAMES:
+            raise ValueError(f"unknown hopping pattern {pattern!r}; use one of {PATTERN_NAMES}")
+        return key
+    w = np.asarray(pattern, dtype=float)
+    if w.ndim != 1 or w.size == 0:
+        raise ValueError("pattern weights must be a non-empty 1-D sequence")
+    return [float(v) for v in w]
+
+
+def pattern_from_spec(spec) -> "str | np.ndarray":
+    """Rebuild a hop pattern from :func:`pattern_spec` output.
+
+    A string resolves against the named registry; a list becomes an
+    explicit weight vector.
+    """
+    if isinstance(spec, str):
+        key = spec.lower()
+        if key not in PATTERN_NAMES:
+            raise ValueError(f"unknown hopping pattern {spec!r}; use one of {PATTERN_NAMES}")
+        return key
+    if isinstance(spec, (list, tuple)):
+        if not spec or not all(
+            isinstance(v, (int, float)) and not isinstance(v, bool) for v in spec
+        ):
+            raise ValueError("pattern weights must be a non-empty list of numbers")
+        return np.asarray(spec, dtype=float)
+    raise ValueError(f"pattern spec must be a name or weight list, got {type(spec).__name__}")

@@ -7,6 +7,12 @@ from repro.jamming.reactive import MatchedReactiveJammer
 from repro.jamming.hopping_jammer import HoppingJammer
 from repro.jamming.misc import PulsedJammer, SweepJammer, ToneJammer
 from repro.jamming.comb import CombJammer
+from repro.jamming.registry import (
+    JAMMER_REGISTRY,
+    jammer_from_spec,
+    jammer_names,
+    register_jammer,
+)
 
 __all__ = [
     "Jammer",
@@ -19,4 +25,8 @@ __all__ = [
     "SweepJammer",
     "PulsedJammer",
     "CombJammer",
+    "JAMMER_REGISTRY",
+    "jammer_from_spec",
+    "jammer_names",
+    "register_jammer",
 ]

@@ -47,6 +47,26 @@ class Jammer(abc.ABC):
     def reset(self) -> None:
         """Forget internal state (hop phase, sweep position).  Default no-op."""
 
+    def spec(self) -> dict:
+        """JSON-able construction spec of this jammer.
+
+        The ``"type"`` field names the jammer in the string-keyed registry
+        (:mod:`repro.jamming.registry`); the remaining fields are the
+        constructor parameters.  ``jammer_from_spec(j.spec())`` rebuilds an
+        equivalent jammer, which is what lets scenarios, caches and remote
+        workers treat attackers as plain data.
+        """
+        raise NotImplementedError(f"{type(self).__name__} does not define spec()")
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "Jammer":
+        """Rebuild a jammer from a :meth:`spec` mapping (sans validation).
+
+        Prefer :func:`repro.jamming.registry.jammer_from_spec`, which
+        resolves the ``"type"`` key and validates field names.
+        """
+        return cls(**{k: v for k, v in spec.items() if k != "type"})
+
     @staticmethod
     def _check_length(num_samples: int) -> int:
         if num_samples < 0:
@@ -72,3 +92,6 @@ class NoJammer(Jammer):
     @property
     def is_stateful(self) -> bool:
         return False
+
+    def spec(self) -> dict:
+        return {"type": "none"}

@@ -64,6 +64,16 @@ class CombJammer(Jammer):
         # equal power per tone, unit total power
         return out / np.sqrt(self.frequencies.size)
 
+    def spec(self) -> dict:
+        out = {
+            "type": "comb",
+            "frequencies": [float(f) for f in self.frequencies],
+            "sample_rate": float(self.sample_rate),
+        }
+        if self._seed is not None:
+            out["seed"] = int(self._seed)
+        return out
+
     @property
     def description(self) -> str:
         teeth = ", ".join(f"{f / 1e6:.3g}" for f in self.frequencies)

@@ -28,8 +28,9 @@ class HoppingJammer(Jammer):
     bandwidths:
         Candidate jamming bandwidths in Hz.
     weights:
-        Selection probabilities (normalized internally).  ``None`` =
-        uniform ("linear" pattern).
+        Selection probabilities (normalized internally), a pattern name
+        (``"linear"`` / ``"exponential"`` / ``"parabolic"``, resolved over
+        ``bandwidths``), or ``None`` = uniform ("linear" pattern).
     sample_rate:
         Baseband sample rate in Hz.
     dwell_samples:
@@ -57,11 +58,18 @@ class HoppingJammer(Jammer):
         if dwell_samples < 1:
             raise ValueError(f"dwell_samples must be >= 1, got {dwell_samples}")
         self.dwell_samples = int(dwell_samples)
+        self._weights_name: str | None = None
         if weights is None:
             weights = np.ones(self.bandwidths.size)
+        elif isinstance(weights, str):
+            from repro.hopping.patterns import pattern_weights
+
+            self._weights_name = weights.lower()
+            weights = pattern_weights(weights, self.bandwidths)
         self.weights = ensure_probability_vector(weights, "weights")
         if self.weights.size != self.bandwidths.size:
             raise ValueError("weights and bandwidths must have the same length")
+        self.seed = seed
         self._hop_rng = make_rng(seed)
         self._remaining = 0
         self._current_bw = float(self.bandwidths[0])
@@ -92,6 +100,18 @@ class HoppingJammer(Jammer):
             )
             self._remaining -= take
             pos += take
+        return out
+
+    def spec(self) -> dict:
+        out = {
+            "type": "hopping",
+            "bandwidths": [float(b) for b in self.bandwidths],
+            "sample_rate": float(self.sample_rate),
+            "dwell_samples": int(self.dwell_samples),
+            "weights": self._weights_name or [float(w) for w in self.weights],
+        }
+        if self.seed is not None:
+            out["seed"] = int(self.seed)
         return out
 
     @property

@@ -43,6 +43,13 @@ class ToneJammer(Jammer):
         self._phase = float((self._phase + step * n) % (2 * np.pi))
         return out
 
+    def spec(self) -> dict:
+        return {
+            "type": "tone",
+            "frequency": float(self.frequency),
+            "sample_rate": float(self.sample_rate),
+        }
+
     @property
     def description(self) -> str:
         return f"tone jammer at {self.frequency / 1e6:.4g} MHz"
@@ -69,6 +76,7 @@ class SweepJammer(Jammer):
         ensure_positive(sweep_duration, "sweep_duration")
         self.f_start = float(f_start)
         self.f_stop = float(f_stop)
+        self.sweep_duration = float(sweep_duration)
         self.sweep_samples = max(int(round(sweep_duration * sample_rate)), 2)
         self._position = 0
 
@@ -81,6 +89,15 @@ class SweepJammer(Jammer):
         idx = (self._position + np.arange(n)) % self.sweep_samples
         self._position = (self._position + n) % self.sweep_samples
         return one_sweep[idx]
+
+    def spec(self) -> dict:
+        return {
+            "type": "sweep",
+            "f_start": float(self.f_start),
+            "f_stop": float(self.f_stop),
+            "sample_rate": float(self.sample_rate),
+            "sweep_duration": float(self.sweep_duration),
+        }
 
     @property
     def description(self) -> str:
@@ -121,6 +138,26 @@ class PulsedJammer(Jammer):
         self._position = (self._position + n) % self.period_samples
         boost = np.sqrt(self.period_samples / on_len)
         return base * gate * boost
+
+    def spec(self) -> dict:
+        return {
+            "type": "pulsed",
+            "inner": self.inner.spec(),
+            "duty_cycle": float(self.duty_cycle),
+            "period_samples": int(self.period_samples),
+        }
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "PulsedJammer":
+        from repro.jamming.registry import jammer_from_spec
+
+        params = {k: v for k, v in spec.items() if k != "type"}
+        inner = params.pop("inner", None)
+        if not isinstance(inner, (dict, Jammer)):
+            raise ValueError("pulsed jammer spec field 'inner' must be a jammer spec mapping")
+        if isinstance(inner, dict):
+            inner = jammer_from_spec(inner)
+        return cls(inner=inner, **params)
 
     @property
     def description(self) -> str:

@@ -91,6 +91,15 @@ class BandlimitedNoiseJammer(Jammer):
         n = self._check_length(num_samples)
         return bandlimited_noise(n, self.bandwidth, self.sample_rate, rng, self.centre, self.num_taps)
 
+    def spec(self) -> dict:
+        return {
+            "type": "noise",
+            "bandwidth": float(self.bandwidth),
+            "sample_rate": float(self.sample_rate),
+            "centre": float(self.centre),
+            "num_taps": int(self.num_taps),
+        }
+
     @property
     def description(self) -> str:
         return f"band-limited noise jammer (Bj = {self.bandwidth / 1e6:.4g} MHz)"

@@ -143,6 +143,17 @@ class MatchedReactiveJammer(Jammer):
             return np.zeros(0, dtype=complex)
         return np.concatenate(pieces)
 
+    def spec(self) -> dict:
+        out = {
+            "type": "reactive",
+            "sample_rate": float(self.sample_rate),
+            "reaction_samples": int(self.reaction_samples),
+            "initial_bandwidth": float(self.initial_bandwidth),
+        }
+        if self.reaction_fraction is not None:
+            out["reaction_fraction"] = float(self.reaction_fraction)
+        return out
+
     @property
     def description(self) -> str:
         tau_us = self.reaction_samples / self.sample_rate * 1e6

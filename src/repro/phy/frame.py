@@ -49,6 +49,34 @@ class FrameFormat:
         if not 1 <= self.max_payload <= 255:
             raise ValueError("max_payload must be in 1..255")
 
+    def to_dict(self) -> dict:
+        """JSON-able spec; :meth:`from_dict` inverts it losslessly."""
+        return {
+            "preamble_symbols": int(self.preamble_symbols),
+            "sfd": int(self.sfd),
+            "max_payload": int(self.max_payload),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FrameFormat":
+        """Rebuild a frame format from :meth:`to_dict` output.
+
+        Unknown fields are rejected by name so spec typos surface early.
+        """
+        if not isinstance(data, dict):
+            raise ValueError(f"frame format spec must be a mapping, got {type(data).__name__}")
+        known = {"preamble_symbols", "sfd", "max_payload"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown frame format field(s): {sorted(unknown)}")
+        kwargs = {}
+        for name in known & set(data):
+            value = data[name]
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ValueError(f"frame format field {name!r} must be an integer")
+            kwargs[name] = value
+        return cls(**kwargs)
+
     @property
     def header_symbols(self) -> int:
         """Symbols before the payload: preamble + SFD (2) + length (2)."""

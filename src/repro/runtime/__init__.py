@@ -22,7 +22,7 @@ This package provides the three pieces the analysis layer threads through:
 """
 
 from repro.runtime.cache import ResultCache, canonical, stable_hash
-from repro.runtime.executor import MapReport, ParallelExecutor, resolve_workers
+from repro.runtime.executor import MapReport, ParallelExecutor, resolve_workers, spec_runner_ref
 from repro.runtime.instrument import SweepTiming
 
 __all__ = [
@@ -33,4 +33,5 @@ __all__ = [
     "stable_hash",
     "SweepTiming",
     "resolve_workers",
+    "spec_runner_ref",
 ]

@@ -9,21 +9,28 @@ parked in a module-level global immediately before the pool forks, the
 children inherit it through copy-on-write memory, and only integer indices
 and picklable *results* cross the pipe.
 
-Determinism: ``map``/``map_timed`` always return results in input order,
-whatever order the workers finished in, so any fold over the results is
-identical to the serial fold.  Workers never nest pools — a worker that
-calls back into the executor gets the serial path.
+:meth:`ParallelExecutor.map_spec` is the *spec transport*: the work
+function is an importable module-level callable (addressed as
+``"module:qualname"``) and the shared context is plain picklable data, so
+workers rebuild everything from the spec and nothing rides on
+fork-inherited globals.  Declarative scenario sweeps use this path.
+
+Determinism: ``map``/``map_timed``/``map_spec`` always return results in
+input order, whatever order the workers finished in, so any fold over the
+results is identical to the serial fold.  Workers never nest pools — a
+worker that calls back into the executor gets the serial path.
 """
 
 from __future__ import annotations
 
+import importlib
 import multiprocessing
 import os
 import time
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
-__all__ = ["ParallelExecutor", "MapReport", "resolve_workers"]
+__all__ = ["ParallelExecutor", "MapReport", "resolve_workers", "spec_runner_ref"]
 
 #: (fn, items) visible to forked children; only set around a pool launch.
 _WORKER_PAYLOAD: tuple | None = None
@@ -42,6 +49,63 @@ def _run_indexed(index: int):
     fn, items = _WORKER_PAYLOAD
     t0 = time.perf_counter()
     value = fn(items[index])
+    return index, value, time.perf_counter() - t0
+
+
+#: per-process memo of resolved ``"module:qualname"`` spec runners.
+_SPEC_RUNNERS: dict[str, Callable] = {}
+
+
+def _import_spec_runner(ref: str) -> Callable:
+    """Resolve a ``"module:qualname"`` reference to the callable it names."""
+    fn = _SPEC_RUNNERS.get(ref)
+    if fn is None:
+        module_name, _, qualname = ref.partition(":")
+        try:
+            obj = importlib.import_module(module_name)
+            for part in qualname.split("."):
+                obj = getattr(obj, part)
+        except (ImportError, AttributeError) as exc:
+            raise ValueError(f"cannot import spec runner {ref!r}: {exc}") from None
+        if not callable(obj):
+            raise ValueError(f"spec runner {ref!r} is not callable")
+        fn = _SPEC_RUNNERS[ref] = obj
+    return fn
+
+
+def spec_runner_ref(runner) -> str:
+    """The ``"module:qualname"`` address of an importable callable.
+
+    Accepts either the reference string itself or a module-level function;
+    in the latter case the reference is verified to resolve back to the
+    very same object, so closures, lambdas and methods — which a fresh
+    worker process could never re-import — are rejected up front.
+    """
+    if isinstance(runner, str):
+        ref = runner
+        if ":" not in ref:
+            raise ValueError(f"spec runner reference must be 'module:qualname', got {ref!r}")
+        _import_spec_runner(ref)
+        return ref
+    module = getattr(runner, "__module__", None)
+    qualname = getattr(runner, "__qualname__", None)
+    if not module or not qualname:
+        raise ValueError(f"spec runner {runner!r} has no importable module/qualname")
+    ref = f"{module}:{qualname}"
+    if _import_spec_runner(ref) is not runner:
+        raise ValueError(
+            f"spec runner {ref!r} does not resolve back to the given callable; "
+            "it must be a module-level function (no closures or lambdas)"
+        )
+    return ref
+
+
+def _run_spec_indexed(arg: tuple):
+    """Pool target for :meth:`ParallelExecutor.map_spec`: one (spec, item) call."""
+    ref, spec, index, item = arg
+    fn = _import_spec_runner(ref)
+    t0 = time.perf_counter()
+    value = fn(spec, item)
     return index, value, time.perf_counter() - t0
 
 
@@ -143,6 +207,50 @@ class ParallelExecutor:
             wall_seconds=time.perf_counter() - t0,
             workers=workers,
         )
+
+    def map_spec(self, runner, spec, items: Iterable) -> MapReport:
+        """Ordered map through the picklable *spec transport*.
+
+        ``runner`` is a module-level callable (or its ``"module:qualname"``
+        reference) invoked as ``runner(spec, item)``; ``spec`` and every
+        item must be plain picklable data.  Workers re-import the runner
+        and rebuild whatever they need from the spec, so — unlike
+        :meth:`map` — nothing depends on fork-inherited globals and the
+        transport works under any ``multiprocessing`` start method.
+        """
+        ref = spec_runner_ref(runner)
+        items = list(items)
+        if not items:
+            return MapReport(values=(), seconds=(), wall_seconds=0.0, workers=1)
+        t0 = time.perf_counter()
+        if self.workers > 1 and not _IN_WORKER and len(items) >= 2:
+            values, seconds = self._map_spec_pool(ref, spec, items)
+            workers = min(self.workers, len(items))
+        else:
+            fn = _import_spec_runner(ref)
+            values, seconds = self._map_serial(lambda item: fn(spec, item), items)
+            workers = 1
+        return MapReport(
+            values=tuple(values),
+            seconds=tuple(seconds),
+            wall_seconds=time.perf_counter() - t0,
+            workers=workers,
+        )
+
+    def _map_spec_pool(self, ref: str, spec, items: Sequence) -> tuple[list, list]:
+        n = len(items)
+        processes = min(self.workers, n)
+        chunksize = max(1, n // (4 * processes))
+        ctx = multiprocessing.get_context()
+        args = [(ref, spec, i, item) for i, item in enumerate(items)]
+        with ctx.Pool(processes=processes, initializer=_init_worker) as pool:
+            triples = pool.map(_run_spec_indexed, args, chunksize=chunksize)
+        values: list = [None] * n
+        seconds: list = [0.0] * n
+        for index, value, secs in triples:
+            values[index] = value
+            seconds[index] = secs
+        return values, seconds
 
     @staticmethod
     def _map_serial(fn: Callable, items: Sequence) -> tuple[list, list]:

@@ -1,0 +1,243 @@
+"""The :class:`Scenario` dataclass and its JSON round trip.
+
+A scenario file looks like::
+
+    {
+      "name": "narrowband-noise",
+      "description": "parabolic BHSS vs a 0.625 MHz noise jammer",
+      "config": {"pattern": "parabolic", "seed": 42, "payload_bytes": 8},
+      "jammer": {"type": "noise", "bandwidth": 625000.0},
+      "channel": null,
+      "impairments": null,
+      "grid": {"snr_db": [15.0], "sjr_db": [0.0, -5.0, -10.0]},
+      "packets": 20,
+      "seed": 7
+    }
+
+``config`` fields are optional and default to the paper's system
+(:meth:`BHSSConfig.from_dict`); a jammer spec may omit ``sample_rate`` and
+inherit the link's.  Validation failures raise :class:`ScenarioError`
+naming the offending field (``"jammer.bandwith: ..."`` style), so a typo
+in a fleet of JSON files is a one-line diagnosis.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field, replace
+
+from repro.channel.registry import channel_from_spec, impairments_from_spec
+from repro.core.config import BHSSConfig
+from repro.jamming.base import Jammer
+from repro.jamming.registry import jammer_from_spec
+
+__all__ = ["Scenario", "ScenarioError"]
+
+
+class ScenarioError(ValueError):
+    """A scenario spec failed validation; the message names the field."""
+
+
+def _grid_values(values, path: str) -> tuple[float, ...]:
+    if not isinstance(values, (list, tuple)) or not values:
+        raise ScenarioError(f"{path}: must be a non-empty list of numbers")
+    out = []
+    for i, v in enumerate(values):
+        if isinstance(v, bool) or not isinstance(v, (int, float)):
+            raise ScenarioError(f"{path}[{i}]: expected a number, got {v!r}")
+        out.append(float(v))
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A complete, serializable evaluation scenario.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in reports, file names and cache keys.
+    config:
+        The BHSS link configuration under test.
+    jammer:
+        Registry spec of the attacker (``{"type": "noise", ...}``; see
+        :mod:`repro.jamming.registry`).  ``sample_rate`` may be omitted.
+    snr_db, sjr_db:
+        Operating-point grid: the scenario evaluates the cross product.
+    packets:
+        Packet budget per grid point.
+    seed:
+        Run seed for the packet batch (the *link's* pre-shared seed lives
+        in ``config.seed``).
+    channel:
+        Optional propagation-channel spec (``{"type": "multipath", ...}``).
+    impairments:
+        Optional front-end impairment spec
+        (:meth:`~repro.channel.impairments.Impairments.to_dict` layout).
+    description:
+        Free-text note carried through the JSON file.
+    """
+
+    name: str
+    config: BHSSConfig = field(default_factory=BHSSConfig.paper_default)
+    jammer: dict = field(default_factory=lambda: {"type": "none"})
+    snr_db: tuple[float, ...] = (15.0,)
+    sjr_db: tuple[float, ...] = (-10.0,)
+    packets: int = 20
+    seed: int = 0
+    channel: dict | None = None
+    impairments: dict | None = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise ScenarioError("name: must be a non-empty string")
+        if not isinstance(self.config, BHSSConfig):
+            raise ScenarioError("config: must be a BHSSConfig (use from_dict for specs)")
+        if not isinstance(self.jammer, dict):
+            raise ScenarioError("jammer: must be a registry spec mapping")
+        object.__setattr__(self, "snr_db", _grid_values(self.snr_db, "grid.snr_db"))
+        object.__setattr__(self, "sjr_db", _grid_values(self.sjr_db, "grid.sjr_db"))
+        if isinstance(self.packets, bool) or not isinstance(self.packets, int) or self.packets < 1:
+            raise ScenarioError("packets: must be an integer >= 1")
+        if isinstance(self.seed, bool) or not isinstance(self.seed, int):
+            raise ScenarioError("seed: must be an integer")
+
+    # -- construction ---------------------------------------------------------
+
+    def build(self) -> tuple["LinkSimulator", Jammer]:
+        """A ready link simulator and jammer built from the specs."""
+        from repro.core.link import LinkSimulator
+
+        try:
+            jammer = jammer_from_spec(self.jammer, sample_rate=self.config.sample_rate)
+        except ValueError as exc:
+            raise ScenarioError(f"jammer: {exc}") from None
+        try:
+            channel = channel_from_spec(self.channel)
+        except ValueError as exc:
+            raise ScenarioError(f"channel: {exc}") from None
+        try:
+            impairments = impairments_from_spec(self.impairments)
+        except ValueError as exc:
+            raise ScenarioError(f"impairments: {exc}") from None
+        link = LinkSimulator(self.config, impairments=impairments, channel=channel)
+        return link, jammer
+
+    def validate(self) -> "Scenario":
+        """Deep-check the component specs (builds them once); returns self."""
+        self.build()
+        return self
+
+    def points(self) -> list[tuple[float, float]]:
+        """The (snr_db, sjr_db) grid points, SNR-major order."""
+        return [(snr, sjr) for snr in self.snr_db for sjr in self.sjr_db]
+
+    def run(self, executor=None, cache=None):
+        """Evaluate the grid; see :func:`repro.scenario.runner.run_scenario`."""
+        from repro.scenario.runner import run_scenario
+
+        return run_scenario(self, executor=executor, cache=cache)
+
+    def with_overrides(self, **changes) -> "Scenario":
+        """A copy with dataclass fields replaced (validation re-runs)."""
+        return replace(self, **changes)
+
+    # -- serialization --------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Lossless JSON-able spec; :meth:`from_dict` inverts it."""
+        out: dict = {
+            "name": self.name,
+            "config": self.config.to_dict(),
+            "jammer": self.jammer,
+            "grid": {"snr_db": list(self.snr_db), "sjr_db": list(self.sjr_db)},
+            "packets": int(self.packets),
+            "seed": int(self.seed),
+        }
+        if self.description:
+            out["description"] = self.description
+        if self.channel is not None:
+            out["channel"] = self.channel
+        if self.impairments is not None:
+            out["impairments"] = self.impairments
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict, source: str | None = None) -> "Scenario":
+        """Rebuild and validate a scenario from :meth:`to_dict` output.
+
+        ``source`` (e.g. a file path) prefixes error messages.  Component
+        specs are deep-validated: the jammer, channel and impairments are
+        built once so a bad field fails here, not mid-sweep.
+        """
+        prefix = f"{source}: " if source else ""
+        try:
+            if not isinstance(data, dict):
+                raise ScenarioError(f"scenario spec must be a mapping, got {type(data).__name__}")
+            known = {
+                "name", "description", "config", "jammer", "channel",
+                "impairments", "grid", "packets", "seed",
+            }
+            unknown = set(data) - known
+            if unknown:
+                raise ScenarioError(f"unknown scenario field(s): {sorted(unknown)}")
+            if "name" not in data:
+                raise ScenarioError("name: field is required")
+            grid = data.get("grid", {})
+            if not isinstance(grid, dict):
+                raise ScenarioError("grid: must be a mapping with snr_db/sjr_db lists")
+            grid_unknown = set(grid) - {"snr_db", "sjr_db"}
+            if grid_unknown:
+                raise ScenarioError(f"unknown grid field(s): {sorted(grid_unknown)}")
+            try:
+                config = BHSSConfig.from_dict(data.get("config", {}))
+            except ValueError as exc:
+                raise ScenarioError(f"config: {exc}") from None
+            description = data.get("description", "")
+            if not isinstance(description, str):
+                raise ScenarioError("description: must be a string")
+            kwargs: dict = {
+                "name": data["name"],
+                "config": config,
+                "jammer": data.get("jammer", {"type": "none"}),
+                "channel": data.get("channel"),
+                "impairments": data.get("impairments"),
+                "description": description,
+            }
+            if "snr_db" in grid:
+                kwargs["snr_db"] = grid["snr_db"]
+            if "sjr_db" in grid:
+                kwargs["sjr_db"] = grid["sjr_db"]
+            if "packets" in data:
+                kwargs["packets"] = data["packets"]
+            if "seed" in data:
+                kwargs["seed"] = data["seed"]
+            return cls(**kwargs).validate()
+        except ScenarioError as exc:
+            if prefix:
+                raise ScenarioError(f"{prefix}{exc}") from None
+            raise
+
+    def save(self, path: str) -> str:
+        """Write the scenario as pretty-printed JSON; returns the path."""
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> "Scenario":
+        """Read and validate a scenario JSON file."""
+        try:
+            with open(path) as fh:
+                data = json.load(fh)
+        except OSError as exc:
+            raise ScenarioError(f"{path}: cannot read scenario file ({exc})") from None
+        except ValueError as exc:
+            raise ScenarioError(f"{path}: invalid JSON ({exc})") from None
+        return cls.from_dict(data, source=path)

@@ -100,5 +100,32 @@ class TestApiGuide:
         parser = build_parser()
         sub = next(a for a in parser._actions if hasattr(a, "choices") and a.choices)
         for cmd in ["info", "simulate", "threshold", "sweep", "optimize",
-                    "record", "theory", "reproduce"]:
+                    "record", "theory", "reproduce", "run", "scenario"]:
             assert cmd in sub.choices, cmd
+
+
+class TestExampleScenarios:
+    def scenario_files(self):
+        directory = os.path.join(REPO, "examples", "scenarios")
+        return sorted(
+            os.path.join(directory, name)
+            for name in os.listdir(directory)
+            if name.endswith(".json")
+        )
+
+    def test_directory_is_not_empty(self):
+        assert self.scenario_files()
+
+    def test_every_example_scenario_validates(self):
+        from repro.scenario import Scenario
+
+        for path in self.scenario_files():
+            scenario = Scenario.load(path)  # raises ScenarioError on any bad field
+            assert scenario.points(), path
+            # loading must be lossless modulo config-default expansion
+            assert Scenario.from_dict(scenario.to_dict()).to_dict() == scenario.to_dict()
+
+    def test_readme_scenario_quickstart_paths_exist(self):
+        text = read("README.md")
+        for name in re.findall(r"examples/scenarios/(\w+\.json)", text):
+            assert os.path.exists(os.path.join(REPO, "examples", "scenarios", name)), name
