@@ -20,9 +20,11 @@ Installed as ``repro-bhss`` (see ``pyproject.toml``); also runnable as
 ``theory``
     Evaluate the eq.-(11)/(12) improvement bound for one (Bp, Bj) pair.
 ``bench``
-    Time a multi-point sweep serially and across the ``REPRO_WORKERS``
-    process pool, verify bit-identical results, and report speedup,
-    packets/sec and worker utilization (optionally to a BENCH JSON).
+    Time the same packet workload through the serial and batched
+    (vectorized) link paths, verify bit-identical statistics, then time a
+    multi-point sweep serially and across the ``REPRO_WORKERS`` process
+    pool (also bit-checked).  Writes a BENCH JSON (``BENCH_pr3.json`` by
+    default); ``--quick`` is the CI smoke mode.
 ``run``
     Execute a declarative scenario JSON file (``--scenario file.json``)
     over its (SNR x SJR) grid and print/export the tidy result table.
@@ -274,62 +276,158 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def _bench_batched_link(args, config, link) -> dict:
+    """Time the same packet workload through the serial and batched paths.
+
+    Each run rebuilds its jammer from the CLI spec so stateful jammers
+    (sweepers, hoppers) start from the same state, making the two
+    :class:`LinkStats` comparable with plain ``==`` — the batched engine's
+    bit-for-bit contract is *checked*, not assumed, on every bench run.
+
+    Walls are the median of ``--repeats`` timed runs per path (after an
+    untimed warmup), so one scheduler hiccup does not decide the report.
+    """
+    import statistics
+    import time
+
+    batch = max(2, args.batch)
+    num_packets = args.batch_packets if args.batch_packets else (batch if args.quick else 2 * batch)
+    repeats = max(1, args.repeats)
+    snr_db = 0.5 * (args.snr_low + args.snr_high)
+    # Untimed warmup through both paths: fills the pulse/FFT-plan caches
+    # and the allocator so the timed runs measure steady state, not
+    # cold-process setup.
+    for size in (0, batch):
+        link.run_packets_batched(
+            min(4, num_packets), snr_db=snr_db, sjr_db=args.sjr,
+            jammer=_build_jammer(args, config), seed=args.run_seed,
+            batch_size=size, cache=False,
+        )
+    runs: dict[str, dict] = {}
+    stats_by_label = {}
+    for label, size in (("serial", 0), ("batched", batch)):
+        walls = []
+        for _ in range(repeats):
+            jammer = _build_jammer(args, config)
+            t0 = time.perf_counter()
+            stats = link.run_packets_batched(
+                num_packets, snr_db=snr_db, sjr_db=args.sjr, jammer=jammer,
+                seed=args.run_seed, batch_size=size, cache=False,
+            )
+            walls.append(time.perf_counter() - t0)
+            if label in stats_by_label and stats_by_label[label] != stats:
+                raise RuntimeError(f"{label} path is not deterministic across repeats")
+            stats_by_label[label] = stats
+        wall = statistics.median(walls)
+        runs[label] = {
+            "wall_seconds": wall,
+            "wall_seconds_all": walls,
+            "packets_per_second": num_packets / wall if wall > 0 else 0.0,
+        }
+    serial_wall = runs["serial"]["wall_seconds"]
+    batched_wall = runs["batched"]["wall_seconds"]
+    return {
+        "num_packets": num_packets,
+        "batch_size": batch,
+        "repeats": repeats,
+        "snr_db": snr_db,
+        "sjr_db": args.sjr,
+        "serial": runs["serial"],
+        "batched": runs["batched"],
+        "speedup": serial_wall / batched_wall if batched_wall > 0 else 0.0,
+        "bit_identical": stats_by_label["serial"] == stats_by_label["batched"],
+    }
+
+
 def cmd_bench(args) -> int:
-    """Serial-vs-parallel sweep timing with a determinism cross-check."""
+    """Serial-vs-batched link timing plus the serial-vs-pool sweep check."""
+    import json
+
     from repro.runtime import ParallelExecutor, resolve_workers
 
     config = _build_config(args)
     link = LinkSimulator(config)
-    snrs = [float(s) for s in np.linspace(args.snr_low, args.snr_high, args.points)]
-    serial = ParallelExecutor(0)
 
-    def evaluate(snr_db: float) -> dict:
-        stats = link.run_packets(
-            args.packets, snr_db=snr_db, sjr_db=args.sjr,
-            jammer=_build_jammer(args, config), seed=args.run_seed,
-            executor=serial, cache=False,
-        )
-        return {"snr_db": snr_db, "per": stats.packet_error_rate, "ber": stats.bit_error_rate}
-
-    columns = ["snr_db", "per", "ber"]
-    workers = args.workers if args.workers is not None else (resolve_workers() or os.cpu_count() or 1)
-    base = run_sweep(columns, snrs, evaluate, executor=serial)
-    pool = run_sweep(columns, snrs, evaluate, executor=ParallelExecutor(workers))
-    identical = base.rows == pool.rows
-    speedup = base.timing.wall_seconds / pool.timing.wall_seconds if pool.timing.wall_seconds > 0 else 0.0
-    packets = args.packets * len(snrs)
-
-    rows = []
-    for label, timing in [("serial", base.timing), (f"{workers} workers", pool.timing)]:
-        pkt_rate = packets / timing.wall_seconds if timing.wall_seconds > 0 else 0.0
-        rows.append([
+    # -- part 1: the vectorized link engine vs the per-packet path ------------
+    batch_report = _bench_batched_link(args, config, link)
+    rows = [
+        [
             label,
-            f"{timing.wall_seconds:.2f}",
-            f"{timing.points_per_second:.2f}",
-            f"{pkt_rate:.1f}",
-            f"{100 * timing.utilization:.0f}%",
-        ])
+            f"{batch_report[label]['wall_seconds']:.2f}",
+            f"{batch_report[label]['packets_per_second']:.1f}",
+        ]
+        for label in ("serial", "batched")
+    ]
     print(
         format_table(
-            ["run", "wall (s)", "points/s", "packets/s", "utilization"],
+            ["path", "wall (s)", "packets/s"],
             rows,
-            title=f"sweep benchmark: {len(snrs)} points x {args.packets} packets",
+            title=(
+                f"link engine: {batch_report['num_packets']} packets, "
+                f"batch {batch_report['batch_size']}"
+            ),
         )
     )
-    print(f"speedup           : {speedup:.2f}x")
-    print(f"bit-identical     : {'yes' if identical else 'NO — determinism violation'}")
-    if args.output:
-        import json
+    print(f"batch speedup     : {batch_report['speedup']:.2f}x")
+    identical = batch_report["bit_identical"]
+    print(f"bit-identical     : {'yes' if identical else 'NO — batch/serial divergence'}")
+    if batch_report["speedup"] < 1.0:
+        print("warning: batched path slower than serial on this workload", file=sys.stderr)
 
-        payload = {
+    payload = {"benchmark": "pr3-batched-link", "batch": batch_report}
+
+    # -- part 2: serial vs worker-pool sweep (skipped by --quick) -------------
+    if not args.quick:
+        snrs = [float(s) for s in np.linspace(args.snr_low, args.snr_high, args.points)]
+        serial = ParallelExecutor(0)
+
+        def evaluate(snr_db: float) -> dict:
+            stats = link.run_packets(
+                args.packets, snr_db=snr_db, sjr_db=args.sjr,
+                jammer=_build_jammer(args, config), seed=args.run_seed,
+                executor=serial, cache=False,
+            )
+            return {"snr_db": snr_db, "per": stats.packet_error_rate, "ber": stats.bit_error_rate}
+
+        columns = ["snr_db", "per", "ber"]
+        workers = args.workers if args.workers is not None else (resolve_workers() or os.cpu_count() or 1)
+        base = run_sweep(columns, snrs, evaluate, executor=serial)
+        pool = run_sweep(columns, snrs, evaluate, executor=ParallelExecutor(workers))
+        pool_identical = base.rows == pool.rows
+        speedup = base.timing.wall_seconds / pool.timing.wall_seconds if pool.timing.wall_seconds > 0 else 0.0
+        packets = args.packets * len(snrs)
+
+        rows = []
+        for label, timing in [("serial", base.timing), (f"{workers} workers", pool.timing)]:
+            pkt_rate = packets / timing.wall_seconds if timing.wall_seconds > 0 else 0.0
+            rows.append([
+                label,
+                f"{timing.wall_seconds:.2f}",
+                f"{timing.points_per_second:.2f}",
+                f"{pkt_rate:.1f}",
+                f"{100 * timing.utilization:.0f}%",
+            ])
+        print(
+            format_table(
+                ["run", "wall (s)", "points/s", "packets/s", "utilization"],
+                rows,
+                title=f"sweep benchmark: {len(snrs)} points x {args.packets} packets",
+            )
+        )
+        print(f"pool speedup      : {speedup:.2f}x")
+        print(f"bit-identical     : {'yes' if pool_identical else 'NO — determinism violation'}")
+        identical = identical and pool_identical
+        payload["sweep"] = {
             "points": len(snrs),
             "packets_per_point": args.packets,
             "workers": workers,
             "serial": base.timing.to_dict(),
             "parallel": pool.timing.to_dict(),
             "speedup": speedup,
-            "bit_identical": identical,
+            "bit_identical": pool_identical,
         }
+
+    if args.output:
         with open(args.output, "w") as fh:
             json.dump(payload, fh, indent=2)
         print(f"wrote {args.output}")
@@ -550,7 +648,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--output", "-o", default=None, help="write result CSV(s) here")
     p_rep.set_defaults(func=cmd_reproduce)
 
-    p_bench = sub.add_parser("bench", help="time a sweep serially vs the worker pool")
+    p_bench = sub.add_parser("bench", help="time the batched link engine and the worker pool")
     _add_link_options(p_bench)
     _add_jammer_options(p_bench)
     p_bench.add_argument("--points", type=int, default=8, help="grid points in the timed sweep")
@@ -559,9 +657,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--snr-high", type=float, default=20.0)
     p_bench.add_argument("--sjr", type=float, default=-10.0)
     p_bench.add_argument("--workers", type=int, default=None, help="pool size (default: REPRO_WORKERS or CPU count)")
+    p_bench.add_argument("--batch", type=int, default=64, help="packets per stacked link call")
+    p_bench.add_argument(
+        "--batch-packets", type=int, default=None,
+        help="packets in the link-engine comparison (default: 2x batch, 1x with --quick)",
+    )
+    p_bench.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke mode: smaller link workload, skip the pool sweep",
+    )
+    p_bench.add_argument(
+        "--repeats", type=int, default=3,
+        help="timed runs per path; the median wall is reported",
+    )
     p_bench.add_argument("--run-seed", type=int, default=0)
-    p_bench.add_argument("--output", "-o", default=None, help="write a BENCH JSON here")
-    p_bench.set_defaults(func=cmd_bench)
+    p_bench.add_argument("--output", "-o", default="BENCH_pr3.json", help="write the BENCH JSON here ('' disables)")
+    # Bench against the fast-hopping workload (one symbol per hop dwell,
+    # the paper-default linear hop distribution): it maximizes segments
+    # per packet, which is exactly the regime the batched segment-grouping
+    # engine exists for.  --pattern / --payload-bytes / --symbols-per-hop
+    # / --jammer still override as usual.
+    p_bench.set_defaults(
+        func=cmd_bench, pattern="linear", payload_bytes=8, symbols_per_hop=1, jammer="tone"
+    )
 
     p_run = sub.add_parser("run", help="execute a declarative scenario JSON file")
     p_run.add_argument("--scenario", required=True, metavar="FILE", help="scenario JSON file")

@@ -21,9 +21,14 @@ from enum import Enum
 
 import numpy as np
 
-from repro.dsp.excision import excision_taps_from_psd
+from repro.dsp.excision import excision_taps_from_psd, excision_taps_from_psd_batch
 from repro.dsp.fir import estimate_num_taps, lowpass_taps
-from repro.dsp.spectral import occupied_bandwidth, welch_psd
+from repro.dsp.spectral import (
+    occupied_bandwidth,
+    occupied_bandwidth_batch,
+    welch_psd,
+    welch_psd_batch,
+)
 from repro.utils.units import db_to_linear, linear_to_db
 from repro.utils.validation import as_complex_array, ensure_positive
 
@@ -143,6 +148,24 @@ class ControlLogic:
         _freqs, psd = welch_psd(block, self.sample_rate, nperseg=nperseg, nfft=k)
         return excision_taps_from_psd(np.fft.ifftshift(psd))
 
+    def excision_for_batch(self, blocks: np.ndarray) -> np.ndarray:
+        """Row-wise :meth:`excision_for` for a ``(R, N)`` block stack.
+
+        Returns ``(R, K)`` taps whose row ``i`` is bit-identical to
+        ``excision_for(blocks[i])`` — all rows share the block length and
+        therefore the FIR length K and Welch geometry.
+        """
+        blocks = np.asarray(blocks)
+        if blocks.ndim != 2:
+            raise ValueError(f"blocks must be 2-D, got shape {blocks.shape}")
+        n = blocks.shape[1]
+        k = min(self.excision_taps, max(33, (n // 4) | 1))
+        if k % 2 == 0:
+            k += 1
+        nperseg = min(k, n)
+        _freqs, psd = welch_psd_batch(blocks, self.sample_rate, nperseg=nperseg, nfft=k)
+        return excision_taps_from_psd_batch(np.fft.ifftshift(psd, axes=-1))
+
     # -- expected signal spectrum ----------------------------------------------
 
     def _expected_shape(self, signal_bandwidth: float, freqs: np.ndarray) -> np.ndarray:
@@ -228,3 +251,93 @@ class ControlLogic:
             peak_over_floor_db=float(peak_over_floor_db),
             signal_bandwidth=float(signal_bandwidth),
         )
+
+    def decide_batch(self, blocks: np.ndarray, signal_bandwidth: float) -> list[FilterDecision]:
+        """Row-wise :meth:`decide` for a ``(R, N)`` stack of received blocks.
+
+        All rows share the hop bandwidth and the block length (callers
+        group hop segments by both), so the Welch geometry, the in-band
+        mask, the expected signal shape, and the estimation-noise margin
+        are common across the batch.  Entry ``i`` of the returned list is
+        bit-identical to ``decide(blocks[i], signal_bandwidth)``: the
+        batched PSD/occupancy/quantile reductions reproduce the serial
+        ones row for row, and the excision filters for the rows that need
+        one are designed through the batched eq.-3 path.
+        """
+        x = np.asarray(blocks)
+        if x.ndim != 2:
+            raise ValueError(f"blocks must be 2-D, got shape {x.shape}")
+        x = x.astype(np.complex128, copy=False)
+        ensure_positive(signal_bandwidth, "signal_bandwidth")
+        rows, n = x.shape
+        if n < 16:
+            return [
+                FilterDecision(
+                    kind=FilterKind.NONE,
+                    taps=None,
+                    occupied_bandwidth=0.0,
+                    peak_over_floor_db=0.0,
+                    signal_bandwidth=float(signal_bandwidth),
+                )
+                for _ in range(rows)
+            ]
+
+        nperseg = min(self.nperseg, n)
+        freqs, psd = welch_psd_batch(x, self.sample_rate, nperseg=nperseg)
+        occupied = occupied_bandwidth_batch(freqs, psd, fraction=0.99)
+        mask = np.abs(freqs) <= signal_bandwidth / 2.0
+        in_band = psd[:, mask]
+        step = max(nperseg - nperseg // 2, 1)
+        n_averages = max(1, (n - nperseg) // step + 1)
+        effective_margin_db = self.peak_margin_db + 10.0 / np.sqrt(n_averages)
+        if in_band.shape[1] >= 4:
+            ratio = in_band / self._expected_shape(signal_bandwidth, freqs)[mask]
+            floor = np.quantile(ratio, 0.25, axis=-1)
+            peak = ratio.max(axis=-1)
+            hot_fraction = np.mean(
+                ratio > floor[:, None] * db_to_linear(effective_margin_db), axis=-1
+            )
+        else:
+            floor = np.median(psd, axis=-1)
+            peak = in_band.max(axis=-1) if in_band.shape[1] else floor.copy()
+            hot_fraction = np.zeros(rows)
+        safe_ratio = np.divide(peak, floor, out=np.ones_like(peak), where=floor > 0)
+        peak_over_floor_db = np.where(floor > 0, linear_to_db(safe_ratio), 0.0)
+
+        narrow_jammer = (
+            (peak_over_floor_db > effective_margin_db)
+            & (hot_fraction > 0.0)
+            & (hot_fraction < self.max_hot_fraction)
+        )
+        wide = (occupied > self.wide_ratio * signal_bandwidth) & ~narrow_jammer
+
+        excision_rows = np.flatnonzero(narrow_jammer)
+        excision_taps = (
+            self.excision_for_batch(x[excision_rows]) if excision_rows.size else None
+        )
+        excision_slot = {int(r): j for j, r in enumerate(excision_rows)}
+        lowpass_taps_shared: np.ndarray | None = None
+
+        decisions: list[FilterDecision] = []
+        for i in range(rows):
+            if narrow_jammer[i]:
+                kind = FilterKind.EXCISION
+                taps = excision_taps[excision_slot[i]]
+            elif wide[i]:
+                if lowpass_taps_shared is None:
+                    lowpass_taps_shared = self.lowpass_for(signal_bandwidth, n)
+                kind = FilterKind.LOWPASS
+                taps = lowpass_taps_shared
+            else:
+                kind = FilterKind.NONE
+                taps = None
+            decisions.append(
+                FilterDecision(
+                    kind=kind,
+                    taps=taps,
+                    occupied_bandwidth=float(occupied[i]),
+                    peak_over_floor_db=float(peak_over_floor_db[i]),
+                    signal_bandwidth=float(signal_bandwidth),
+                )
+            )
+        return decisions

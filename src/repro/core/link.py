@@ -22,7 +22,7 @@ from repro.core.transmitter import BHSSTransmitter
 from repro.jamming.base import Jammer, NoJammer
 from repro.jamming.reactive import MatchedReactiveJammer
 from repro.phy.bits import hamming_distance_bits
-from repro.runtime import ParallelExecutor, ResultCache, canonical
+from repro.runtime import ParallelExecutor, ResultCache, canonical, resolve_batch
 from repro.utils.rng import child_rng, make_rng
 
 __all__ = ["LinkSimulator", "PacketOutcome", "LinkStats"]
@@ -219,6 +219,10 @@ class LinkSimulator:
             packet_index=packet_index,
             phase_track=phase_track,
         )
+        return self._score_packet(packet, result)
+
+    def _score_packet(self, packet, result: ReceiveResult) -> PacketOutcome:
+        """Compare one receive result against the transmitted truth."""
         if result.accepted and result.payload == packet.payload:
             bit_errors = 0
             accepted = True
@@ -291,19 +295,9 @@ class LinkSimulator:
 
         key = None
         if store is not None and order_free:
-            key = {
-                "kind": "LinkSimulator.run_packets",
-                "config": _spec_view(self.config),
-                "impairments": _spec_view(self.impairments),
-                "channel": _spec_view(self.channel),
-                "num_packets": int(num_packets),
-                "snr_db": canonical(float(snr_db)),
-                "sjr_db": canonical(float(sjr_db)),
-                "jammer": _spec_view(jammer),
-                "seed": int(seed),
-                "payload": canonical(payload),
-                "jammer_delay_samples": int(jammer_delay_samples),
-            }
+            key = self._stats_cache_key(
+                num_packets, snr_db, sjr_db, jammer, seed, payload, jammer_delay_samples
+            )
             hit = store.get(key)
             if hit is not None:
                 return LinkStats(**hit)
@@ -341,17 +335,160 @@ class LinkSimulator:
             filter_usage=usage,
         )
         if key is not None:
-            store.put(
-                key,
-                {
-                    "num_packets": stats.num_packets,
-                    "num_accepted": stats.num_accepted,
-                    "total_bits": stats.total_bits,
-                    "bit_errors": stats.bit_errors,
-                    "data_rate_bps": stats.data_rate_bps,
-                    "filter_usage": stats.filter_usage,
-                },
+            store.put(key, self._stats_payload(stats))
+        return stats
+
+    def _stats_cache_key(
+        self, num_packets, snr_db, sjr_db, jammer, seed, payload, jammer_delay_samples
+    ) -> dict:
+        """The on-disk cache key of a packet batch's aggregate statistics.
+
+        Shared verbatim between :meth:`run_packets` and
+        :meth:`run_packets_batched` — the two paths are bit-identical, so
+        a result computed by either serves the other.
+        """
+        return {
+            "kind": "LinkSimulator.run_packets",
+            "config": _spec_view(self.config),
+            "impairments": _spec_view(self.impairments),
+            "channel": _spec_view(self.channel),
+            "num_packets": int(num_packets),
+            "snr_db": canonical(float(snr_db)),
+            "sjr_db": canonical(float(sjr_db)),
+            "jammer": _spec_view(jammer),
+            "seed": int(seed),
+            "payload": canonical(payload),
+            "jammer_delay_samples": int(jammer_delay_samples),
+        }
+
+    @staticmethod
+    def _stats_payload(stats: LinkStats) -> dict:
+        return {
+            "num_packets": stats.num_packets,
+            "num_accepted": stats.num_accepted,
+            "total_bits": stats.total_bits,
+            "bit_errors": stats.bit_errors,
+            "data_rate_bps": stats.data_rate_bps,
+            "filter_usage": stats.filter_usage,
+        }
+
+    def run_packets_batched(
+        self,
+        num_packets: int,
+        snr_db: float,
+        sjr_db: float = float("inf"),
+        jammer: Jammer | None = None,
+        seed: int = 0,
+        payload: bytes | None = None,
+        jammer_delay_samples: int = 0,
+        batch_size: int | None = None,
+        cache: "ResultCache | bool | None" = None,
+    ) -> LinkStats:
+        """Vectorized :meth:`run_packets`: stack packets, same statistics.
+
+        Simulates ``batch_size`` packets per stacked call (default: the
+        ``REPRO_BATCH``-configured size, 64 when unset) and returns
+        **bit-identical** :class:`LinkStats` to the serial path for every
+        ``(seed, operating point)``.  The contract that makes this exact:
+
+        * packet ``k`` draws from ``child_rng(seed, "packet", str(k))``
+          exactly as in :meth:`run_packets`, and everything that consumes
+          randomness — the jammer waveform, then the medium noise — runs
+          in a strictly ordered per-packet loop (this also preserves
+          stateful jammers' packet-order state evolution);
+        * only the deterministic DSP (pulse shaping, filtering, matched
+          filtering, despreading, spectral estimation) is stacked, through
+          batch primitives whose rows are bit-identical to their serial
+          counterparts.
+
+        Batches share the serial path's result cache entries (same key),
+        so a warm cache serves either path.  Front-end impairments force
+        ``phase_track``, whose Costas recursion has nothing to batch —
+        that configuration falls back to :meth:`run_packets`, as does
+        ``batch_size <= 1``.
+        """
+        if num_packets < 1:
+            raise ValueError(f"num_packets must be >= 1, got {num_packets}")
+        batch = resolve_batch() if batch_size is None else max(0, int(batch_size))
+        common = dict(
+            snr_db=snr_db,
+            sjr_db=sjr_db,
+            jammer=jammer,
+            seed=seed,
+            payload=payload,
+            jammer_delay_samples=jammer_delay_samples,
+        )
+        if batch <= 1 or (self.impairments is not None and not self.impairments.is_ideal):
+            return self.run_packets(num_packets, cache=cache, **common)
+
+        if cache is None:
+            store = ResultCache.from_env()
+        elif cache is False:
+            store = None
+        else:
+            store = cache
+        order_free = jammer is None or not jammer.is_stateful
+        key = None
+        if store is not None and order_free:
+            key = self._stats_cache_key(
+                num_packets, snr_db, sjr_db, jammer, seed, payload, jammer_delay_samples
             )
+            hit = store.get(key)
+            if hit is not None:
+                return LinkStats(**hit)
+
+        use_jammer = jammer is not None and not isinstance(jammer, NoJammer)
+        accepted = 0
+        bit_errors = 0
+        total_bits = 0
+        usage: dict[str, int] = {}
+        for start in range(0, num_packets, batch):
+            indices = list(range(start, min(start + batch, num_packets)))
+            packets = self.transmitter.transmit_batch(indices, payload=payload)
+            received: list[np.ndarray] = []
+            for k, packet in zip(indices, packets):
+                gen = child_rng(seed, "packet", str(k))
+                tx_wave = packet.waveform
+                if self.channel is not None:
+                    tx_wave = self.channel.apply(tx_wave)
+                jam_wave = None
+                if use_jammer:
+                    if isinstance(jammer, MatchedReactiveJammer):
+                        jammer.observe(packet.bandwidth_profile())
+                    wave = jammer.waveform(packet.num_samples, gen)
+                    if np.isfinite(sjr_db):
+                        jam_wave = wave
+                block = self.medium.combine(
+                    tx_wave,
+                    snr_db=snr_db,
+                    jammer=jam_wave,
+                    sjr_db=sjr_db,
+                    jammer_delay_samples=jammer_delay_samples,
+                    rng=gen,
+                )
+                received.append(block.samples)
+            results = self.receiver.receive_batch(
+                received,
+                payload_len=len(packets[0].payload),
+                packet_indices=indices,
+            )
+            for packet, result in zip(packets, results):
+                outcome = self._score_packet(packet, result)
+                accepted += int(outcome.accepted)
+                bit_errors += outcome.bit_errors
+                total_bits += outcome.total_bits
+                for kind, count in result.filter_usage().items():
+                    usage[kind] = usage.get(kind, 0) + count
+        stats = LinkStats(
+            num_packets=num_packets,
+            num_accepted=accepted,
+            total_bits=total_bits,
+            bit_errors=bit_errors,
+            data_rate_bps=self.data_rate_bps(),
+            filter_usage=usage,
+        )
+        if key is not None:
+            store.put(key, self._stats_payload(stats))
         return stats
 
     @staticmethod

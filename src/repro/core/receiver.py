@@ -29,7 +29,8 @@ import numpy as np
 
 from repro.core.config import BHSSConfig
 from repro.core.control import ControlLogic, FilterDecision, FilterKind
-from repro.dsp.fir import apply_fir
+from repro.core.transmitter import ROW_CHUNK
+from repro.dsp.fir import apply_fir, apply_fir_batch
 from repro.dsp.mixing import frequency_shift, phase_rotate
 from repro.phy.frame import ParsedFrame
 from repro.phy.qpsk import binary_chips_to_complex, complex_chips_to_binary
@@ -166,6 +167,134 @@ class BHSSReceiver:
             decisions=tuple(decisions),
             quality=quality,
         )
+
+    def receive_batch(
+        self,
+        waveforms,
+        payload_len: int | None = None,
+        packet_indices=None,
+        phase_track: bool = False,
+    ) -> list[ReceiveResult]:
+        """Batched :meth:`receive` over a sequence of captured packets.
+
+        ``waveforms`` is a sequence of 1-D complex captures (lengths may
+        differ — a bandwidth-hopped packet's duration depends on its hop
+        draw); ``packet_indices`` aligns each capture with its hop
+        substream (defaults to ``0, 1, 2, ...``).  Result ``i`` is
+        bit-identical to ``receive(waveforms[i], payload_len,
+        packet_indices[i], phase_track)``.
+
+        Complete (packet, segment) blocks are grouped by ``(num_symbols,
+        sps, bandwidth)`` — the segment's chip offset is a per-row
+        scramble-phase input, not a shape — and each group goes through
+        one stacked decide → filter → matched-filter → despread chain.
+        Truncated captures take the serial zero-quality path per segment.
+        ``phase_track=True`` falls back to the serial receiver per packet:
+        the Costas loop is a sequential recursion with nothing to batch.
+        """
+        waveforms = list(waveforms)
+        if packet_indices is None:
+            packet_indices = range(len(waveforms))
+        packet_indices = [int(i) for i in packet_indices]
+        if len(packet_indices) != len(waveforms):
+            raise ValueError(
+                f"got {len(waveforms)} waveforms but {len(packet_indices)} packet indices"
+            )
+        if phase_track:
+            return [
+                self.receive(w, payload_len=payload_len, packet_index=k, phase_track=True)
+                for w, k in zip(waveforms, packet_indices)
+            ]
+        if not waveforms:
+            return []
+
+        xs = [as_complex_array(w, "waveform") for w in waveforms]
+        n_payload = self.config.payload_bytes if payload_len is None else payload_len
+        frame_symbols = self.config.frame_format.frame_symbols(n_payload)
+        num_symbols = self.coder.coded_symbols(frame_symbols)
+        cps = self.config.chips_per_symbol
+        num_packets = len(xs)
+
+        segment_lists = [self.schedule.segments(num_symbols, k) for k in packet_indices]
+        num_segments = len(segment_lists[0])
+        all_symbols = np.empty((num_packets, num_symbols), dtype=np.int64)
+        seg_quality: list[list[np.ndarray | None]] = [
+            [None] * num_segments for _ in range(num_packets)
+        ]
+        seg_decision: list[list[FilterDecision | None]] = [
+            [None] * num_segments for _ in range(num_packets)
+        ]
+
+        # Group complete (packet, segment) blocks by segment length,
+        # stretch factor, and hop bandwidth; truncated blocks take the
+        # serial zero-quality path immediately.
+        groups: dict[tuple[int, int, float], list[tuple[int, int, int, int]]] = {}
+        for p, segments in enumerate(segment_lists):
+            pos = 0
+            for s, seg in enumerate(segments):
+                n_samples = seg.num_symbols * (cps // 2) * seg.sps
+                if pos + n_samples > xs[p].size:
+                    all_symbols[p, seg.start_symbol : seg.start_symbol + seg.num_symbols] = 0
+                    seg_quality[p][s] = np.zeros(seg.num_symbols)
+                else:
+                    key = (seg.num_symbols, seg.sps, seg.bandwidth)
+                    groups.setdefault(key, []).append((p, s, pos, seg.start_symbol))
+                pos += n_samples
+
+        chunked = (
+            (key, all_members[i : i + ROW_CHUNK])
+            for key, all_members in groups.items()
+            for i in range(0, len(all_members), ROW_CHUNK)
+        )
+        for (seg_symbols, sps, bandwidth), members in chunked:
+            n_samples = seg_symbols * (cps // 2) * sps
+            blocks = np.stack([xs[p][off : off + n_samples] for p, _s, off, _start in members])
+            if self.config.filtering:
+                decisions = self.control.decide_batch(blocks, bandwidth)
+                lp_rows = [i for i, d in enumerate(decisions) if d.kind is FilterKind.LOWPASS]
+                if lp_rows:
+                    blocks[lp_rows] = apply_fir_batch(
+                        blocks[lp_rows], decisions[lp_rows[0]].taps, mode="compensated"
+                    )
+                exc_rows = [i for i, d in enumerate(decisions) if d.kind is FilterKind.EXCISION]
+                if exc_rows:
+                    blocks[exc_rows] = apply_fir_batch(
+                        blocks[exc_rows],
+                        np.stack([decisions[i].taps for i in exc_rows]),
+                        mode="compensated",
+                    )
+                for row, (p, s, _off, _start) in enumerate(members):
+                    seg_decision[p][s] = decisions[row]
+            soft = self.modulator.demodulate_batch(
+                blocks,
+                sps,
+                num_chips=seg_symbols * cps,
+                matched=self.config.matched_filter,
+            )
+            starts = np.fromiter((start * cps for _p, _s, _off, start in members), dtype=int)
+            result = self.modem.despread_batch(soft, start_chip=starts)
+            for row, (p, s, _off, start) in enumerate(members):
+                all_symbols[p, start : start + seg_symbols] = result.symbols[row]
+                seg_quality[p][s] = result.quality[row]
+
+        out: list[ReceiveResult] = []
+        for p in range(num_packets):
+            decoded = self.coder.decode(all_symbols[p], frame_symbols)
+            frame = self.config.frame_format.parse(decoded)
+            quality_parts = [q for q in seg_quality[p] if q is not None]
+            qualities = (
+                np.concatenate(quality_parts) if quality_parts else np.zeros(0)
+            )
+            quality = float(np.mean(qualities)) if qualities.size else 0.0
+            out.append(
+                ReceiveResult(
+                    frame=frame,
+                    symbols=decoded,
+                    decisions=tuple(d for d in seg_decision[p] if d is not None),
+                    quality=quality,
+                )
+            )
+        return out
 
 
 @dataclass(frozen=True)

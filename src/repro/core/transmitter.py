@@ -20,6 +20,13 @@ from repro.hopping.schedule import HopSegment
 
 __all__ = ["BHSSTransmitter", "TransmittedPacket"]
 
+#: Rows per stacked DSP call.  Grouped segments are processed in slices of
+#: this many rows: enough to amortize per-call overhead, small enough that
+#: the FFT working set stays cache-resident (huge stacks go memory-bound
+#: and run *slower* than serial).  Row-wise results do not depend on the
+#: slicing, so any value is bit-identical.
+ROW_CHUNK = 64
+
 
 @dataclass(frozen=True)
 class TransmittedPacket:
@@ -119,3 +126,86 @@ class BHSSTransmitter:
             payload=bytes(payload),
             packet_index=packet_index,
         )
+
+    def transmit_batch(
+        self, packet_indices, payload: bytes | None = None
+    ) -> list["TransmittedPacket"]:
+        """Batched :meth:`transmit` over a sequence of packet indices.
+
+        Packet ``k`` of the result is bit-identical to
+        ``transmit(payload, k)``.  Per-(packet, segment) work is grouped
+        by ``(num_symbols, sps)`` only — the chip offset of a segment is a
+        per-row scramble-phase input, not a shape — and each group is
+        spread and pulse-shaped as one stacked operation through
+        :meth:`~repro.spread.dsss.SixteenAryDSSS.spread_batch` and
+        :meth:`~repro.phy.qpsk.ChipModulator.modulate_batch`.  With the
+        paper's eight-bandwidth set this collapses a whole packet chunk
+        into roughly one stacked call per distinct stretch factor.
+        """
+        indices = [int(k) for k in packet_indices]
+        if not indices:
+            return []
+        cps = self.config.chips_per_symbol
+
+        frames: list[np.ndarray] = []
+        air_symbols: list[np.ndarray] = []
+        payloads: list[bytes] = []
+        segment_lists: list[tuple[HopSegment, ...]] = []
+        counts: list[list[int]] = []
+        offsets: list[list[int]] = []
+        waveforms: list[np.ndarray] = []
+        for k in indices:
+            if payload is None:
+                n = self.config.payload_bytes
+                pkt_payload = bytes((k + i) & 0xFF for i in range(n))
+            else:
+                pkt_payload = payload
+            frame = self.config.frame_format.build(pkt_payload)
+            symbols = self.coder.encode(frame)
+            segments = tuple(self.schedule.segments(symbols.size, k))
+            seg_counts = [seg.num_symbols * (cps // 2) * seg.sps for seg in segments]
+            seg_offsets = np.concatenate(([0], np.cumsum(seg_counts))).astype(int)
+            frames.append(frame)
+            air_symbols.append(symbols)
+            payloads.append(bytes(pkt_payload))
+            segment_lists.append(segments)
+            counts.append(seg_counts)
+            offsets.append(list(seg_offsets[:-1]))
+            waveforms.append(np.empty(int(seg_offsets[-1]), dtype=complex))
+
+        # Group (packet, segment) pairs that share segment length and
+        # stretch factor; each group runs as one stacked spread + modulate
+        # with per-row scramble phases.
+        groups: dict[tuple[int, int], list[tuple[int, int, int]]] = {}
+        for p, segments in enumerate(segment_lists):
+            for s, seg in enumerate(segments):
+                key = (seg.num_symbols, seg.sps)
+                groups.setdefault(key, []).append((p, s, seg.start_symbol))
+        chunked = (
+            (key, all_members[i : i + ROW_CHUNK])
+            for key, all_members in groups.items()
+            for i in range(0, len(all_members), ROW_CHUNK)
+        )
+        for (num_symbols, sps), members in chunked:
+            sym_stack = np.stack(
+                [air_symbols[p][start : start + num_symbols] for p, _s, start in members]
+            )
+            starts = np.fromiter((start * cps for _p, _s, start in members), dtype=int)
+            chips = self.modem.spread_batch(sym_stack, start_chip=starts)
+            waves = self.modulator.modulate_batch(chips, sps)
+            for row, (p, s, _start) in enumerate(members):
+                off = offsets[p][s]
+                waveforms[p][off : off + counts[p][s]] = waves[row]
+
+        return [
+            TransmittedPacket(
+                waveform=waveforms[p],
+                symbols=frames[p],
+                air_symbols=air_symbols[p],
+                segments=segment_lists[p],
+                sample_counts=tuple(counts[p]),
+                payload=payloads[p],
+                packet_index=indices[p],
+            )
+            for p in range(len(indices))
+        ]

@@ -8,16 +8,23 @@ implementation was built from.
 from repro.dsp.windows import blackman, get_window, hamming, hann, kaiser, kaiser_beta, rectangular
 from repro.dsp.fir import (
     apply_fir,
+    apply_fir_batch,
     bandpass_taps,
     bandstop_taps,
     estimate_num_taps,
     fft_convolve,
+    fft_convolve_batch,
     frequency_response,
     group_delay_samples,
     highpass_taps,
     lowpass_taps,
 )
-from repro.dsp.excision import design_excision_filter, excision_taps_from_psd, whiten
+from repro.dsp.excision import (
+    design_excision_filter,
+    excision_taps_from_psd,
+    excision_taps_from_psd_batch,
+    whiten,
+)
 from repro.dsp.spectral import (
     SpectralEstimate,
     band_power,
@@ -25,8 +32,10 @@ from repro.dsp.spectral import (
     estimate_spectrum,
     noise_floor,
     occupied_bandwidth,
+    occupied_bandwidth_batch,
     periodogram,
     welch_psd,
+    welch_psd_batch,
 )
 from repro.dsp.pulse import (
     HalfSinePulse,
@@ -36,9 +45,15 @@ from repro.dsp.pulse import (
     get_pulse,
     pulse_spec,
 )
-from repro.dsp.mixing import chirp, frequency_shift, phase_rotate
+from repro.dsp.mixing import (
+    chirp,
+    frequency_shift,
+    frequency_shift_batch,
+    phase_rotate,
+    phase_rotate_batch,
+)
 from repro.dsp.resample import fractional_delay, linear_interpolate, resample_linear
-from repro.dsp.decimate import decimate, decimation_taps
+from repro.dsp.decimate import decimate, decimate_batch, decimation_taps
 
 __all__ = [
     "rectangular",
@@ -54,18 +69,23 @@ __all__ = [
     "bandstop_taps",
     "estimate_num_taps",
     "apply_fir",
+    "apply_fir_batch",
     "fft_convolve",
+    "fft_convolve_batch",
     "frequency_response",
     "group_delay_samples",
     "excision_taps_from_psd",
+    "excision_taps_from_psd_batch",
     "design_excision_filter",
     "whiten",
     "periodogram",
     "bartlett_psd",
     "welch_psd",
+    "welch_psd_batch",
     "SpectralEstimate",
     "estimate_spectrum",
     "occupied_bandwidth",
+    "occupied_bandwidth_batch",
     "band_power",
     "noise_floor",
     "PulseShape",
@@ -75,11 +95,14 @@ __all__ = [
     "get_pulse",
     "pulse_spec",
     "frequency_shift",
+    "frequency_shift_batch",
     "phase_rotate",
+    "phase_rotate_batch",
     "chirp",
     "fractional_delay",
     "linear_interpolate",
     "resample_linear",
     "decimate",
+    "decimate_batch",
     "decimation_taps",
 ]

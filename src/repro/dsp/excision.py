@@ -21,7 +21,12 @@ import numpy as np
 from repro.dsp.spectral import welch_psd
 from repro.utils.validation import as_complex_array, ensure_positive
 
-__all__ = ["excision_taps_from_psd", "design_excision_filter", "whiten"]
+__all__ = [
+    "excision_taps_from_psd",
+    "excision_taps_from_psd_batch",
+    "design_excision_filter",
+    "whiten",
+]
 
 
 def excision_taps_from_psd(psd: np.ndarray, *, normalize: bool = True, floor_ratio: float = 1e-12) -> np.ndarray:
@@ -66,6 +71,36 @@ def excision_taps_from_psd(psd: np.ndarray, *, normalize: bool = True, floor_rat
         h_dft = h_dft / np.median(np.abs(h_dft))
     taps = np.fft.ifft(h_dft)
     return taps
+
+
+def excision_taps_from_psd_batch(
+    psd: np.ndarray, *, normalize: bool = True, floor_ratio: float = 1e-12
+) -> np.ndarray:
+    """Row-wise :func:`excision_taps_from_psd` for a stack of PSDs.
+
+    ``psd`` has shape ``(R, K)``; returns complex taps of shape ``(R, K)``
+    whose row ``i`` is bit-identical to
+    ``excision_taps_from_psd(psd[i], ...)``.  All operations — the clip
+    against ``floor_ratio * max``, the reciprocal square root, the
+    linear-phase term, the per-row median normalization, and the final
+    IFFT — are element- or row-wise, so stacking changes nothing.
+    """
+    p = np.asarray(psd, dtype=float)
+    if p.ndim != 2 or p.shape[1] < 2:
+        raise ValueError(f"psd must be a 2-D array with >= 2 bins per row, got shape {p.shape}")
+    if np.any(p < 0) or not np.all(np.isfinite(p)):
+        raise ValueError("psd must be finite and non-negative")
+    peak = p.max(axis=-1)
+    if np.any(peak <= 0):
+        raise ValueError("psd is identically zero; nothing to whiten")
+    p = np.maximum(p, floor_ratio * peak[:, None])
+
+    k_len = p.shape[1]
+    k = np.arange(k_len)
+    h_dft = (1.0 / np.sqrt(p)) * np.exp(-1j * np.pi * (k_len - 1) / k_len * k)
+    if normalize:
+        h_dft = h_dft / np.median(np.abs(h_dft), axis=-1)[:, None]
+    return np.fft.ifft(h_dft, axis=-1)
 
 
 def design_excision_filter(

@@ -28,7 +28,10 @@ __all__ = [
     "bandstop_taps",
     "estimate_num_taps",
     "apply_fir",
+    "apply_fir_batch",
+    "convolve_nfft",
     "fft_convolve",
+    "fft_convolve_batch",
     "frequency_response",
     "group_delay_samples",
 ]
@@ -139,6 +142,24 @@ def _next_fast_len(n: int) -> int:
     return 1 << (n - 1).bit_length()
 
 
+def _default_block_size(n: int, k: int) -> int:
+    """Overlap-save FFT block length for an ``n``-sample signal, ``k`` taps.
+
+    ~8x the filter length amortizes the overlap, but never longer than the
+    whole convolution needs: BHSS hop segments are often just a few hundred
+    samples, and padding them into a fixed 4096-point block wastes most of
+    the transform.  The serial and batched paths share this choice (it is
+    part of the numerics), so they stay bit-identical to each other.
+    """
+    return min(_next_fast_len(max(8 * k, 4096)), _next_fast_len(n + k - 1))
+
+
+def convolve_nfft(n: int, k: int) -> int:
+    """The FFT length :func:`fft_convolve` uses for signal/taps lengths
+    ``n``/``k`` — exposed so callers can precompute a taps spectrum."""
+    return _next_fast_len(n + k - 1)
+
+
 def fft_convolve(x: np.ndarray, taps: np.ndarray) -> np.ndarray:
     """Full linear convolution via a single FFT (both inputs in memory)."""
     x = np.asarray(x)
@@ -150,6 +171,121 @@ def fft_convolve(x: np.ndarray, taps: np.ndarray) -> np.ndarray:
     if np.isrealobj(x) and np.isrealobj(taps):
         return out.real
     return out
+
+
+def fft_convolve_batch(
+    signals: np.ndarray, taps: np.ndarray, taps_fft: np.ndarray | None = None
+) -> np.ndarray:
+    """Row-wise :func:`fft_convolve` on a stack of equal-length signals.
+
+    ``signals`` has shape ``(R, N)`` (leading batch axis); ``taps`` is
+    either 1-D (shared by every row) or 2-D ``(R, K)`` (one filter per
+    row).  Row ``i`` of the output is bit-identical to
+    ``fft_convolve(signals[i], taps_i)``: the FFT length depends only on
+    ``N`` and ``K`` (identical across the batch), and NumPy's pocketfft
+    computes stacked transforms row by row with the same kernels it uses
+    for a single 1-D transform.
+
+    ``taps_fft``, when given, must be ``np.fft.fft(taps,
+    convolve_nfft(N, K), axis=-1)`` precomputed by the caller (e.g. the
+    cached pulse spectrum) — it skips the taps transform without changing
+    a single bit of the result.
+    """
+    x = np.asarray(signals)
+    h = np.asarray(taps)
+    if x.ndim != 2:
+        raise ValueError(f"signals must be 2-D (batch, samples), got shape {x.shape}")
+    if h.ndim == 2 and h.shape[0] != x.shape[0]:
+        raise ValueError(
+            f"per-row taps batch {h.shape[0]} does not match signal batch {x.shape[0]}"
+        )
+    if h.ndim not in (1, 2):
+        raise ValueError(f"taps must be 1-D or 2-D, got shape {h.shape}")
+    n_out = x.shape[1] + h.shape[-1] - 1
+    nfft = _next_fast_len(n_out)
+    if taps_fft is None:
+        taps_fft = np.fft.fft(h, nfft, axis=-1)
+    elif taps_fft.shape[-1] != nfft:
+        raise ValueError(
+            f"taps_fft length {taps_fft.shape[-1]} does not match the "
+            f"convolution FFT length {nfft}"
+        )
+    spec = np.fft.fft(x, nfft, axis=-1) * taps_fft
+    out = np.fft.ifft(spec, axis=-1)[:, :n_out]
+    if np.isrealobj(x) and np.isrealobj(h):
+        return out.real
+    return out
+
+
+def apply_fir_batch(
+    signals: np.ndarray,
+    taps: np.ndarray,
+    mode: str = "compensated",
+    block_size: int | None = None,
+) -> np.ndarray:
+    """Row-wise :func:`apply_fir` on a stack of equal-length signals.
+
+    ``signals`` has shape ``(R, N)``; ``taps`` is 1-D (one filter shared
+    by all rows — e.g. the eq.-4 low-pass of a segment group) or 2-D
+    ``(R, K)`` (one filter per row — e.g. per-block eq.-3 excision taps).
+    Row ``i`` of the output is bit-identical to
+    ``apply_fir(signals[i], taps_i, mode, block_size)``: the overlap-save
+    block geometry depends only on ``N``, ``K`` and ``block_size`` — all
+    identical across the batch — so every row sees exactly the serial
+    sequence of FFT lengths and block boundaries.
+    """
+    x = np.asarray(signals)
+    if x.ndim != 2:
+        raise ValueError(f"signals must be 2-D (batch, samples), got shape {x.shape}")
+    x = x.astype(np.complex128, copy=False) if np.iscomplexobj(x) else x.astype(np.float64, copy=False)
+    h = np.asarray(taps)
+    if h.ndim == 2 and h.shape[0] != x.shape[0]:
+        raise ValueError(
+            f"per-row taps batch {h.shape[0]} does not match signal batch {x.shape[0]}"
+        )
+    if h.ndim not in (1, 2) or h.shape[-1] == 0:
+        raise ValueError("taps must be a non-empty 1-D or 2-D array")
+    rows, n = x.shape
+    if n == 0 or rows == 0:
+        return x.copy()
+
+    k = h.shape[-1]
+    if block_size is None:
+        block_size = _default_block_size(n, k)
+    nfft = max(_next_fast_len(k), block_size)
+    step = nfft - (k - 1)
+    if step <= 0:
+        nfft = _next_fast_len(2 * k)
+        step = nfft - (k - 1)
+
+    hf = np.fft.fft(h, nfft, axis=-1)  # (nfft,) or (R, nfft) — broadcasts either way
+    n_out = n + k - 1
+    complex_out = np.iscomplexobj(x) or np.iscomplexobj(h)
+    out = np.empty((rows, n_out), dtype=np.complex128 if complex_out else np.float64)
+
+    # Zero-pad far enough that every overlap-save block is a plain view —
+    # the trailing zeros are exactly what the serial path appends blockwise.
+    num_blocks = -(-n_out // step)
+    padded = np.zeros((rows, (num_blocks - 1) * step + nfft), dtype=x.dtype)
+    padded[:, k - 1 : k - 1 + n] = x
+    pos = 0
+    while pos < n_out:
+        block = padded[:, pos : pos + nfft]
+        y = np.fft.ifft(np.fft.fft(block, axis=-1) * hf, axis=-1)
+        take = min(step, n_out - pos)
+        chunk = y[:, k - 1 : k - 1 + take]
+        out[:, pos : pos + take] = chunk if complex_out else chunk.real
+        pos += take
+
+    if mode == "full":
+        return out
+    if mode == "same":
+        start = (k - 1) // 2
+        return out[:, start : start + n]
+    if mode == "compensated":
+        delay = (k - 1) // 2
+        return out[:, delay : delay + n]
+    raise ValueError(f"unknown mode {mode!r}; expected 'compensated', 'same', or 'full'")
 
 
 def apply_fir(signal: np.ndarray, taps: np.ndarray, mode: str = "compensated", block_size: int | None = None) -> np.ndarray:
@@ -167,7 +303,9 @@ def apply_fir(signal: np.ndarray, taps: np.ndarray, mode: str = "compensated", b
     * ``"full"``: full linear convolution of length ``N + K - 1``.
 
     ``block_size`` overrides the overlap-save FFT block length (mostly for
-    tests); by default a block of ~8x the filter length is used.
+    tests); by default a block of ~8x the filter length is used, capped at
+    the length of the full convolution (short hop segments do not pay for
+    a full-size block).
     """
     x = as_complex_array(signal) if np.iscomplexobj(signal) else np.asarray(signal, dtype=float)
     h = np.asarray(taps)
@@ -178,7 +316,7 @@ def apply_fir(signal: np.ndarray, taps: np.ndarray, mode: str = "compensated", b
 
     k = h.size
     if block_size is None:
-        block_size = _next_fast_len(max(8 * k, 4096))
+        block_size = _default_block_size(x.size, k)
     nfft = max(_next_fast_len(k), block_size)
     step = nfft - (k - 1)
     if step <= 0:

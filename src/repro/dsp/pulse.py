@@ -28,6 +28,19 @@ __all__ = [
     "pulse_spec",
 ]
 
+#: Per-(pulse, α) sampled-waveform table.  Hop stretching means the same
+#: few sps values recur for every segment of every packet; sampling the
+#: pulse once per (shape, sps) removes that recomputation from the hot
+#: path.  Cached arrays are frozen (non-writeable) so a cache hit can be
+#: shared safely across the serial and batched pipelines.
+_WAVEFORM_TABLE: dict[tuple, np.ndarray] = {}
+
+#: Per-(pulse, α, nfft) pulse-spectrum table for the batched fast
+#: convolution: the FFT of the pulse at a given transform length is the
+#: same for every segment group that shares the stretch factor, so it is
+#: computed once and reused (bit-identical — it is the very same array).
+_SPECTRUM_TABLE: dict[tuple, np.ndarray] = {}
+
 
 @dataclass(frozen=True)
 class PulseShape:
@@ -55,6 +68,40 @@ class PulseShape:
         if energy <= 0:
             raise ValueError("pulse has zero energy")
         return p / np.sqrt(energy)
+
+    def waveform_cached(self, sps: int) -> np.ndarray:
+        """:meth:`waveform` through the per-(shape, α) table.
+
+        Returns the exact array :meth:`waveform` would produce (computed
+        once and frozen), so callers that switch to the cached lookup
+        stay bit-identical to callers that recompute.  The cache key uses
+        the shape's dataclass identity (class + field values), so two
+        equal pulse objects share one entry.
+        """
+        key = (type(self), self.bandwidth_factor, self.span, int(sps))
+        table = _WAVEFORM_TABLE.get(key)
+        if table is None:
+            table = self.waveform(int(sps))
+            table.flags.writeable = False
+            _WAVEFORM_TABLE[key] = table
+        return table
+
+    def spectrum_cached(self, sps: int, nfft: int) -> np.ndarray:
+        """Cached ``np.fft.fft(waveform_cached(sps).astype(complex), nfft)``.
+
+        The batched modulator and matched filter convolve every segment
+        group with the same pulse; caching the pulse's FFT per (shape, α,
+        transform length) skips one transform per stacked call.  The
+        cached array is the exact output of the inline FFT (computed once
+        and frozen), so results stay bit-identical.
+        """
+        key = (type(self), self.bandwidth_factor, self.span, int(sps), int(nfft))
+        spec = _SPECTRUM_TABLE.get(key)
+        if spec is None:
+            spec = np.fft.fft(self.waveform_cached(sps).astype(complex), int(nfft))
+            spec.flags.writeable = False
+            _SPECTRUM_TABLE[key] = spec
+        return spec
 
 
 class HalfSinePulse(PulseShape):

@@ -24,6 +24,8 @@ __all__ = [
     "periodogram",
     "bartlett_psd",
     "welch_psd",
+    "welch_psd_batch",
+    "occupied_bandwidth_batch",
     "SpectralEstimate",
     "estimate_spectrum",
     "occupied_bandwidth",
@@ -87,6 +89,69 @@ def _segment_psd_average(x, sample_rate, nperseg, noverlap, window, nfft):
     psd = acc / (count * scale)
     freqs = np.fft.fftfreq(nfft, d=1.0 / sample_rate)
     return np.fft.fftshift(freqs), np.fft.fftshift(psd)
+
+
+def welch_psd_batch(
+    x: np.ndarray,
+    sample_rate: float = 1.0,
+    nperseg: int = 256,
+    noverlap: int | None = None,
+    window="hann",
+    nfft: int | None = None,
+):
+    """Row-wise :func:`welch_psd` on a stack of equal-length signals.
+
+    ``x`` has shape ``(R, N)``; returns ``(freqs, psd)`` with ``psd`` of
+    shape ``(R, nfft)``.  Row ``i`` is bit-identical to
+    ``welch_psd(x[i], ...)``: all R rows share the segmentation geometry
+    (same ``N``), every Welch segment across the batch goes through one
+    stacked FFT, and the segment accumulation runs in the serial order —
+    a sequential loop over segment index, vectorized over rows — so the
+    floating-point sum is performed in exactly the serial sequence.
+    """
+    x = np.asarray(x)
+    if x.ndim != 2:
+        raise ValueError(f"x must be 2-D (batch, samples), got shape {x.shape}")
+    if not np.iscomplexobj(x):
+        x = x.astype(float)
+    x = x.astype(np.complex128, copy=False)
+    ensure_positive(sample_rate, "sample_rate")
+    if noverlap is None:
+        noverlap = int(nperseg) // 2
+    nperseg = int(nperseg)
+    if nperseg < 2:
+        raise ValueError(f"nperseg must be >= 2, got {nperseg}")
+    n = x.shape[1]
+    if n < nperseg:
+        noverlap = int(noverlap * n / nperseg)
+        nperseg = n
+    noverlap = int(noverlap)
+    if not 0 <= noverlap < nperseg:
+        raise ValueError(f"noverlap must be in [0, nperseg), got {noverlap}")
+    step = nperseg - noverlap
+    nfft = int(nfft) if nfft is not None else nperseg
+
+    w = get_window(window, nperseg, periodic=True)
+    scale = sample_rate * np.sum(w**2)
+    starts = np.arange(0, n - nperseg + 1, step)
+    if starts.size == 0:
+        raise ValueError("signal too short for the requested segmentation")
+    # (R, S, nperseg) stack of windowed segments -> one batched FFT.  The
+    # segment windows come from a zero-copy strided view; windowing and
+    # |.|^2 are elementwise, so both are bit-identical to the per-segment
+    # serial arithmetic.
+    windows = np.lib.stride_tricks.sliding_window_view(x, nperseg, axis=1)
+    segs = windows[:, ::step][:, : starts.size] * w
+    specs = np.fft.fft(segs, nfft, axis=-1)
+    power = np.abs(specs) ** 2
+    acc = np.zeros((x.shape[0], nfft))
+    for s in range(starts.size):
+        # Sequential segment order: the serial Welch sum must be replayed
+        # term by term for the accumulated rounding to match exactly.
+        acc += power[:, s, :]
+    psd = acc / (starts.size * scale)
+    freqs = np.fft.fftfreq(nfft, d=1.0 / sample_rate)
+    return np.fft.fftshift(freqs), np.fft.fftshift(psd, axes=-1)
 
 
 def bartlett_psd(x: np.ndarray, sample_rate: float = 1.0, nperseg: int = 256, nfft: int | None = None):
@@ -209,3 +274,29 @@ def occupied_bandwidth(freqs: np.ndarray, psd: np.ndarray, fraction: float = 0.9
     needed = int(np.searchsorted(cumulative, fraction * total)) + 1
     df = freqs[1] - freqs[0]
     return float(needed * df)
+
+
+def occupied_bandwidth_batch(freqs: np.ndarray, psd: np.ndarray, fraction: float = 0.99) -> np.ndarray:
+    """Row-wise :func:`occupied_bandwidth` for a stack of PSDs.
+
+    ``psd`` has shape ``(R, nbins)`` on the shared grid ``freqs``; returns
+    an ``(R,)`` vector whose entry ``i`` is bit-identical to
+    ``occupied_bandwidth(freqs, psd[i], fraction)``.  The serial
+    ``searchsorted(cumulative, v)`` on the non-decreasing cumulative sum
+    equals the count of entries strictly below ``v``, which vectorizes as
+    a row-wise comparison; ties in the value sort contribute identical
+    addends, so the cumulative sums match the serial ones bit for bit.
+    """
+    freqs = np.asarray(freqs, dtype=float)
+    psd = np.asarray(psd, dtype=float)
+    if psd.ndim != 2 or freqs.ndim != 1 or psd.shape[1] != freqs.size or freqs.size < 2:
+        raise ValueError("psd must be (R, nbins) on a shared freqs grid with >= 2 bins")
+    if not 0 < fraction <= 1:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    total = psd.sum(axis=-1)
+    descending = np.sort(psd, axis=-1)[:, ::-1]
+    cumulative = np.cumsum(descending, axis=-1)
+    needed = np.sum(cumulative < fraction * total[:, None], axis=-1) + 1
+    df = freqs[1] - freqs[0]
+    out = needed * df
+    return np.where(total > 0, out, 0.0)

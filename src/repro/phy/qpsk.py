@@ -17,11 +17,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.dsp.fir import fft_convolve
+from repro.dsp.fir import convolve_nfft, fft_convolve, fft_convolve_batch
 from repro.dsp.pulse import PulseShape, get_pulse
 from repro.utils.validation import as_complex_array
 
-__all__ = ["ChipModulator", "binary_chips_to_complex", "complex_chips_to_binary"]
+__all__ = [
+    "ChipModulator",
+    "binary_chips_to_complex",
+    "binary_chips_to_complex_batch",
+    "complex_chips_to_binary",
+    "complex_chips_to_binary_batch",
+]
 
 
 def binary_chips_to_complex(chips: np.ndarray) -> np.ndarray:
@@ -35,12 +41,32 @@ def binary_chips_to_complex(chips: np.ndarray) -> np.ndarray:
     return (c[0::2] + 1j * c[1::2]) / np.sqrt(2)
 
 
+def binary_chips_to_complex_batch(chips: np.ndarray) -> np.ndarray:
+    """Row-wise :func:`binary_chips_to_complex` on a ``(R, C)`` chip stack."""
+    c = np.asarray(chips, dtype=float)
+    if c.ndim != 2 or c.shape[1] % 2 != 0:
+        raise ValueError(f"chips must be a 2-D even-width array, got shape {c.shape}")
+    return (c[:, 0::2] + 1j * c[:, 1::2]) / np.sqrt(2)
+
+
 def complex_chips_to_binary(symbols: np.ndarray) -> np.ndarray:
     """Interleave complex soft chips back into soft binary chip values."""
     s = as_complex_array(symbols, "symbols")
     out = np.empty(2 * s.size)
     out[0::2] = s.real
     out[1::2] = s.imag
+    return out
+
+
+def complex_chips_to_binary_batch(symbols: np.ndarray) -> np.ndarray:
+    """Row-wise :func:`complex_chips_to_binary` on a ``(R, S)`` stack."""
+    s = np.asarray(symbols)
+    if s.ndim != 2:
+        raise ValueError(f"symbols must be 2-D, got shape {s.shape}")
+    s = s.astype(np.complex128, copy=False)
+    out = np.empty((s.shape[0], 2 * s.shape[1]))
+    out[:, 0::2] = s.real
+    out[:, 1::2] = s.imag
     return out
 
 
@@ -66,7 +92,9 @@ class ChipModulator:
         object.__setattr__(self, "pulse", get_pulse(self.pulse))
 
     def _pulse_and_trim(self, sps: int) -> tuple[np.ndarray, int]:
-        p = self.pulse.waveform(sps)
+        # Cached per-(shape, sps) table: hop stretching revisits the same
+        # few sps values constantly (see repro.dsp.pulse._WAVEFORM_TABLE).
+        p = self.pulse.waveform_cached(sps)
         trim = (p.size - sps) // 2
         return p, trim
 
@@ -82,12 +110,93 @@ class ChipModulator:
         n = cplx.size
         if n == 0:
             return np.zeros(0, dtype=complex)
-        impulses = np.zeros(n * sps, dtype=complex)
-        impulses[::sps] = cplx
         p, trim = self._pulse_and_trim(sps)
-        wave = fft_convolve(impulses, p.astype(complex))[trim : trim + n * sps]
+        if p.size == sps:
+            # Time-limited pulse (span 1): chip pulses don't overlap, so
+            # the shaping convolution degenerates to one scaled pulse copy
+            # per chip — a single product per output sample, no FFT.
+            wave = (cplx[:, None] * p).reshape(-1)
+        else:
+            impulses = np.zeros(n * sps, dtype=complex)
+            impulses[::sps] = cplx
+            wave = fft_convolve(impulses, p.astype(complex))[trim : trim + n * sps]
         # Unit-energy pulse gives average power 1/sps; rescale to power 1.
         return wave * np.sqrt(sps)
+
+    def modulate_batch(self, chips: np.ndarray, sps: int) -> np.ndarray:
+        """Row-wise :meth:`modulate` for a ``(R, C)`` stack of chip frames.
+
+        All rows share one ``sps`` (callers group hop segments by stretch
+        factor).  Row ``i`` of the output is bit-identical to
+        ``modulate(chips[i], sps)``: the impulse-train construction is
+        positional, and the shared-pulse convolution goes through
+        :func:`repro.dsp.fir.fft_convolve_batch`, whose per-row FFTs match
+        the serial ones bit for bit.
+        """
+        if sps < 1:
+            raise ValueError(f"sps must be >= 1, got {sps}")
+        cplx = binary_chips_to_complex_batch(chips)
+        rows, n = cplx.shape
+        if n == 0:
+            return np.zeros((rows, 0), dtype=complex)
+        p, trim = self._pulse_and_trim(sps)
+        if p.size == sps:
+            # Same non-overlapping fast path as the serial :meth:`modulate`
+            # — each output sample is the identical single product.
+            wave = (cplx[:, :, None] * p).reshape(rows, -1)
+        else:
+            impulses = np.zeros((rows, n * sps), dtype=complex)
+            impulses[:, ::sps] = cplx
+            pf = self.pulse.spectrum_cached(sps, convolve_nfft(n * sps, p.size))
+            wave = fft_convolve_batch(impulses, p.astype(complex), taps_fft=pf)
+            wave = wave[:, trim : trim + n * sps]
+        return wave * np.sqrt(sps)
+
+    def demodulate_batch(
+        self,
+        waveform: np.ndarray,
+        sps: int,
+        num_chips: int | None = None,
+        matched: bool = True,
+    ) -> np.ndarray:
+        """Row-wise :meth:`demodulate` for a ``(R, N)`` waveform stack.
+
+        Same per-row bit-identity contract as :meth:`modulate_batch`; all
+        rows share ``sps`` and ``num_chips``.
+        """
+        if sps < 1:
+            raise ValueError(f"sps must be >= 1, got {sps}")
+        x = np.asarray(waveform)
+        if x.ndim != 2:
+            raise ValueError(f"waveform must be 2-D, got shape {x.shape}")
+        x = x.astype(np.complex128, copy=False)
+        n_cc_avail = x.shape[1] // sps
+        if num_chips is not None:
+            if num_chips % 2 != 0:
+                raise ValueError("num_chips must be even (I/Q pairs)")
+            n_cc = num_chips // 2
+            if n_cc > n_cc_avail:
+                raise ValueError(f"waveform holds {n_cc_avail} complex chips, need {n_cc}")
+        else:
+            n_cc = n_cc_avail
+        if n_cc == 0:
+            return np.zeros((x.shape[0], 0))
+        p, trim = self._pulse_and_trim(sps)
+        if matched:
+            pf = self.pulse.spectrum_cached(sps, convolve_nfft(x.shape[1], p.size))
+            mf = fft_convolve_batch(x, p.astype(complex), taps_fft=pf)
+            idx = np.arange(n_cc) * sps + (p.size - 1) - trim
+            soft_cplx = mf[:, idx]
+            soft_cplx = soft_cplx / np.sqrt(sps) * np.sqrt(2)
+        else:
+            centre = sps // 2
+            idx = np.arange(n_cc) * sps + centre
+            idx = np.minimum(idx, x.shape[1] - 1)
+            centre_gain = p[trim + centre] if trim + centre < p.size else p[p.size // 2]
+            if centre_gain <= 0:
+                raise ValueError("pulse centre amplitude is non-positive")
+            soft_cplx = x[:, idx] / (np.sqrt(sps) * centre_gain) * np.sqrt(2)
+        return complex_chips_to_binary_batch(soft_cplx)
 
     def demodulate(
         self,

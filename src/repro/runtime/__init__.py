@@ -22,7 +22,13 @@ This package provides the three pieces the analysis layer threads through:
 """
 
 from repro.runtime.cache import ResultCache, canonical, stable_hash
-from repro.runtime.executor import MapReport, ParallelExecutor, resolve_workers, spec_runner_ref
+from repro.runtime.executor import (
+    MapReport,
+    ParallelExecutor,
+    resolve_batch,
+    resolve_workers,
+    spec_runner_ref,
+)
 from repro.runtime.instrument import SweepTiming
 
 __all__ = [
@@ -32,6 +38,7 @@ __all__ = [
     "canonical",
     "stable_hash",
     "SweepTiming",
+    "resolve_batch",
     "resolve_workers",
     "spec_runner_ref",
 ]

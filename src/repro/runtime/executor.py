@@ -30,7 +30,10 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
-__all__ = ["ParallelExecutor", "MapReport", "resolve_workers", "spec_runner_ref"]
+__all__ = ["ParallelExecutor", "MapReport", "resolve_workers", "resolve_batch", "spec_runner_ref"]
+
+#: Packets per stacked call when ``REPRO_BATCH`` is unset.
+DEFAULT_BATCH = 64
 
 #: (fn, items) visible to forked children; only set around a pool launch.
 _WORKER_PAYLOAD: tuple | None = None
@@ -118,6 +121,27 @@ def resolve_workers(env: str = "REPRO_WORKERS") -> int:
     raw = os.environ.get(env)
     if raw is None or raw.strip() == "":
         return 0
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(f"{env} must be an integer, got {raw!r}") from None
+    if value < 0:
+        raise ValueError(f"{env} must be >= 0, got {value}")
+    return value
+
+
+def resolve_batch(env: str = "REPRO_BATCH") -> int:
+    """Packet batch size from the environment; the default when unset.
+
+    ``REPRO_BATCH=128`` stacks 128 packets per vectorized link call;
+    ``REPRO_BATCH=0`` (or ``1``) disables batching and selects the serial
+    per-packet path.  Unset means the default batch of ``DEFAULT_BATCH``
+    packets — the batched path is bit-identical to the serial one, so it
+    is safe to prefer it everywhere.
+    """
+    raw = os.environ.get(env)
+    if raw is None or raw.strip() == "":
+        return DEFAULT_BATCH
     try:
         value = int(raw)
     except ValueError:

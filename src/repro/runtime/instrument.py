@@ -31,6 +31,9 @@ class SweepTiming:
         packets/sec reporting).
     cache_hits:
         Points served from the on-disk result cache.
+    batch_size:
+        Packets per stacked call of the vectorized link path (``None``
+        when unknown; ``0``/``1`` mean the serial per-packet path).
     """
 
     wall_seconds: float
@@ -38,6 +41,7 @@ class SweepTiming:
     workers: int = 1
     packets: int | None = None
     cache_hits: int = 0
+    batch_size: int | None = None
 
     @property
     def num_points(self) -> int:
@@ -50,11 +54,26 @@ class SweepTiming:
         return float(sum(self.point_seconds))
 
     @property
-    def utilization(self) -> float:
-        """Fraction of the pool's wall-time capacity spent computing."""
+    def raw_utilization(self) -> float:
+        """``busy / (workers * wall)`` with no clamping.
+
+        Values above 1.0 are physically impossible for a well-measured
+        pool, so they indicate a measurement problem (overlapping timers,
+        wrong worker count) — :attr:`utilization` hides that by clamping,
+        this property surfaces it for diagnostics and tests.
+        """
         if self.wall_seconds <= 0 or self.workers <= 0:
             return 0.0
-        return min(1.0, self.busy_seconds / (self.workers * self.wall_seconds))
+        return self.busy_seconds / (self.workers * self.wall_seconds)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the pool's wall-time capacity spent computing.
+
+        Clamped to ``[0, 1]`` for display; see :attr:`raw_utilization`
+        for the unclamped diagnostic value.
+        """
+        return min(1.0, self.raw_utilization)
 
     @property
     def points_per_second(self) -> float:
@@ -77,12 +96,15 @@ class SweepTiming:
             "num_points": self.num_points,
             "busy_seconds": self.busy_seconds,
             "utilization": self.utilization,
+            "raw_utilization": self.raw_utilization,
             "points_per_second": self.points_per_second,
             "cache_hits": self.cache_hits,
         }
         if self.packets is not None:
             out["packets"] = self.packets
             out["packets_per_second"] = self.packets_per_second
+        if self.batch_size is not None:
+            out["batch_size"] = self.batch_size
         return out
 
     def summary(self) -> str:
@@ -95,6 +117,8 @@ class SweepTiming:
         ]
         if self.packets is not None:
             parts.insert(1, f"{self.packets} packets ({self.packets_per_second:.1f} pkt/s)")
+        if self.batch_size is not None:
+            parts.append(f"batch {self.batch_size}" if self.batch_size > 1 else "serial packets")
         if self.cache_hits:
             parts.append(f"cache hits {self.cache_hits}/{self.num_points}")
         return "timing: " + ", ".join(parts)

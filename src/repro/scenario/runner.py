@@ -13,7 +13,7 @@ bit-identical to a serial one.
 
 from __future__ import annotations
 
-from repro.runtime import ParallelExecutor, ResultCache, SweepTiming
+from repro.runtime import ParallelExecutor, ResultCache, SweepTiming, resolve_batch
 
 __all__ = ["SCENARIO_COLUMNS", "evaluate_scenario_point", "run_scenario"]
 
@@ -45,7 +45,10 @@ def evaluate_scenario_point(payload: dict, point: tuple) -> dict:
     cache = ResultCache(token) if isinstance(token, str) else token
     link, jammer = scenario.build()
     snr_db, sjr_db = point
-    stats = link.run_packets(
+    # The vectorized path is bit-identical to the serial one per seed, so
+    # scenarios always go through it; REPRO_BATCH=0 selects serial, and
+    # run_packets_batched itself falls back for phase-tracking links.
+    stats = link.run_packets_batched(
         scenario.packets,
         snr_db=float(snr_db),
         sjr_db=float(sjr_db),
@@ -89,5 +92,6 @@ def run_scenario(scenario, *, executor: ParallelExecutor | None = None, cache=No
         point_seconds=report.seconds,
         workers=report.workers,
         packets=scenario.packets * len(report.values),
+        batch_size=resolve_batch(),
     )
     return result

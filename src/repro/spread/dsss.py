@@ -90,6 +90,27 @@ class SixteenAryDSSS:
         idx = (start_chip + np.arange(count)) % self._scrambler.size
         return self._scrambler[idx]
 
+    def _scramble_slice_batch(self, start_chips, count: int, rows: int) -> np.ndarray | None:
+        """Scramble mask for a batch: shared (1-D) or per-row (2-D).
+
+        A scalar ``start_chips`` gives the shared ``(count,)`` mask that
+        broadcasts over the batch; an array gives one mask row per batch
+        row, so segments at different chip offsets can share one stacked
+        call.  Either way each row multiplies by exactly the values the
+        serial :meth:`_scramble_slice` would produce.
+        """
+        if self._scrambler is None:
+            return None
+        starts = np.asarray(start_chips, dtype=int)
+        if starts.ndim == 0:
+            return self._scramble_slice(int(starts), count)
+        if starts.shape != (rows,):
+            raise ValueError(
+                f"start_chip batch {starts.shape} does not match row count {rows}"
+            )
+        idx = (starts[:, None] + np.arange(count)) % self._scrambler.size
+        return self._scrambler[idx]
+
     def spread(self, symbols: np.ndarray, start_chip: int = 0) -> np.ndarray:
         """Map 4-bit symbols to +-1 chips (scrambled if a seed was given).
 
@@ -130,6 +151,57 @@ class SixteenAryDSSS:
         symbols = np.argmax(scores, axis=1)
         peak = scores[np.arange(scores.shape[0]), symbols]
         energy = np.sqrt(np.sum(blocks**2, axis=1) * CHIPS_PER_SYMBOL)
+        quality = np.divide(peak, energy, out=np.zeros_like(peak), where=energy > 0)
+        return DespreadResult(symbols=symbols, scores=scores, quality=quality)
+
+    def spread_batch(self, symbols: np.ndarray, start_chip=0) -> np.ndarray:
+        """Row-wise :meth:`spread` for a ``(R, n_sym)`` symbol stack.
+
+        ``start_chip`` is either a scalar shared by all rows or an ``(R,)``
+        array of per-row chip offsets (so segments from different points of
+        the hop schedule can share one stacked call).  Row ``i`` of the
+        ``(R, n_sym * 32)`` output is bit-identical to
+        ``spread(symbols[i], start_chip[i])`` — table lookup and scramble
+        overlay are elementwise.
+        """
+        syms = np.asarray(symbols, dtype=int)
+        if syms.ndim != 2:
+            raise ValueError(f"symbols must be 2-D, got shape {syms.shape}")
+        if syms.size and (syms.min() < 0 or syms.max() >= NUM_SYMBOLS):
+            raise ValueError("symbols must be in 0..15")
+        chips = self._table[syms].reshape(syms.shape[0], -1)
+        mask = self._scramble_slice_batch(start_chip, chips.shape[1], chips.shape[0])
+        if mask is not None:
+            chips = chips * mask
+        return chips
+
+    def despread_batch(self, soft_chips: np.ndarray, start_chip=0) -> DespreadResult:
+        """Row-wise :meth:`despread` for a ``(R, n_chips)`` stack.
+
+        ``start_chip`` is a shared scalar or an ``(R,)`` array of per-row
+        chip offsets, as in :meth:`spread_batch`.  Returns a
+        :class:`DespreadResult` whose fields carry a leading batch axis:
+        ``symbols`` is ``(R, n_sym)``, ``scores`` is ``(R, n_sym, 16)``,
+        ``quality`` is ``(R, n_sym)``.  Each row is bit-identical to the
+        serial :meth:`despread` of that row: the stacked correlator matmul
+        evaluates the same dot products, and the chip-energy reduction
+        runs over the same (last) axis.
+        """
+        soft = np.asarray(soft_chips, dtype=float)
+        if soft.ndim != 2:
+            raise ValueError(f"soft_chips must be 2-D, got shape {soft.shape}")
+        if soft.shape[1] % CHIPS_PER_SYMBOL != 0:
+            raise ValueError(
+                f"soft_chips width {soft.shape[1]} is not a multiple of {CHIPS_PER_SYMBOL}"
+            )
+        mask = self._scramble_slice_batch(start_chip, soft.shape[1], soft.shape[0])
+        if mask is not None:
+            soft = soft * mask
+        blocks = soft.reshape(soft.shape[0], -1, CHIPS_PER_SYMBOL)
+        scores = blocks @ self._table.T  # (R, n_sym, 16)
+        symbols = np.argmax(scores, axis=-1)
+        peak = np.take_along_axis(scores, symbols[:, :, None], axis=-1)[:, :, 0]
+        energy = np.sqrt(np.sum(blocks**2, axis=-1) * CHIPS_PER_SYMBOL)
         quality = np.divide(peak, energy, out=np.zeros_like(peak), where=energy > 0)
         return DespreadResult(symbols=symbols, scores=scores, quality=quality)
 

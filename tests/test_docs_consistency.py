@@ -104,6 +104,51 @@ class TestApiGuide:
             assert cmd in sub.choices, cmd
 
 
+class TestEnvKnobs:
+    """Every ``REPRO_*`` environment knob: code and docs agree on names."""
+
+    def code_knobs(self):
+        import inspect
+
+        from repro.analysis.sweep import env_scale
+        from repro.runtime.cache import ResultCache
+        from repro.runtime.executor import resolve_batch, resolve_workers
+
+        located = [
+            (resolve_workers, "env"),
+            (resolve_batch, "env"),
+            (env_scale, "name"),
+            (ResultCache.from_env, "env"),
+        ]
+        return {inspect.signature(fn).parameters[param].default for fn, param in located}
+
+    def doc_knobs(self, path):
+        return set(re.findall(r"\b(REPRO_[A-Z]+)\b", read(path)))
+
+    def test_code_knobs_are_the_known_set(self):
+        assert self.code_knobs() == {
+            "REPRO_WORKERS", "REPRO_BATCH", "REPRO_CACHE", "REPRO_SCALE"
+        }
+
+    def test_api_guide_documents_runtime_knobs(self):
+        assert {"REPRO_WORKERS", "REPRO_BATCH", "REPRO_CACHE"} <= self.doc_knobs("docs/API.md")
+
+    def test_experiments_guide_documents_all_knobs(self):
+        assert self.code_knobs() <= self.doc_knobs("EXPERIMENTS.md")
+
+    def test_docs_mention_no_unknown_knobs(self):
+        known = self.code_knobs()
+        for path in ["docs/API.md", "EXPERIMENTS.md", "README.md"]:
+            assert self.doc_knobs(path) <= known, path
+
+    def test_batch_contract_docs_name_the_test_walls(self):
+        text = read("docs/API.md")
+        assert "run_packets_batched" in text
+        for wall in ["tests/test_batch_equivalence.py", "tests/test_properties_batch_dsp.py"]:
+            assert wall in text, wall
+            assert os.path.exists(os.path.join(REPO, wall)), wall
+
+
 class TestExampleScenarios:
     def scenario_files(self):
         directory = os.path.join(REPO, "examples", "scenarios")

@@ -304,3 +304,55 @@ class TestSweepTiming:
         assert t.utilization == 0.0
         assert t.points_per_second == 0.0
         assert t.packets_per_second is None
+
+    def test_raw_utilization_is_not_clamped(self):
+        # Overlapping worker timers can report busy > workers * wall; the
+        # display value clamps but the diagnostic one must not.
+        t = SweepTiming(wall_seconds=1.0, point_seconds=(0.9, 0.8), workers=1)
+        assert t.raw_utilization == pytest.approx(1.7)
+        assert t.utilization == 1.0
+        assert t.to_dict()["raw_utilization"] == pytest.approx(1.7)
+        assert t.to_dict()["utilization"] == 1.0
+
+    def test_utilization_matches_raw_when_below_one(self):
+        t = SweepTiming(wall_seconds=4.0, point_seconds=(1.0, 1.0), workers=2)
+        assert t.raw_utilization == pytest.approx(0.25)
+        assert t.utilization == t.raw_utilization
+
+    def test_empty_sweep(self):
+        t = SweepTiming(wall_seconds=0.5, point_seconds=(), workers=4)
+        assert t.num_points == 0
+        assert t.busy_seconds == 0.0
+        assert t.utilization == 0.0
+        assert t.points_per_second == 0.0
+        d = t.to_dict()
+        assert d["num_points"] == 0
+        assert d["point_seconds"] == []
+        assert "packets" not in d
+        assert t.summary().startswith("timing: 0 points")
+
+    def test_packets_per_second_with_batch_fields(self):
+        t = SweepTiming(
+            wall_seconds=2.0, point_seconds=(1.0,), workers=1, packets=256, batch_size=64
+        )
+        assert t.packets_per_second == 128.0
+        d = t.to_dict()
+        assert d["packets"] == 256
+        assert d["packets_per_second"] == 128.0
+        assert d["batch_size"] == 64
+        assert "batch 64" in t.summary()
+
+    def test_serial_batch_size_renders_as_serial(self):
+        t = SweepTiming(wall_seconds=1.0, point_seconds=(0.5,), workers=1, batch_size=1)
+        assert "serial packets" in t.summary()
+        assert t.to_dict()["batch_size"] == 1
+
+    def test_unknown_batch_size_omitted(self):
+        t = SweepTiming(wall_seconds=1.0, point_seconds=(0.5,), workers=1)
+        assert "batch_size" not in t.to_dict()
+        assert "batch" not in t.summary()
+
+    def test_cache_hits_in_summary(self):
+        t = SweepTiming(wall_seconds=1.0, point_seconds=(0.1, 0.1), workers=1, cache_hits=1)
+        assert "cache hits 1/2" in t.summary()
+        assert t.to_dict()["cache_hits"] == 1
