@@ -19,12 +19,13 @@ from repro.dsp import apply_fir, design_excision_filter, lowpass_taps, welch_psd
 from repro.jamming import BandlimitedNoiseJammer, bandlimited_noise
 from repro.phy import ChipModulator
 from repro.runtime import ParallelExecutor
+from repro.utils.rng import make_rng
 from repro.spread import SixteenAryDSSS
 
 from _common import RESULTS_DIR
 
 FS = 20e6
-rng = np.random.default_rng(0)
+rng = make_rng(0)
 BLOCK = (rng.normal(size=262144) + 1j * rng.normal(size=262144)) / np.sqrt(2)
 TAPS_LPF = lowpass_taps(513, 2.5e6, FS)
 

@@ -20,6 +20,8 @@ Run:  python examples/adaptive_transmitter.py
 
 import numpy as np
 
+from repro.utils.rng import make_rng
+
 from repro import BHSSConfig, BandlimitedNoiseJammer, LinkSimulator, theory
 from repro.utils import format_table
 
@@ -35,7 +37,7 @@ def estimate_jammer_bandwidth(jammer, sample_rate, jnr_db=22.0, n_samples=262144
     from repro.dsp import welch_psd
     from repro.dsp.spectral import occupied_bandwidth
 
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     received = jammer.waveform(n_samples, rng) * np.sqrt(10 ** (jnr_db / 10))
     received = received + complex_awgn(n_samples, 1.0, rng)
     freqs, psd = welch_psd(received, sample_rate, nperseg=512)

@@ -38,7 +38,7 @@ def main() -> None:
 
     rows = []
     for fraction in [0.0, 0.25, 0.5, 0.75, 1.0]:
-        def jammer():
+        def jammer(fraction: float = fraction) -> MatchedReactiveJammer:
             return MatchedReactiveJammer(
                 fs, reaction_samples=0, initial_bandwidth=10e6, reaction_fraction=fraction
             )

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.dsp.mixing import frequency_shift, phase_rotate
 from repro.dsp.resample import fractional_delay, resample_linear
+from repro.utils.rng import make_rng
 from repro.utils.validation import as_complex_array, ensure_positive
 
 __all__ = ["Impairments", "IDEAL_FRONT_END"]
@@ -94,7 +95,7 @@ class Impairments:
         if self.phase_rad != 0.0:
             out = phase_rotate(out, self.phase_rad)
         if self.phase_noise_std > 0.0:
-            rng = np.random.default_rng(self.noise_seed)
+            rng = make_rng(self.noise_seed)
             walk = np.cumsum(rng.normal(scale=self.phase_noise_std, size=out.size))
             out = out * np.exp(1j * walk)
         if self.iq_gain_imbalance != 1.0 or self.iq_phase_error_rad != 0.0:
@@ -180,7 +181,7 @@ class Impairments:
         CFOs of a few kHz; timing offset is uniformly distributed within a
         sample; phase is uniform.
         """
-        gen = np.random.default_rng(rng) if not isinstance(rng, np.random.Generator) else rng
+        gen = make_rng(rng)
         return cls(
             cfo_hz=float(gen.uniform(-5e3, 5e3)),
             phase_rad=float(gen.uniform(-np.pi, np.pi)),

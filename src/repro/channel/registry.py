@@ -32,7 +32,7 @@ CHANNEL_REGISTRY: dict[str, type] = {
 
 def channel_names() -> list[str]:
     """Registered channel type names (plus the implicit ``"none"``)."""
-    return sorted(CHANNEL_REGISTRY) + ["none"]
+    return [*sorted(CHANNEL_REGISTRY), "none"]
 
 
 def register_channel(name: str, cls: type) -> None:

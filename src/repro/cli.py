@@ -32,6 +32,14 @@ Installed as ``repro-bhss`` (see ``pyproject.toml``); also runnable as
     Tooling for scenario files: ``scenario validate <paths...>``
     parse-validates files or directories of them; ``scenario list [dir]``
     summarizes a directory (default ``examples/scenarios``).
+``lint``
+    Project-invariant static analysis (``repro-lint``): RNG discipline,
+    dtype discipline, batch/serial symmetry, registry round-trips, env
+    knob docs, mutable defaults and the frozen mypy baseline.
+
+Exit-code convention, shared by every finding-producing subcommand
+(``lint``, ``scenario validate``, ``bench``): **0** clean, **1** findings
+or check failures, **2** usage/input errors (bad paths, unknown names).
 """
 
 from __future__ import annotations
@@ -266,9 +274,12 @@ def cmd_sweep(args) -> int:
     if result.timing is not None:
         print(result.timing.summary())
     if args.output:
-        csv_lines = ["sjr_db,per,per_lo,per_hi,ber"] + [
-            f"{r['sjr_db']:g},{r['per']:.6f},{r['per_lo']:.6f},{r['per_hi']:.6f},{r['ber']:.6f}"
-            for r in result.rows
+        csv_lines = [
+            "sjr_db,per,per_lo,per_hi,ber",
+            *(
+                f"{r['sjr_db']:g},{r['per']:.6f},{r['per_lo']:.6f},{r['per_hi']:.6f},{r['ber']:.6f}"
+                for r in result.rows
+            ),
         ]
         with open(args.output, "w") as fh:
             fh.write("\n".join(csv_lines) + "\n")
@@ -461,7 +472,7 @@ def cmd_reproduce(args) -> int:
             from repro.analysis import write_csv
 
             suffix = f"_{i}" if len(results) > 1 else ""
-            base, ext = (args.output.rsplit(".", 1) + ["csv"])[:2]
+            base, ext = [*args.output.rsplit(".", 1), "csv"][:2]
             path = write_csv(result, f"{base}{suffix}.{ext}")
             print(f"wrote {path}")
     return 0
@@ -581,6 +592,25 @@ def cmd_scenario_list(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.lint import all_rules, format_findings, run_lint
+
+    if args.list_rules:
+        rows = [[rule.id, rule.description] for rule in all_rules()]
+        print(format_table(["rule", "enforces"], rows, title="repro-lint rules"))
+        return 0
+    rules = None
+    if args.rules:
+        rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+    try:
+        report = run_lint(args.paths, root=args.root, rules=rules)
+    except (FileNotFoundError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(format_findings(report, args.format))
+    return 0 if report.ok else 1
+
+
 def cmd_theory(args) -> int:
     gamma_db = theory.improvement_factor_db(args.bp, args.bj, args.jammer_power, args.noise_power)
     print(f"Bp = {args.bp:g} Hz, Bj = {args.bj:g} Hz (ratio {args.bp / args.bj:g})")
@@ -694,6 +724,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_lst = scn_sub.add_parser("list", help="summarize a directory of scenario files")
     p_lst.add_argument("directory", nargs="?", default="examples/scenarios")
     p_lst.set_defaults(func=cmd_scenario_list)
+
+    p_lint = sub.add_parser("lint", help="project-invariant static analysis (repro-lint)")
+    p_lint.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files/directories to scan (default: src)",
+    )
+    p_lint.add_argument(
+        "--format", choices=["pretty", "json", "github"], default="pretty",
+        help="output style (github emits PR-diff annotations)",
+    )
+    p_lint.add_argument(
+        "--rules", default=None, metavar="IDS",
+        help="comma-separated rule ids to run (default: all; see --list-rules)",
+    )
+    p_lint.add_argument(
+        "--root", default=".",
+        help="repository root anchoring report paths and docs/pyproject cross-checks",
+    )
+    p_lint.add_argument("--list-rules", action="store_true", help="print the rule table and exit")
+    p_lint.set_defaults(func=cmd_lint)
 
     p_thy = sub.add_parser("theory", help="evaluate the SNR improvement bound")
     p_thy.add_argument("--bp", type=float, required=True, help="signal bandwidth (Hz)")

@@ -10,6 +10,7 @@ config (seed included) = same PN scrambler and same hop schedule.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any, Callable
 
 import numpy as np
 
@@ -22,6 +23,9 @@ from repro.phy.frame import DEFAULT_FRAME_FORMAT, FrameFormat
 from repro.phy.qpsk import ChipModulator
 from repro.spread.chiptables import CHIPS_PER_SYMBOL
 from repro.spread.dsss import SixteenAryDSSS
+
+if TYPE_CHECKING:
+    from repro.core.coding import FrameCoder
 
 __all__ = ["BHSSConfig"]
 
@@ -165,7 +169,7 @@ class BHSSConfig:
             raise ValueError(f"unknown config field(s): {sorted(unknown)}")
         kwargs: dict = {}
 
-        def parse(field, fn):
+        def parse(field: str, fn: Callable[[Any], Any]) -> None:
             if field not in data:
                 return
             try:
@@ -173,22 +177,22 @@ class BHSSConfig:
             except ValueError as exc:
                 raise ValueError(f"config field {field!r}: {exc}") from None
 
-        def number(value, cast=float):
+        def number(value: Any, cast: Callable[[Any], Any] = float) -> Any:
             if isinstance(value, bool) or not isinstance(value, (int, float)):
                 raise ValueError(f"expected a number, got {value!r}")
             return cast(value)
 
-        def integer(value):
+        def integer(value: Any) -> int:
             if isinstance(value, bool) or not isinstance(value, int):
                 raise ValueError(f"expected an integer, got {value!r}")
             return value
 
-        def boolean(value):
+        def boolean(value: Any) -> bool:
             if not isinstance(value, bool):
                 raise ValueError(f"expected a boolean, got {value!r}")
             return value
 
-        def string(value):
+        def string(value: Any) -> str:
             if not isinstance(value, str):
                 raise ValueError(f"expected a string, got {value!r}")
             return value
@@ -220,7 +224,7 @@ class BHSSConfig:
         pattern: str | np.ndarray = "linear",
         seed: int = 0,
         payload_bytes: int = 16,
-        **overrides,
+        **overrides: Any,
     ) -> "BHSSConfig":
         """The paper's SDR configuration: 7 octave bandwidths at 20 MS/s."""
         return cls(
@@ -279,7 +283,7 @@ class BHSSConfig:
         n = self.payload_bytes if payload_len is None else payload_len
         return self.frame_format.frame_symbols(n)
 
-    def build_frame_coder(self):
+    def build_frame_coder(self) -> "FrameCoder":
         """The FEC + interleaving stage shared by transmitter and receiver."""
         from repro.core.coding import FrameCoder
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -31,6 +32,9 @@ from repro.dsp.spectral import (
 )
 from repro.utils.units import db_to_linear, linear_to_db
 from repro.utils.validation import as_complex_array, ensure_positive
+
+if TYPE_CHECKING:
+    from repro.dsp.pulse import PulseShape
 
 __all__ = ["FilterKind", "FilterDecision", "ControlLogic"]
 
@@ -92,7 +96,7 @@ class ControlLogic:
         lpf_transition_fraction: float = 0.2,
         nperseg: int = 128,
         max_lpf_taps: int = 2049,
-        pulse=None,
+        pulse: "PulseShape | str | None" = None,
         max_hot_fraction: float = 0.5,
     ) -> None:
         self.sample_rate = ensure_positive(sample_rate, "sample_rate")

@@ -172,7 +172,7 @@ class FHSSLink:
         sjr_db: float = float("inf"),
         jammer: Jammer | None = None,
         packet_index: int = 0,
-        rng=None,
+        rng: int | np.random.Generator | None = None,
         payload: bytes | None = None,
     ) -> FHSSPacketOutcome:
         """Simulate one packet through the jammed medium."""
@@ -197,7 +197,14 @@ class FHSSLink:
             receive=result,
         )
 
-    def run_packets(self, num_packets: int, snr_db: float, sjr_db: float = float("inf"), jammer=None, seed: int = 0):
+    def run_packets(
+        self,
+        num_packets: int,
+        snr_db: float,
+        sjr_db: float = float("inf"),
+        jammer: Jammer | None = None,
+        seed: int = 0,
+    ) -> tuple[float, float]:
         """Simulate a batch; returns (packet_error_rate, bit_error_rate)."""
         if num_packets < 1:
             raise ValueError("num_packets must be >= 1")

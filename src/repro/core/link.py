@@ -11,6 +11,7 @@ experimental figure of Section 6 is built from.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -18,7 +19,7 @@ from repro.channel.impairments import Impairments
 from repro.channel.link_medium import Medium
 from repro.core.config import BHSSConfig
 from repro.core.receiver import BHSSReceiver, ReceiveResult
-from repro.core.transmitter import BHSSTransmitter
+from repro.core.transmitter import BHSSTransmitter, TransmittedPacket
 from repro.jamming.base import Jammer, NoJammer
 from repro.jamming.reactive import MatchedReactiveJammer
 from repro.phy.bits import hamming_distance_bits
@@ -28,7 +29,7 @@ from repro.utils.rng import child_rng, make_rng
 __all__ = ["LinkSimulator", "PacketOutcome", "LinkStats"]
 
 
-def _spec_view(obj):
+def _spec_view(obj: Any) -> Any:
     """A serializable fingerprint of a link component for cache keys.
 
     Prefers the component's declarative spec (``spec()`` / ``to_dict()``)
@@ -157,7 +158,7 @@ class LinkSimulator:
         self,
         config: BHSSConfig,
         impairments: Impairments | None = None,
-        channel=None,
+        channel: Any = None,
     ) -> None:
         self.config = config
         self.transmitter = BHSSTransmitter(config)
@@ -174,7 +175,7 @@ class LinkSimulator:
         sjr_db: float = float("inf"),
         jammer: Jammer | None = None,
         packet_index: int = 0,
-        rng=None,
+        rng: int | np.random.Generator | None = None,
         payload: bytes | None = None,
         jammer_delay_samples: int = 0,
     ) -> PacketOutcome:
@@ -221,7 +222,7 @@ class LinkSimulator:
         )
         return self._score_packet(packet, result)
 
-    def _score_packet(self, packet, result: ReceiveResult) -> PacketOutcome:
+    def _score_packet(self, packet: TransmittedPacket, result: ReceiveResult) -> PacketOutcome:
         """Compare one receive result against the transmitted truth."""
         if result.accepted and result.payload == packet.payload:
             bit_errors = 0
@@ -339,7 +340,14 @@ class LinkSimulator:
         return stats
 
     def _stats_cache_key(
-        self, num_packets, snr_db, sjr_db, jammer, seed, payload, jammer_delay_samples
+        self,
+        num_packets: int,
+        snr_db: float,
+        sjr_db: float,
+        jammer: Jammer | None,
+        seed: int,
+        payload: bytes | None,
+        jammer_delay_samples: int,
     ) -> dict:
         """The on-disk cache key of a packet batch's aggregate statistics.
 

@@ -24,6 +24,7 @@ the packet position and oscillator offsets are unknown.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -170,9 +171,9 @@ class BHSSReceiver:
 
     def receive_batch(
         self,
-        waveforms,
+        waveforms: Sequence[np.ndarray],
         payload_len: int | None = None,
-        packet_indices=None,
+        packet_indices: Sequence[int] | None = None,
         phase_track: bool = False,
     ) -> list[ReceiveResult]:
         """Batched :meth:`receive` over a sequence of captured packets.

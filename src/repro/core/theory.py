@@ -17,11 +17,16 @@ white-noise variance).  All ``*_db`` parameters are in decibels.
 
 from __future__ import annotations
 
+from typing import Callable, Sequence, Union
+
 import numpy as np
 from numpy import errstate
 
 from repro.utils.units import db_to_linear, linear_to_db
 from repro.utils.validation import ensure_probability_vector
+
+#: scalar or array-like numeric input accepted by the vectorized equations
+ArrayLike = Union[float, int, Sequence[float], np.ndarray]
 
 __all__ = [
     "decision_variable_statistics",
@@ -64,7 +69,12 @@ def jammer_autocorrelation(bandwidth: float, sample_rate: float, num_lags: int, 
     return power * np.sinc(b_norm * k)
 
 
-def decision_variable_statistics(taps, processing_gain: float, jammer_autocorr, noise_power: float) -> tuple[float, float]:
+def decision_variable_statistics(
+    taps: ArrayLike,
+    processing_gain: float,
+    jammer_autocorr: ArrayLike | Callable[[int], float],
+    noise_power: float,
+) -> tuple[float, float]:
     """Appendix eqs. (19)/(20): mean and variance of the correlator output U.
 
     ``E(U) = L`` and ``var(U)`` is the sum of the filter's self-noise,
@@ -94,7 +104,12 @@ def decision_variable_statistics(taps, processing_gain: float, jammer_autocorr, 
     return mean, variance
 
 
-def correlator_snr_with_filter(taps, processing_gain: float, jammer_autocorr, noise_power: float) -> float:
+def correlator_snr_with_filter(
+    taps: ArrayLike,
+    processing_gain: float,
+    jammer_autocorr: ArrayLike | Callable[[int], float],
+    noise_power: float,
+) -> float:
     """eq. (6): SNR after a suppression FIR and the despreading correlator.
 
     Parameters
@@ -156,7 +171,9 @@ def narrowband_filter_useful_threshold(jammer_power: float, noise_power: float) 
     return (jammer_power - 1.0) / (jammer_power + noise_power)
 
 
-def improvement_factor(bp, bj, jammer_power: float, noise_power: float = 0.01):
+def improvement_factor(
+    bp: ArrayLike, bj: ArrayLike, jammer_power: float, noise_power: float = 0.01
+) -> float | np.ndarray:
     """eq. (11)/(12): upper-bound SNR improvement factor γ (linear).
 
     Vectorized over ``bp`` and/or ``bj`` (broadcast together).  The three
@@ -199,7 +216,9 @@ def improvement_factor(bp, bj, jammer_power: float, noise_power: float = 0.01):
     return gamma
 
 
-def improvement_factor_db(bp, bj, jammer_power_db: float, noise_power: float = 0.01):
+def improvement_factor_db(
+    bp: ArrayLike, bj: ArrayLike, jammer_power_db: float, noise_power: float = 0.01
+) -> float | np.ndarray:
     """eq. (13): γ in dB, with the jammer power given in dB (over chip power)."""
     gamma = improvement_factor(bp, bj, db_to_linear(jammer_power_db), noise_power)
     return linear_to_db(gamma)
@@ -209,7 +228,7 @@ def improvement_factor_db(bp, bj, jammer_power_db: float, noise_power: float = 0
 # eq. (16): bit error rate
 # ---------------------------------------------------------------------------
 
-def _erfc(x):
+def _erfc(x: ArrayLike) -> np.ndarray:
     """Complementary error function (vectorized, no scipy dependency).
 
     Uses the numerically stable rational approximation of Numerical
@@ -251,7 +270,7 @@ def _erfc(x):
     return np.where(x >= 0, tau, 2.0 - tau)
 
 
-def ber_qpsk(snr):
+def ber_qpsk(snr: ArrayLike) -> float | np.ndarray:
     """eq. (16): ``Pb = 0.5 * erfc(sqrt(SNR / 2))`` (Gaussian approximation).
 
     ``snr`` is the *linear* correlator-output SNR.  Vectorized.
@@ -264,11 +283,11 @@ def ber_qpsk(snr):
 
 
 def ber_from_ebno(
-    eb_no_db,
+    eb_no_db: ArrayLike,
     sjr_db: float,
     processing_gain_db: float,
     gamma: float = 1.0,
-):
+) -> float | np.ndarray:
     """BER of a correlation receiver at a given Eb/N0, SJR and γ.
 
     The per-chip quantities follow the paper's normalization: chip power
@@ -287,15 +306,15 @@ def ber_from_ebno(
 
 
 def bhss_ber(
-    eb_no_db,
+    eb_no_db: ArrayLike,
     sjr_db: float,
     processing_gain_db: float,
-    bandwidths,
-    hop_weights,
-    jammer_bandwidths,
-    jammer_weights=None,
+    bandwidths: ArrayLike,
+    hop_weights: ArrayLike,
+    jammer_bandwidths: ArrayLike,
+    jammer_weights: ArrayLike | None = None,
     aggregate: str = "mean_gamma",
-) -> np.ndarray:
+) -> float | np.ndarray:
     """Average BER of a BHSS receiver with ideal filters (Figures 9/10).
 
     The transmitter hops over ``bandwidths`` with ``hop_weights``; the
@@ -355,7 +374,7 @@ def bhss_ber(
 # eq. (17)/(18): packet error rate and throughput
 # ---------------------------------------------------------------------------
 
-def packet_error_rate(bit_error_rate, packet_bits: int):
+def packet_error_rate(bit_error_rate: ArrayLike, packet_bits: int) -> float | np.ndarray:
     """eq. (18): ``Pp = 1 - (1 - Pb)^N`` for i.i.d. bit errors.
 
     Computed in log space so tiny BERs with huge N stay accurate.
@@ -371,13 +390,15 @@ def packet_error_rate(bit_error_rate, packet_bits: int):
     return float(pp) if np.ndim(bit_error_rate) == 0 else pp
 
 
-def normalized_throughput(bit_error_rate, packet_bits: int, rate: float = 1.0):
+def normalized_throughput(
+    bit_error_rate: ArrayLike, packet_bits: int, rate: float = 1.0
+) -> float | np.ndarray:
     """eq. (17): ``T = R * (1 - Pp)`` with R normalized to 1 by default."""
     return rate * (1.0 - packet_error_rate(bit_error_rate, packet_bits))
 
 
 def equal_rate_processing_gain_db(
-    bhss_processing_gain_db: float, bandwidths, hop_weights
+    bhss_processing_gain_db: float, bandwidths: ArrayLike, hop_weights: ArrayLike
 ) -> float:
     """Processing gain a fixed-bandwidth DSSS/FHSS needs for equal rate.
 
@@ -396,15 +417,15 @@ def equal_rate_processing_gain_db(
 
 
 def throughput_curve(
-    eb_no_db,
+    eb_no_db: ArrayLike,
     sjr_db: float,
     packet_bits: int,
     processing_gain_db: float,
-    bandwidths=None,
-    hop_weights=None,
-    jammer_bandwidths=None,
-    jammer_weights=None,
-):
+    bandwidths: ArrayLike | None = None,
+    hop_weights: ArrayLike | None = None,
+    jammer_bandwidths: ArrayLike | None = None,
+    jammer_weights: ArrayLike | None = None,
+) -> float | np.ndarray:
     """Normalized throughput vs Eb/N0 (Figure 11).
 
     With ``bandwidths``/``hop_weights``/``jammer_bandwidths`` set this is

@@ -12,6 +12,7 @@ reaction time.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -128,7 +129,7 @@ class BHSSTransmitter:
         )
 
     def transmit_batch(
-        self, packet_indices, payload: bytes | None = None
+        self, packet_indices: Sequence[int], payload: bytes | None = None
     ) -> list["TransmittedPacket"]:
         """Batched :meth:`transmit` over a sequence of packet indices.
 

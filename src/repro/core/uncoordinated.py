@@ -58,7 +58,12 @@ class SeedPool:
 class UncoordinatedTransmitter:
     """Transmits each packet under a randomly drawn pool seed."""
 
-    def __init__(self, base_config: BHSSConfig, pool: SeedPool, draw_seed=None) -> None:
+    def __init__(
+        self,
+        base_config: BHSSConfig,
+        pool: SeedPool,
+        draw_seed: int | np.random.Generator | None = None,
+    ) -> None:
         self.base_config = base_config
         self.pool = pool
         self._rng = make_rng(draw_seed)

@@ -18,7 +18,7 @@ import math
 
 import numpy as np
 
-from repro.dsp.windows import get_window
+from repro.dsp.windows import WindowSpec, get_window
 from repro.utils.validation import as_complex_array, ensure_positive
 
 __all__ = [
@@ -61,7 +61,9 @@ def _validate_design(num_taps: int, cutoff: float, sample_rate: float) -> float:
     return cutoff_norm
 
 
-def lowpass_taps(num_taps: int, cutoff: float, sample_rate: float, window="hamming") -> np.ndarray:
+def lowpass_taps(
+    num_taps: int, cutoff: float, sample_rate: float, window: WindowSpec = "hamming"
+) -> np.ndarray:
     """Design a linear-phase low-pass FIR by the windowed-sinc method.
 
     ``cutoff`` is the single-sided cutoff frequency in Hz (the -6 dB point
@@ -73,7 +75,9 @@ def lowpass_taps(num_taps: int, cutoff: float, sample_rate: float, window="hammi
     return taps / taps.sum()
 
 
-def highpass_taps(num_taps: int, cutoff: float, sample_rate: float, window="hamming") -> np.ndarray:
+def highpass_taps(
+    num_taps: int, cutoff: float, sample_rate: float, window: WindowSpec = "hamming"
+) -> np.ndarray:
     """Design a linear-phase high-pass FIR (spectral inversion of a LPF).
 
     Requires an odd ``num_taps`` so the delta at the centre tap lands on an
@@ -88,7 +92,7 @@ def highpass_taps(num_taps: int, cutoff: float, sample_rate: float, window="hamm
 
 
 def bandpass_taps(
-    num_taps: int, low: float, high: float, sample_rate: float, window="hamming"
+    num_taps: int, low: float, high: float, sample_rate: float, window: WindowSpec = "hamming"
 ) -> np.ndarray:
     """Design a real-coefficient band-pass FIR for the band [low, high] Hz."""
     if not 0 < low < high:
@@ -102,7 +106,7 @@ def bandpass_taps(
 
 
 def bandstop_taps(
-    num_taps: int, low: float, high: float, sample_rate: float, window="hamming"
+    num_taps: int, low: float, high: float, sample_rate: float, window: WindowSpec = "hamming"
 ) -> np.ndarray:
     """Design a band-stop (notch) FIR for the band [low, high] Hz.
 
@@ -353,7 +357,9 @@ def apply_fir(signal: np.ndarray, taps: np.ndarray, mode: str = "compensated", b
     raise ValueError(f"unknown mode {mode!r}; expected 'compensated', 'same', or 'full'")
 
 
-def frequency_response(taps: np.ndarray, num_points: int = 1024, sample_rate: float = 1.0):
+def frequency_response(
+    taps: np.ndarray, num_points: int = 1024, sample_rate: float = 1.0
+) -> tuple[np.ndarray, np.ndarray]:
     """Complex frequency response of an FIR on a two-sided frequency grid.
 
     Returns ``(freqs, response)`` with frequencies in Hz spanning

@@ -26,7 +26,10 @@ def frequency_shift(x: np.ndarray, offset_hz: float, sample_rate: float, initial
 
 
 def frequency_shift_batch(
-    x: np.ndarray, offset_hz, sample_rate: float, initial_phase: float = 0.0
+    x: np.ndarray,
+    offset_hz: float | np.ndarray,
+    sample_rate: float,
+    initial_phase: float = 0.0,
 ) -> np.ndarray:
     """Row-wise :func:`frequency_shift` on a stack of equal-length signals.
 
@@ -59,7 +62,7 @@ def phase_rotate(x: np.ndarray, phase_rad: float) -> np.ndarray:
     return as_complex_array(x) * np.exp(1j * phase_rad)
 
 
-def phase_rotate_batch(x: np.ndarray, phase_rad) -> np.ndarray:
+def phase_rotate_batch(x: np.ndarray, phase_rad: float | np.ndarray) -> np.ndarray:
     """Row-wise :func:`phase_rotate`; ``phase_rad`` scalar or ``(R,)``."""
     x = np.asarray(x)
     if x.ndim != 2:

@@ -134,7 +134,7 @@ class RectPulse(PulseShape):
     def waveform(self, sps: int) -> np.ndarray:
         if sps < 1:
             raise ValueError(f"sps must be >= 1, got {sps}")
-        return self._normalize(np.ones(sps))
+        return self._normalize(np.ones(sps, dtype=float))
 
 
 class RootRaisedCosinePulse(PulseShape):
@@ -160,7 +160,7 @@ class RootRaisedCosinePulse(PulseShape):
         beta = self.beta
         n = self.span * sps
         t = (np.arange(n) - (n - 1) / 2.0) / sps  # time in chip periods
-        p = np.empty(n)
+        p = np.empty(n, dtype=float)
         for i, ti in enumerate(t):
             if abs(ti) < 1e-9:
                 p[i] = 1.0 - beta + 4 * beta / np.pi
@@ -185,7 +185,7 @@ _PULSES = {
 }
 
 
-def get_pulse(name, **kwargs) -> PulseShape:
+def get_pulse(name: "PulseShape | str | dict", **kwargs: object) -> PulseShape:
     """Look up a pulse shape by name or spec dict.
 
     Accepts an existing :class:`PulseShape` (passes through), a registry
@@ -214,7 +214,7 @@ def get_pulse(name, **kwargs) -> PulseShape:
         ) from None
 
 
-def pulse_spec(pulse) -> dict:
+def pulse_spec(pulse: "PulseShape | str | dict") -> dict:
     """The JSON-able spec of a pulse shape; ``get_pulse`` inverts it."""
     pulse = get_pulse(pulse)
     if isinstance(pulse, RootRaisedCosinePulse):

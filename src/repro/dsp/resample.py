@@ -50,7 +50,7 @@ def linear_interpolate(x: np.ndarray, positions: np.ndarray) -> np.ndarray:
     idx = np.minimum(idx, x.size - 2) if x.size > 1 else idx * 0
     frac = pos - idx
     if x.size == 1:
-        return np.full(pos.shape, x[0])
+        return np.full(pos.shape, x[0], dtype=x.dtype)
     return x[idx] * (1 - frac) + x[idx + 1] * frac
 
 

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.dsp.windows import get_window
+from repro.dsp.windows import WindowSpec, get_window
 from repro.utils.validation import as_complex_array, ensure_positive
 
 __all__ = [
@@ -34,7 +34,12 @@ __all__ = [
 ]
 
 
-def periodogram(x: np.ndarray, sample_rate: float = 1.0, nfft: int | None = None, window="rectangular"):
+def periodogram(
+    x: np.ndarray,
+    sample_rate: float = 1.0,
+    nfft: int | None = None,
+    window: WindowSpec = "rectangular",
+) -> tuple[np.ndarray, np.ndarray]:
     """Single-segment windowed periodogram.
 
     Returns ``(freqs, psd)`` with a two-sided, fftshifted frequency axis.
@@ -57,7 +62,14 @@ def periodogram(x: np.ndarray, sample_rate: float = 1.0, nfft: int | None = None
     return np.fft.fftshift(freqs), np.fft.fftshift(psd)
 
 
-def _segment_psd_average(x, sample_rate, nperseg, noverlap, window, nfft):
+def _segment_psd_average(
+    x: np.ndarray,
+    sample_rate: float,
+    nperseg: int,
+    noverlap: int,
+    window: WindowSpec,
+    nfft: int | None,
+) -> tuple[np.ndarray, np.ndarray]:
     """Average windowed periodograms over (possibly overlapping) segments."""
     x = as_complex_array(x)
     ensure_positive(sample_rate, "sample_rate")
@@ -77,7 +89,7 @@ def _segment_psd_average(x, sample_rate, nperseg, noverlap, window, nfft):
 
     w = get_window(window, nperseg, periodic=True)
     scale = sample_rate * np.sum(w**2)
-    acc = np.zeros(nfft)
+    acc = np.zeros(nfft, dtype=float)
     count = 0
     for start in range(0, x.size - nperseg + 1, step):
         seg = x[start : start + nperseg]
@@ -96,9 +108,9 @@ def welch_psd_batch(
     sample_rate: float = 1.0,
     nperseg: int = 256,
     noverlap: int | None = None,
-    window="hann",
+    window: WindowSpec = "hann",
     nfft: int | None = None,
-):
+) -> tuple[np.ndarray, np.ndarray]:
     """Row-wise :func:`welch_psd` on a stack of equal-length signals.
 
     ``x`` has shape ``(R, N)``; returns ``(freqs, psd)`` with ``psd`` of
@@ -144,7 +156,7 @@ def welch_psd_batch(
     segs = windows[:, ::step][:, : starts.size] * w
     specs = np.fft.fft(segs, nfft, axis=-1)
     power = np.abs(specs) ** 2
-    acc = np.zeros((x.shape[0], nfft))
+    acc = np.zeros((x.shape[0], nfft), dtype=float)
     for s in range(starts.size):
         # Sequential segment order: the serial Welch sum must be replayed
         # term by term for the accumulated rounding to match exactly.
@@ -154,7 +166,9 @@ def welch_psd_batch(
     return np.fft.fftshift(freqs), np.fft.fftshift(psd, axes=-1)
 
 
-def bartlett_psd(x: np.ndarray, sample_rate: float = 1.0, nperseg: int = 256, nfft: int | None = None):
+def bartlett_psd(
+    x: np.ndarray, sample_rate: float = 1.0, nperseg: int = 256, nfft: int | None = None
+) -> tuple[np.ndarray, np.ndarray]:
     """Bartlett's method: average of non-overlapping rectangular periodograms."""
     return _segment_psd_average(x, sample_rate, nperseg, 0, "rectangular", nfft)
 
@@ -164,9 +178,9 @@ def welch_psd(
     sample_rate: float = 1.0,
     nperseg: int = 256,
     noverlap: int | None = None,
-    window="hann",
+    window: WindowSpec = "hann",
     nfft: int | None = None,
-):
+) -> tuple[np.ndarray, np.ndarray]:
     """Welch's method: averaged, windowed, 50 %-overlapping periodograms."""
     if noverlap is None:
         noverlap = nperseg // 2

@@ -9,9 +9,24 @@ spectral analysis.
 
 from __future__ import annotations
 
+from typing import Union
+
 import numpy as np
 
-__all__ = ["rectangular", "hamming", "hann", "blackman", "kaiser", "get_window", "kaiser_beta"]
+__all__ = [
+    "rectangular",
+    "hamming",
+    "hann",
+    "blackman",
+    "kaiser",
+    "get_window",
+    "kaiser_beta",
+    "WindowSpec",
+]
+
+#: window selector: a registry name, a ("kaiser", beta) tuple, or an
+#: explicit taper array passed through unchanged
+WindowSpec = Union[str, tuple, np.ndarray]
 
 
 def _window_positions(num: int, periodic: bool) -> np.ndarray:
@@ -19,7 +34,7 @@ def _window_positions(num: int, periodic: bool) -> np.ndarray:
     if num < 1:
         raise ValueError(f"window length must be >= 1, got {num}")
     if num == 1:
-        return np.zeros(1)
+        return np.zeros(1, dtype=float)
     denom = num if periodic else num - 1
     return np.arange(num) / denom
 
@@ -28,7 +43,7 @@ def rectangular(num: int, periodic: bool = False) -> np.ndarray:
     """Rectangular (boxcar) window."""
     if num < 1:
         raise ValueError(f"window length must be >= 1, got {num}")
-    return np.ones(num)
+    return np.ones(num, dtype=float)
 
 
 def hamming(num: int, periodic: bool = False) -> np.ndarray:
@@ -54,7 +69,7 @@ def kaiser(num: int, beta: float, periodic: bool = False) -> np.ndarray:
     if num < 1:
         raise ValueError(f"window length must be >= 1, got {num}")
     if num == 1:
-        return np.ones(1)
+        return np.ones(1, dtype=float)
     denom = num if periodic else num - 1
     n = np.arange(num)
     arg = beta * np.sqrt(np.maximum(0.0, 1 - (2 * n / denom - 1) ** 2))
@@ -81,7 +96,7 @@ _WINDOWS = {
 }
 
 
-def get_window(name, num: int, periodic: bool = False) -> np.ndarray:
+def get_window(name: WindowSpec, num: int, periodic: bool = False) -> np.ndarray:
     """Look up a window by name, or ``("kaiser", beta)`` tuple.
 
     ``name`` may also already be an array of length ``num`` (passed

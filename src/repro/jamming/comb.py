@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.jamming.base import Jammer
+from repro.utils.rng import make_rng
 from repro.utils.validation import ensure_positive
 
 __all__ = ["CombJammer"]
@@ -49,7 +50,7 @@ class CombJammer(Jammer):
         self.reset()
 
     def reset(self) -> None:
-        rng = np.random.default_rng(self._seed)
+        rng = make_rng(self._seed)
         self._phases = rng.uniform(0.0, 2 * np.pi, size=self.frequencies.size)
         self._position = 0
 

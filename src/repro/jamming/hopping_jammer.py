@@ -60,7 +60,7 @@ class HoppingJammer(Jammer):
         self.dwell_samples = int(dwell_samples)
         self._weights_name: str | None = None
         if weights is None:
-            weights = np.ones(self.bandwidths.size)
+            weights = np.ones(self.bandwidths.size, dtype=float)
         elif isinstance(weights, str):
             from repro.hopping.patterns import pattern_weights
 

@@ -1,0 +1,85 @@
+"""Finding renderers: human, machine (JSON) and GitHub-annotation output.
+
+``repro-bhss lint --format=pretty`` is the terminal default; ``json`` is
+for tooling; ``github`` emits workflow commands so findings surface as
+inline annotations on PR diffs.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.engine import LintReport
+
+__all__ = ["format_findings", "FORMATS"]
+
+FORMATS = ("pretty", "json", "github")
+
+
+def _pretty(report: LintReport) -> str:
+    lines = []
+    for f in report.findings:
+        lines.append(f"{f.path}:{f.line}:{f.col + 1}: {f.rule}: {f.message}")
+    for err in report.errors:
+        lines.append(f"error: {err}")
+    counts = report.counts_by_rule()
+    if counts:
+        breakdown = ", ".join(f"{rule} x{n}" for rule, n in sorted(counts.items()))
+        lines.append(
+            f"{len(report.findings)} finding(s) in {report.files_scanned} file(s): {breakdown}"
+        )
+    else:
+        lines.append(
+            f"clean: {report.files_scanned} file(s), "
+            f"{len(report.rules_run)} rule(s), 0 findings"
+        )
+    return "\n".join(lines)
+
+
+def _json(report: LintReport) -> str:
+    return json.dumps(
+        {
+            "findings": [f.to_dict() for f in report.findings],
+            "errors": list(report.errors),
+            "files_scanned": report.files_scanned,
+            "rules_run": list(report.rules_run),
+            "counts": report.counts_by_rule(),
+            "ok": report.ok,
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def _github(report: LintReport) -> str:
+    """GitHub Actions workflow commands — one ``::error`` per finding.
+
+    Newlines inside messages would terminate the command, so they are
+    escaped per the workflow-command spec.
+    """
+    def esc(s: str) -> str:
+        return s.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+    lines = [
+        f"::error file={f.path},line={f.line},col={f.col + 1},"
+        f"title=repro-lint[{f.rule}]::{esc(f.message)}"
+        for f in report.findings
+    ]
+    lines.extend(f"::error::{esc(err)}" for err in report.errors)
+    if not lines:
+        lines.append(
+            f"repro-lint: clean ({report.files_scanned} files, "
+            f"{len(report.rules_run)} rules)"
+        )
+    return "\n".join(lines)
+
+
+def format_findings(report: LintReport, fmt: str = "pretty") -> str:
+    """Render a :class:`LintReport` in one of :data:`FORMATS`."""
+    if fmt == "pretty":
+        return _pretty(report)
+    if fmt == "json":
+        return _json(report)
+    if fmt == "github":
+        return _github(report)
+    raise ValueError(f"unknown lint output format {fmt!r}; use one of {FORMATS}")

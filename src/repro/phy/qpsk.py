@@ -52,7 +52,7 @@ def binary_chips_to_complex_batch(chips: np.ndarray) -> np.ndarray:
 def complex_chips_to_binary(symbols: np.ndarray) -> np.ndarray:
     """Interleave complex soft chips back into soft binary chip values."""
     s = as_complex_array(symbols, "symbols")
-    out = np.empty(2 * s.size)
+    out = np.empty(2 * s.size, dtype=float)
     out[0::2] = s.real
     out[1::2] = s.imag
     return out
@@ -64,7 +64,7 @@ def complex_chips_to_binary_batch(symbols: np.ndarray) -> np.ndarray:
     if s.ndim != 2:
         raise ValueError(f"symbols must be 2-D, got shape {s.shape}")
     s = s.astype(np.complex128, copy=False)
-    out = np.empty((s.shape[0], 2 * s.shape[1]))
+    out = np.empty((s.shape[0], 2 * s.shape[1]), dtype=float)
     out[:, 0::2] = s.real
     out[:, 1::2] = s.imag
     return out
@@ -180,7 +180,7 @@ class ChipModulator:
         else:
             n_cc = n_cc_avail
         if n_cc == 0:
-            return np.zeros((x.shape[0], 0))
+            return np.zeros((x.shape[0], 0), dtype=float)
         p, trim = self._pulse_and_trim(sps)
         if matched:
             pf = self.pulse.spectrum_cached(sps, convolve_nfft(x.shape[1], p.size))
@@ -237,7 +237,7 @@ class ChipModulator:
         else:
             n_cc = n_cc_avail
         if n_cc == 0:
-            return np.zeros(0)
+            return np.zeros(0, dtype=float)
         p, trim = self._pulse_and_trim(sps)
         if matched:
             mf = fft_convolve(x, p.astype(complex))

@@ -13,7 +13,13 @@ bit-identical to a serial one.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.runtime import ParallelExecutor, ResultCache, SweepTiming, resolve_batch
+
+if TYPE_CHECKING:
+    from repro.analysis.sweep import SweepResult
+    from repro.scenario.spec import Scenario
 
 __all__ = ["SCENARIO_COLUMNS", "evaluate_scenario_point", "run_scenario"]
 
@@ -21,7 +27,7 @@ __all__ = ["SCENARIO_COLUMNS", "evaluate_scenario_point", "run_scenario"]
 SCENARIO_COLUMNS = ("snr_db", "sjr_db", "per", "per_lo", "per_hi", "ber", "throughput_bps")
 
 
-def _cache_token(cache) -> "str | bool | None":
+def _cache_token(cache: "ResultCache | str | bool | None") -> "str | bool | None":
     """Flatten a cache argument to picklable data for the spec payload."""
     if cache is None or cache is False:
         return cache
@@ -68,7 +74,12 @@ def evaluate_scenario_point(payload: dict, point: tuple) -> dict:
     }
 
 
-def run_scenario(scenario, *, executor: ParallelExecutor | None = None, cache=None):
+def run_scenario(
+    scenario: "Scenario",
+    *,
+    executor: ParallelExecutor | None = None,
+    cache: "ResultCache | str | bool | None" = None,
+) -> "SweepResult":
     """Evaluate a scenario's grid into a :class:`SweepResult`.
 
     ``executor`` defaults to the ``REPRO_WORKERS``-configured pool (serial

@@ -70,7 +70,7 @@ def line_plot(
         ymax = ymin + 1.0
 
     grid = [[" "] * width for _ in range(height)]
-    for idx, (label, x, y) in enumerate(prepared):
+    for idx, (_label, x, y) in enumerate(prepared):
         marker = _MARKERS[idx % len(_MARKERS)]
         px = _axis_transform(x, logx)
         py = _axis_transform(y, logy)

@@ -24,7 +24,7 @@ __all__ = ["make_rng", "derive_seed", "child_rng", "SeedLike"]
 SeedLike = "int | numpy.random.Generator | None"
 
 
-def make_rng(seed=None) -> np.random.Generator:
+def make_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
     """Create a :class:`numpy.random.Generator`.
 
     ``seed`` may be ``None`` (OS entropy), an integer, or an existing

@@ -1,0 +1,124 @@
+"""CLI exit-code contract: 0 clean, 1 findings/failures, 2 usage errors.
+
+The ``lint`` and ``scenario validate`` subcommands gate CI, so their exit
+codes are load-bearing: a wrong zero lets a regression merge, a spurious
+two masks findings as usage errors.  These tests pin the full convention
+end to end through :func:`repro.cli.main`.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SCENARIO_DIR = os.path.join(REPO, "examples", "scenarios")
+
+
+class TestLintExitCodes:
+    def test_clean_tree_exits_zero(self, capsys):
+        assert main(["lint", "--root", REPO, os.path.join(REPO, "src")]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        bad = tmp_path / "src" / "repro" / "dsp" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import numpy as np\nbuf = np.zeros(8)\n")
+        code = main(
+            ["lint", "--root", str(tmp_path), "--rules", "dtype-discipline", str(bad)]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "dtype-discipline" in out
+
+    def test_missing_path_exits_two(self, capsys):
+        assert main(["lint", str(os.path.join(REPO, "no-such-dir"))]) == 2
+        assert "do not exist" in capsys.readouterr().err
+
+    def test_unknown_rule_exits_two(self, capsys):
+        assert main(["lint", "--rules", "bogus", os.path.join(REPO, "src")]) == 2
+        assert "unknown lint rule" in capsys.readouterr().err
+
+    def test_syntax_error_exits_one(self, tmp_path, capsys):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        assert main(["lint", "--root", str(tmp_path), str(bad)]) == 1
+        assert "cannot scan" in capsys.readouterr().out
+
+    def test_json_format(self, tmp_path, capsys):
+        bad = tmp_path / "src" / "repro" / "phy" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import numpy as np\nx = np.random.normal(size=3)\n")
+        code = main(
+            ["lint", "--root", str(tmp_path), "--rules", "rng-discipline",
+             "--format", "json", str(bad)]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["findings"][0]["rule"] == "rng-discipline"
+
+    def test_github_format(self, tmp_path, capsys):
+        bad = tmp_path / "src" / "repro" / "phy" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import numpy as np\nx = np.random.normal(size=3)\n")
+        code = main(
+            ["lint", "--root", str(tmp_path), "--rules", "rng-discipline",
+             "--format", "github", str(bad)]
+        )
+        assert code == 1
+        assert "::error file=" in capsys.readouterr().out
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("rng-discipline", "dtype-discipline", "batch-symmetry",
+                        "registry-roundtrip", "knob-docs", "mypy-baseline"):
+            assert rule_id in out
+
+
+class TestScenarioValidateExitCodes:
+    def test_valid_directory_exits_zero(self, capsys):
+        assert main(["scenario", "validate", SCENARIO_DIR]) == 0
+        assert "scenario files valid" in capsys.readouterr().out
+
+    def test_invalid_file_exits_one(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"name": "x", "grid": {"snr_db": [], "sjr_db": [1.0]}}))
+        assert main(["scenario", "validate", str(bad)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_unreadable_file_exits_one_not_traceback(self, tmp_path, capsys):
+        assert main(["scenario", "validate", str(tmp_path / "missing.json")]) == 1
+        assert "cannot read" in capsys.readouterr().out
+
+    def test_invalid_json_exits_one(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["scenario", "validate", str(bad)]) == 1
+        assert "invalid JSON" in capsys.readouterr().out
+
+    def test_empty_directory_exits_two(self, tmp_path, capsys):
+        assert main(["scenario", "validate", str(tmp_path)]) == 2
+        assert "no scenario files" in capsys.readouterr().err
+
+    def test_mixed_valid_and_invalid_exits_one(self, tmp_path):
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps({
+            "name": "ok",
+            "jammer": {"type": "none"},
+            "grid": {"snr_db": [15.0], "sjr_db": [0.0]},
+            "packets": 1,
+        }))
+        bad = tmp_path / "zbad.json"
+        bad.write_text("{}")
+        assert main(["scenario", "validate", str(tmp_path)]) == 1
+
+
+class TestScenarioRunExitCodes:
+    def test_bad_scenario_file_exits_two(self, tmp_path, capsys):
+        assert main(["run", "--scenario", str(tmp_path / "missing.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err

@@ -105,25 +105,27 @@ class TestApiGuide:
 
 
 class TestEnvKnobs:
-    """Every ``REPRO_*`` environment knob: code and docs agree on names."""
+    """Every ``REPRO_*`` environment knob: code and docs agree on names.
+
+    The ground truth is the lint scanner (:mod:`repro.lint.project`), not
+    a hardcoded set: ``collect_code_knobs`` walks every string constant in
+    ``src/`` so a new knob is picked up the moment it is introduced, and
+    the ``knob-docs`` lint rule enforces the same contract in CI.
+    """
 
     def code_knobs(self):
-        import inspect
+        from repro.lint.engine import ProjectContext, _load_sources
+        from repro.lint.project import collect_code_knobs
 
-        from repro.analysis.sweep import env_scale
-        from repro.runtime.cache import ResultCache
-        from repro.runtime.executor import resolve_batch, resolve_workers
-
-        located = [
-            (resolve_workers, "env"),
-            (resolve_batch, "env"),
-            (env_scale, "name"),
-            (ResultCache.from_env, "env"),
-        ]
-        return {inspect.signature(fn).parameters[param].default for fn, param in located}
+        errors = []
+        sources = _load_sources([os.path.join(REPO, "src")], REPO, errors)
+        assert not errors
+        return set(collect_code_knobs(ProjectContext(root=REPO, sources=sources)))
 
     def doc_knobs(self, path):
-        return set(re.findall(r"\b(REPRO_[A-Z]+)\b", read(path)))
+        from repro.lint.project import documented_knobs
+
+        return documented_knobs(read(path))
 
     def test_code_knobs_are_the_known_set(self):
         assert self.code_knobs() == {
@@ -140,6 +142,12 @@ class TestEnvKnobs:
         known = self.code_knobs()
         for path in ["docs/API.md", "EXPERIMENTS.md", "README.md"]:
             assert self.doc_knobs(path) <= known, path
+
+    def test_knob_docs_lint_rule_is_clean(self):
+        from repro.lint.engine import run_lint
+
+        report = run_lint([os.path.join(REPO, "src")], root=REPO, rules=["knob-docs"])
+        assert report.findings == [], report.findings
 
     def test_batch_contract_docs_name_the_test_walls(self):
         text = read("docs/API.md")
