@@ -11,9 +11,17 @@ from __future__ import annotations
 import csv
 import os
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from typing import Any, Callable, Iterable, Sequence
 
-from repro.runtime import ParallelExecutor, SweepTiming
+from repro.runtime import (
+    ParallelExecutor,
+    SweepCheckpoint,
+    SweepTiming,
+    canonical,
+    make_checkpoint,
+    resolve_checkpoint_dir,
+    stable_hash,
+)
 
 __all__ = ["SweepResult", "run_sweep", "write_csv", "env_scale"]
 
@@ -57,6 +65,33 @@ class SweepResult:
         return [[r[c] for c in self.columns] for r in self.rows]
 
 
+def _grid_key(columns: Sequence[str], points: list) -> str:
+    """Canonical checkpoint key of a raw-grid sweep.
+
+    Hashes the column names and the grid points; grids made of plain data
+    (numbers, strings, tuples) hash directly, anything else needs an
+    explicit ``checkpoint_key``.  Points whose canonical form falls back
+    to ``repr`` are rejected rather than hashed: repr embeds the object
+    id, so the key would change every run and resume would silently
+    never match.
+    """
+    doc = canonical({"columns": [str(c) for c in columns], "grid": points})
+    if _contains_repr_fallback(doc):
+        raise ValueError(
+            "checkpointing this grid requires checkpoint_key=... "
+            "(its points are not canonically serializable)"
+        )
+    return stable_hash(doc)
+
+
+def _contains_repr_fallback(doc: object) -> bool:
+    if isinstance(doc, dict):
+        return "__repr__" in doc or any(_contains_repr_fallback(v) for v in doc.values())
+    if isinstance(doc, list):
+        return any(_contains_repr_fallback(v) for v in doc)
+    return False
+
+
 def run_sweep(
     columns,
     grid: Iterable | None = None,
@@ -65,6 +100,8 @@ def run_sweep(
     unpack: bool = True,
     executor: ParallelExecutor | None = None,
     cache=None,
+    checkpoint: "SweepCheckpoint | str | bool | None" = None,
+    checkpoint_key: str | None = None,
 ) -> SweepResult:
     """Evaluate a function over a grid of points — or a whole scenario.
 
@@ -87,20 +124,33 @@ def run_sweep(
     (shared *stateful* objects mutated across points are outside the
     guarantee).  The sweep's wall-time telemetry is attached as
     ``result.timing``.
+
+    ``checkpoint`` enables crash-safe resume (``None`` defers to
+    ``REPRO_CHECKPOINT``, ``False`` forces it off, a string / ``True``
+    names the directory): completed points persist incrementally and a
+    rerun of the same sweep recomputes only unfinished ones,
+    bit-identically.  Records must be JSON-serializable on this path.
+    The checkpoint is keyed by a canonical hash of (columns, grid) —
+    pass ``checkpoint_key`` to pin it explicitly (required for grids of
+    non-plain-data points, and recommended when the evaluator changes
+    meaning between runs).
     """
     from repro.scenario.spec import Scenario
 
     if isinstance(columns, Scenario):
         if grid is not None or evaluate is not None:
             raise ValueError("a Scenario carries its own grid and evaluator")
+        if checkpoint_key is not None:
+            raise ValueError("a Scenario derives its own checkpoint key")
         from repro.scenario.runner import run_scenario
 
-        return run_scenario(columns, executor=executor, cache=cache)
+        return run_scenario(columns, executor=executor, cache=cache, checkpoint=checkpoint)
     if grid is None or evaluate is None:
         raise ValueError("run_sweep requires grid and evaluate (or a Scenario)")
     if cache is not None:
         raise ValueError("cache applies only to Scenario sweeps")
     points = list(grid)
+    total = len(points)
     ex = executor if executor is not None else ParallelExecutor.from_env()
 
     def call(point):
@@ -108,14 +158,51 @@ def run_sweep(
             return evaluate(*point)
         return evaluate(point)
 
-    report = ex.map_timed(call, points)
+    ckpt: SweepCheckpoint | None = None
+    if checkpoint is not False and (
+        checkpoint is not None or resolve_checkpoint_dir() is not None
+    ):
+        key = checkpoint_key if checkpoint_key is not None else _grid_key(columns, points)
+        ckpt = make_checkpoint(checkpoint, key, total)
+    loaded: dict[int, Any] = {} if ckpt is None else ckpt.load()
+    pending = [i for i in range(total) if not isinstance(loaded.get(i), dict)]
+    records: list = [loaded[i] if i not in pending else None for i in range(total)]
+    seconds = [0.0] * total
+    wall = 0.0
+    workers = 1
+    retries = 0
+    if pending:
+        on_result: Callable[[int, object], None] | None = None
+        if ckpt is not None:
+            active = ckpt
+
+            def _persist(local_index: int, value: object) -> None:
+                active.record(pending[local_index], value)
+
+            on_result = _persist
+        try:
+            report = ex.map_timed(call, [points[i] for i in pending], on_result=on_result)
+        except BaseException:
+            # Keep whatever finished: an interrupted sweep resumes from here.
+            if ckpt is not None:
+                ckpt.flush()
+            raise
+        for index, value, secs in zip(pending, report.values, report.seconds):
+            records[index] = value
+            seconds[index] = secs
+        wall = report.wall_seconds
+        workers = report.workers
+        retries = report.retries
+    if ckpt is not None:
+        ckpt.complete()
     result = SweepResult(columns=tuple(columns))
-    for record in report.values:
+    for record in records:
         result.add(**record)
     result.timing = SweepTiming(
-        wall_seconds=report.wall_seconds,
-        point_seconds=report.seconds,
-        workers=report.workers,
+        wall_seconds=wall,
+        point_seconds=tuple(seconds),
+        workers=workers,
+        retries=retries,
     )
     return result
 

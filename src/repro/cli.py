@@ -32,14 +32,20 @@ Installed as ``repro-bhss`` (see ``pyproject.toml``); also runnable as
     Tooling for scenario files: ``scenario validate <paths...>``
     parse-validates files or directories of them; ``scenario list [dir]``
     summarizes a directory (default ``examples/scenarios``).
+``cache``
+    Integrity tooling for the ``REPRO_CACHE`` result store:
+    ``cache verify [dir]`` audits every entry against its checksum
+    (exit 1 on corruption), ``cache gc [dir]`` deletes corrupt entries,
+    quarantined files and stray temp files.
 ``lint``
     Project-invariant static analysis (``repro-lint``): RNG discipline,
     dtype discipline, batch/serial symmetry, registry round-trips, env
     knob docs, mutable defaults and the frozen mypy baseline.
 
 Exit-code convention, shared by every finding-producing subcommand
-(``lint``, ``scenario validate``, ``bench``): **0** clean, **1** findings
-or check failures, **2** usage/input errors (bad paths, unknown names).
+(``lint``, ``scenario validate``, ``bench``, ``cache verify``): **0**
+clean, **1** findings or check failures, **2** usage/input errors (bad
+paths, unknown names).
 """
 
 from __future__ import annotations
@@ -491,7 +497,7 @@ def cmd_run(args) -> int:
         f"scenario {scenario.name!r}{label}: "
         f"{len(scenario.points())} points x {scenario.packets} packets"
     )
-    result = run_scenario(scenario)
+    result = run_scenario(scenario, checkpoint=args.checkpoint)
     rows = [
         [
             f"{r['snr_db']:g}",
@@ -589,6 +595,55 @@ def cmd_scenario_list(args) -> int:
             title=f"scenarios in {args.directory}",
         )
     )
+    return 0
+
+
+def _cache_store(directory: str | None):
+    """The result cache named on the command line or by ``REPRO_CACHE``."""
+    from repro.runtime import ResultCache
+
+    if directory:
+        return ResultCache(directory)
+    store = ResultCache.from_env()
+    if store is None:
+        print(
+            "no cache directory given and REPRO_CACHE is unset "
+            "(pass a directory or set REPRO_CACHE)",
+            file=sys.stderr,
+        )
+    return store
+
+
+def cmd_cache_verify(args) -> int:
+    store = _cache_store(args.directory)
+    if store is None:
+        return 2
+    audit = store.verify()
+    print(f"cache {store.root}")
+    print(f"  entries     : {audit.entries}")
+    print(f"  valid       : {audit.valid}")
+    if audit.legacy:
+        print(f"  legacy      : {audit.legacy} (pre-checksum entries, still served)")
+    print(f"  corrupt     : {audit.corrupt}")
+    if audit.quarantined:
+        print(f"  quarantined : {audit.quarantined}")
+    for path in audit.corrupt_paths:
+        print(f"  CORRUPT {path}")
+    if audit.corrupt:
+        print("cache verify: FAILED (run `repro-bhss cache gc` to clean)", file=sys.stderr)
+        return 1
+    print("cache verify: ok")
+    return 0
+
+
+def cmd_cache_gc(args) -> int:
+    store = _cache_store(args.directory)
+    if store is None:
+        return 2
+    audit = store.gc()
+    print(f"cache {store.root}")
+    print(f"  removed     : {audit.removed} (corrupt entries, quarantined and temp files)")
+    print(f"  remaining   : {audit.entries} entries ({audit.valid} valid, {audit.legacy} legacy)")
     return 0
 
 
@@ -714,6 +769,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="execute a declarative scenario JSON file")
     p_run.add_argument("--scenario", required=True, metavar="FILE", help="scenario JSON file")
     p_run.add_argument("--output", "-o", default=None, help="also write the result CSV here")
+    p_run.add_argument(
+        "--checkpoint", default=None, metavar="DIR",
+        help="checkpoint completed grid points here and resume interrupted runs "
+        "(default: the REPRO_CHECKPOINT environment knob)",
+    )
     p_run.set_defaults(func=cmd_run)
 
     p_scn = sub.add_parser("scenario", help="validate or list scenario files")
@@ -724,6 +784,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_lst = scn_sub.add_parser("list", help="summarize a directory of scenario files")
     p_lst.add_argument("directory", nargs="?", default="examples/scenarios")
     p_lst.set_defaults(func=cmd_scenario_list)
+
+    p_cache = sub.add_parser("cache", help="verify or clean the on-disk result cache")
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    p_cv = cache_sub.add_parser("verify", help="audit every entry against its checksum")
+    p_cv.add_argument("directory", nargs="?", default=None, help="cache root (default: REPRO_CACHE)")
+    p_cv.set_defaults(func=cmd_cache_verify)
+    p_cg = cache_sub.add_parser("gc", help="delete corrupt, quarantined and temp files")
+    p_cg.add_argument("directory", nargs="?", default=None, help="cache root (default: REPRO_CACHE)")
+    p_cg.set_defaults(func=cmd_cache_gc)
 
     p_lint = sub.add_parser("lint", help="project-invariant static analysis (repro-lint)")
     p_lint.add_argument(

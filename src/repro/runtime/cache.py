@@ -1,4 +1,4 @@
-"""On-disk memoization of simulation results.
+"""On-disk memoization of simulation results, with entry integrity.
 
 Packet-batch statistics are pure functions of (link configuration,
 operating point, seed, packet budget) — *not* of the code revision — so a
@@ -11,10 +11,22 @@ across processes, platforms and insertion orders.
 The cache is **opt-in**: it activates only when the ``REPRO_CACHE``
 environment variable is set — to ``1`` for the default location
 (``~/.cache/repro-bhss``) or to an explicit directory path.  Entries are
-plain JSON files; invalidation is ``rm -rf`` of the directory (or
-``ResultCache.clear()``).  Callers must only cache results whose inputs
-the key fully captures — the link layer skips caching for stateful
-jammers for exactly that reason.
+JSON documents ``{"sha256": <hex>, "value": {...}}`` whose checksum covers
+the canonical encoding of the value, so a truncated, bit-flipped or
+half-written entry is *detected* rather than served:  a corrupt entry is
+moved to ``<root>/quarantine/`` and reported as a miss, and the caller
+recomputes — corruption can cost time, never correctness.  Pre-checksum
+entries (plain JSON dicts) are still served as legacy hits.
+
+Write failures (disk full, permissions) never abort a sweep: ``put`` is
+best-effort and emits one ``RuntimeWarning`` per cache directory instead
+of raising.  ``repro-bhss cache verify`` audits a cache directory and
+``repro-bhss cache gc`` deletes corrupt/quarantined/stray files;
+invalidation is still ``rm -rf`` (or :meth:`ResultCache.clear`).
+
+Callers must only cache results whose inputs the key fully captures —
+the link layer skips caching for stateful jammers for exactly that
+reason.
 """
 
 from __future__ import annotations
@@ -24,14 +36,27 @@ import hashlib
 import json
 import os
 import tempfile
+import warnings
 
 import numpy as np
 
-__all__ = ["ResultCache", "canonical", "stable_hash"]
+from repro.runtime.faults import FaultPlan
+
+__all__ = ["ResultCache", "CacheAudit", "canonical", "stable_hash"]
 
 _DEFAULT_ROOT = os.path.join("~", ".cache", "repro-bhss")
 _OFF_VALUES = {"", "0", "off", "no", "false"}
 _ON_VALUES = {"1", "on", "yes", "true"}
+
+#: name of the per-cache subdirectory corrupt entries are moved into
+QUARANTINE_DIR = "quarantine"
+
+#: cache roots that already warned about write/corruption problems
+_WARNED_WRITE_ROOTS: set[str] = set()
+_WARNED_CORRUPT_ROOTS: set[str] = set()
+
+#: sentinel distinguishing "corrupt" from any decodable value
+_CORRUPT = object()
 
 
 def canonical(obj):
@@ -73,6 +98,58 @@ def stable_hash(obj) -> str:
     return hashlib.sha256(text.encode()).hexdigest()
 
 
+def _value_digest(value) -> str:
+    """Integrity checksum of one cache entry's value payload."""
+    text = json.dumps(value, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def _decode_entry(raw: bytes):
+    """Decode one entry file's raw bytes.
+
+    Returns ``(value, kind)`` where kind is ``"valid"`` (checksummed and
+    intact) or ``"legacy"`` (pre-checksum plain dict), or ``(_CORRUPT,
+    "corrupt")`` for anything undecodable, unparsable, mis-shaped or
+    checksum-failed.  A dict that mentions ``sha256`` at all but is not
+    an exact, intact wrapper is corrupt, not legacy — bit rot inside the
+    wrapper must never demote an entry into the unchecksummed class.
+    """
+    try:
+        data = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError):
+        return _CORRUPT, "corrupt"
+    if isinstance(data, dict) and set(data) == {"sha256", "value"}:
+        if _value_digest(data["value"]) != data["sha256"]:
+            return _CORRUPT, "corrupt"
+        return data["value"], "valid"
+    if isinstance(data, dict) and "sha256" not in data and "value" not in data:
+        return data, "legacy"
+    return _CORRUPT, "corrupt"
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheAudit:
+    """Result of a cache integrity pass (``verify``/``gc``).
+
+    ``entries`` counts live entry files; ``valid``/``legacy``/``corrupt``
+    partition them.  ``quarantined`` counts files already moved to the
+    quarantine directory, ``removed`` counts files deleted by ``gc``.
+    """
+
+    entries: int = 0
+    valid: int = 0
+    legacy: int = 0
+    corrupt: int = 0
+    quarantined: int = 0
+    removed: int = 0
+    corrupt_paths: tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """Whether the cache holds no corrupt entries."""
+        return self.corrupt == 0
+
+
 class ResultCache:
     """A directory of JSON result files addressed by stable key hashes.
 
@@ -86,6 +163,7 @@ class ResultCache:
         self.root = os.path.expanduser(root)
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
 
     @classmethod
     def from_env(cls, env: str = "REPRO_CACHE") -> "ResultCache | None":
@@ -104,33 +182,188 @@ class ResultCache:
     def _path(self, digest: str) -> str:
         return os.path.join(self.root, digest[:2], f"{digest}.json")
 
+    def _quarantine_dir(self) -> str:
+        return os.path.join(self.root, QUARANTINE_DIR)
+
+    def _quarantine(self, path: str) -> None:
+        """Move a corrupt entry aside so it is inspectable but never served."""
+        target = os.path.join(self._quarantine_dir(), os.path.basename(path))
+        try:
+            os.makedirs(self._quarantine_dir(), exist_ok=True)
+            os.replace(path, target)
+        except OSError:
+            # cannot even move it — drop it so it is not served again
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        if self.root not in _WARNED_CORRUPT_ROOTS:
+            _WARNED_CORRUPT_ROOTS.add(self.root)
+            warnings.warn(
+                f"corrupt cache entry detected under {self.root!r}; quarantined and "
+                "recomputing (run `repro-bhss cache verify` / `cache gc` to audit)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
     def get(self, key) -> dict | None:
-        """The cached dict for ``key``, or ``None`` on a miss."""
+        """The cached dict for ``key``, or ``None`` on a miss.
+
+        A corrupt entry (unparsable, mis-shaped, or failing its checksum)
+        is quarantined and reported as a miss, so the caller transparently
+        recomputes instead of crashing or consuming bad data.
+        """
         path = self._path(stable_hash(key))
         try:
-            with open(path) as fh:
-                value = json.load(fh)
-        except (OSError, ValueError):
+            with open(path, "rb") as fh:
+                raw = fh.read()
+        except OSError:
+            self.misses += 1
+            return None
+        value, kind = _decode_entry(raw)
+        if kind == "corrupt":
+            self._quarantine(path)
+            self.corrupt += 1
             self.misses += 1
             return None
         self.hits += 1
         return value
 
     def put(self, key, value: dict) -> None:
-        """Store a JSON-able dict under ``key`` (atomic rename)."""
-        path = self._path(stable_hash(key))
-        os.makedirs(os.path.dirname(path), exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+        """Store a JSON-able dict under ``key`` (atomic rename, checksummed).
+
+        Best-effort: filesystem failures (disk full, permissions, a root
+        that is not a directory) emit one ``RuntimeWarning`` per cache
+        directory and leave the sweep running uncached.  A ``value`` that
+        is not JSON-able still raises ``TypeError`` — that is a caller
+        bug, not an environment fault.
+        """
+        digest = stable_hash(key)
+        path = self._path(digest)
+        document = {"sha256": _value_digest(value), "value": value}
         try:
-            with os.fdopen(fd, "w") as fh:
-                json.dump(value, fh)
-            os.replace(tmp, path)
-        except BaseException:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+        except OSError as exc:
+            self._warn_write_failure(exc)
+            return
+        try:
             try:
-                os.unlink(tmp)
+                with os.fdopen(fd, "w") as fh:
+                    json.dump(document, fh)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError as exc:
+            self._warn_write_failure(exc)
+            return
+        plan = FaultPlan.from_env()
+        if plan is not None:
+            plan.maybe_corrupt(path, digest)
+
+    def _warn_write_failure(self, exc: OSError) -> None:
+        if self.root in _WARNED_WRITE_ROOTS:
+            return
+        _WARNED_WRITE_ROOTS.add(self.root)
+        warnings.warn(
+            f"cannot write result cache under {self.root!r}: {exc} "
+            "(caching disabled for this run; results are unaffected)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+    # -- integrity audit ------------------------------------------------------
+
+    def _entry_files(self) -> list[str]:
+        """Live entry files (quarantine excluded), in sorted order."""
+        qdir = self._quarantine_dir()
+        out: list[str] = []
+        if not os.path.isdir(self.root):
+            return out
+        for dirpath, dirs, files in os.walk(self.root):
+            if os.path.abspath(dirpath) == os.path.abspath(qdir):
+                dirs[:] = []
+                continue
+            for name in files:
+                if name.endswith(".json"):
+                    out.append(os.path.join(dirpath, name))
+        return sorted(out)
+
+    def _quarantined_files(self) -> list[str]:
+        qdir = self._quarantine_dir()
+        if not os.path.isdir(qdir):
+            return []
+        return sorted(
+            os.path.join(qdir, name)
+            for name in os.listdir(qdir)
+            if os.path.isfile(os.path.join(qdir, name))
+        )
+
+    def _stray_tmp_files(self) -> list[str]:
+        out: list[str] = []
+        if not os.path.isdir(self.root):
+            return out
+        for dirpath, _dirs, files in os.walk(self.root):
+            for name in files:
+                if name.endswith(".tmp"):
+                    out.append(os.path.join(dirpath, name))
+        return sorted(out)
+
+    def verify(self) -> CacheAudit:
+        """Read-only integrity audit of every entry in the cache.
+
+        Classifies each entry as valid (checksummed, intact), legacy
+        (pre-checksum format) or corrupt; corrupt paths are listed so the
+        CLI can print them.  Nothing is modified — use :meth:`gc` to
+        delete corrupt and quarantined files.
+        """
+        valid = legacy = 0
+        corrupt_paths: list[str] = []
+        for path in self._entry_files():
+            try:
+                with open(path, "rb") as fh:
+                    raw = fh.read()
+            except OSError:
+                corrupt_paths.append(path)
+                continue
+            _value, kind = _decode_entry(raw)
+            if kind == "valid":
+                valid += 1
+            elif kind == "legacy":
+                legacy += 1
+            else:
+                corrupt_paths.append(path)
+        return CacheAudit(
+            entries=valid + legacy + len(corrupt_paths),
+            valid=valid,
+            legacy=legacy,
+            corrupt=len(corrupt_paths),
+            quarantined=len(self._quarantined_files()),
+            corrupt_paths=tuple(corrupt_paths),
+        )
+
+    def gc(self) -> CacheAudit:
+        """Delete corrupt entries, quarantined files and stray temp files.
+
+        Valid and legacy entries are kept.  Returns the post-collection
+        audit with ``removed`` counting every deleted file.
+        """
+        removed = 0
+        before = self.verify()
+        for path in before.corrupt_paths + tuple(
+            self._quarantined_files() + self._stray_tmp_files()
+        ):
+            try:
+                os.unlink(path)
+                removed += 1
             except OSError:
                 pass
-            raise
+        after = self.verify()
+        return dataclasses.replace(after, removed=removed)
 
     def clear(self) -> int:
         """Delete every cache entry; returns the number removed."""

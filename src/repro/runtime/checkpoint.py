@@ -1,0 +1,222 @@
+"""Atomic checkpoint/resume for interrupted sweeps.
+
+An hours-long Monte-Carlo sweep must survive SIGINT, a crashed process
+or a preempted machine without recomputing finished grid points.  A
+:class:`SweepCheckpoint` is a single JSON file of completed
+``index -> record`` pairs, keyed by the canonical hash of the sweep's
+spec (for scenarios, ``stable_hash(scenario.to_dict())``), written
+atomically (temp file + ``os.replace``) every ``interval`` completions.
+
+Resume is exact: the sweep layers merge checkpointed records with
+freshly computed ones *in grid order*, and JSON round-trips Python
+floats bit-exactly (shortest-repr encoding), so a resumed sweep is
+bit-identical to an uninterrupted run — the same guarantee the parallel
+and batched paths already make.
+
+Enabled by the ``REPRO_CHECKPOINT`` environment knob: unset/``0``/``off``
+disables, ``1``/``on`` selects the default directory
+(``~/.cache/repro-bhss/checkpoints``), anything else is the directory
+path.  A checkpoint whose stored key, point count or checksum does not
+match is ignored (the sweep recomputes from scratch) — a stale or
+corrupt checkpoint can never poison results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import warnings
+from typing import Any, Mapping
+
+__all__ = ["SweepCheckpoint", "make_checkpoint", "resolve_checkpoint_dir"]
+
+_DEFAULT_DIR = os.path.join("~", ".cache", "repro-bhss", "checkpoints")
+_OFF_VALUES = {"", "0", "off", "no", "false"}
+_ON_VALUES = {"1", "on", "yes", "true"}
+
+#: checkpoint directories already warned about (flush failures warn once)
+_WARNED_DIRS: set[str] = set()
+
+
+def resolve_checkpoint_dir(env: str = "REPRO_CHECKPOINT") -> str | None:
+    """Checkpoint directory from the environment, or ``None`` (disabled).
+
+    Unset / ``0`` / ``off`` → disabled; ``1`` / ``on`` → the default
+    directory; anything else is taken as the directory path.
+    """
+    raw = os.environ.get(env)
+    if raw is None or raw.strip().lower() in _OFF_VALUES:
+        return None
+    if raw.strip().lower() in _ON_VALUES:
+        return os.path.expanduser(_DEFAULT_DIR)
+    return os.path.expanduser(raw)
+
+
+def _body_digest(payload: Mapping[str, Any]) -> str:
+    """Checksum of the checkpoint payload's canonical JSON text."""
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+class SweepCheckpoint:
+    """Periodic atomic JSON checkpoint of one sweep's completed records.
+
+    Parameters
+    ----------
+    directory:
+        Directory holding checkpoint files (created lazily on flush).
+    key:
+        Canonical spec hash of the sweep (e.g. ``stable_hash`` of the
+        scenario dict).  Names the file and guards resume: a checkpoint
+        written for a different spec is never loaded.
+    total:
+        Number of grid points in the sweep; a checkpoint for a different
+        grid size is ignored.
+    interval:
+        Completions between flushes (default 1: every record).
+    """
+
+    def __init__(self, directory: str, key: str, total: int, interval: int = 1) -> None:
+        self.directory = os.path.expanduser(directory)
+        self.key = str(key)
+        self.total = int(total)
+        self.interval = max(1, int(interval))
+        self._done: dict[int, Any] = {}
+        self._unflushed = 0
+
+    @classmethod
+    def from_env(
+        cls, key: str, total: int, env: str = "REPRO_CHECKPOINT", interval: int = 1
+    ) -> "SweepCheckpoint | None":
+        """The ``REPRO_CHECKPOINT``-configured checkpoint, or ``None``."""
+        directory = resolve_checkpoint_dir(env)
+        if directory is None:
+            return None
+        return cls(directory, key, total, interval=interval)
+
+    @property
+    def path(self) -> str:
+        """The checkpoint file for this sweep's key."""
+        return os.path.join(self.directory, f"{self.key[:32]}.ckpt.json")
+
+    # -- persistence ----------------------------------------------------------
+
+    def load(self) -> dict[int, Any]:
+        """Completed ``index -> record`` pairs from disk.
+
+        Returns ``{}`` (and starts fresh) when the file is absent,
+        unreadable, fails its checksum, or was written for a different
+        key or grid size.  Loaded records are retained, so later flushes
+        re-write the union of old and new completions.
+        """
+        try:
+            with open(self.path) as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            return {}
+        if not isinstance(data, dict):
+            return {}
+        payload = data.get("payload")
+        if not isinstance(payload, dict) or data.get("sha256") != _body_digest(payload):
+            warnings.warn(
+                f"ignoring corrupt sweep checkpoint {self.path} (checksum mismatch)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return {}
+        if payload.get("key") != self.key or payload.get("total") != self.total:
+            return {}
+        done = payload.get("done")
+        if not isinstance(done, dict):
+            return {}
+        out: dict[int, Any] = {}
+        for raw_index, record in done.items():
+            try:
+                index = int(raw_index)
+            except (TypeError, ValueError):
+                return {}
+            if not 0 <= index < self.total:
+                return {}
+            out[index] = record
+        self._done = dict(out)
+        self._unflushed = 0
+        return out
+
+    def record(self, index: int, record: Any) -> None:
+        """Note one completed grid point (flushes every ``interval``)."""
+        self._done[int(index)] = record
+        self._unflushed += 1
+        if self._unflushed >= self.interval:
+            self.flush()
+
+    def flush(self) -> None:
+        """Atomically persist the completed set (best effort, warns once)."""
+        if self._unflushed == 0 and os.path.exists(self.path):
+            return
+        payload = {
+            "key": self.key,
+            "total": self.total,
+            "done": {str(i): self._done[i] for i in sorted(self._done)},
+        }
+        document = {"sha256": _body_digest(payload), "payload": payload}
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    json.dump(document, fh)
+                os.replace(tmp, self.path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError as exc:
+            if self.directory not in _WARNED_DIRS:
+                _WARNED_DIRS.add(self.directory)
+                warnings.warn(
+                    f"cannot write sweep checkpoint under {self.directory!r}: {exc} "
+                    "(the sweep continues without checkpointing)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            return
+        self._unflushed = 0
+
+    def complete(self) -> None:
+        """Remove the checkpoint after a fully merged, successful sweep."""
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+    def completed(self) -> dict[int, Any]:
+        """A copy of the in-memory completed set."""
+        return dict(self._done)
+
+
+def make_checkpoint(
+    checkpoint: "SweepCheckpoint | str | bool | None",
+    key: str,
+    total: int,
+    interval: int = 1,
+) -> "SweepCheckpoint | None":
+    """Normalize a sweep layer's ``checkpoint`` argument.
+
+    ``None`` defers to ``REPRO_CHECKPOINT``; ``False`` forces
+    checkpointing off; ``True`` selects the default directory; a string
+    is the directory; a ready :class:`SweepCheckpoint` passes through
+    unchanged (its own key/total win).
+    """
+    if checkpoint is False:
+        return None
+    if checkpoint is None:
+        return SweepCheckpoint.from_env(key, total, interval=interval)
+    if checkpoint is True:
+        return SweepCheckpoint(os.path.expanduser(_DEFAULT_DIR), key, total, interval=interval)
+    if isinstance(checkpoint, SweepCheckpoint):
+        return checkpoint
+    return SweepCheckpoint(str(checkpoint), key, total, interval=interval)

@@ -1,0 +1,58 @@
+"""Structured error taxonomy of the supervised runtime.
+
+Every terminal task failure the executor can raise carries the *input
+index* of the item that failed and the number of attempts it consumed, so
+a crashed sweep names the exact grid point to investigate — and so the
+checkpoint layer can resume precisely at the failure.  All three concrete
+failures subclass :class:`TaskFailure` (itself a ``RuntimeError``), which
+keeps historical ``except RuntimeError`` call sites working.
+
+``TaskTimeout``
+    The task exceeded the per-task wall-clock budget (``REPRO_TIMEOUT``)
+    on its final attempt — a hung child or a pathologically slow point.
+``WorkerCrash``
+    The pool child evaluating the task died (OOM kill, hard exit) or hit
+    an injected crash fault, and retries were exhausted.
+``TaskError``
+    The task function itself raised on every attempt; the original
+    exception rides along as ``__cause__``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TaskFailure", "TaskTimeout", "WorkerCrash", "TaskError"]
+
+
+class TaskFailure(RuntimeError):
+    """A task failed terminally after ``attempts`` tries.
+
+    Attributes
+    ----------
+    index:
+        Position of the failing item in the mapped input sequence.
+    attempts:
+        Total attempts consumed (first try plus retries).
+    """
+
+    def __init__(self, message: str, *, index: int, attempts: int) -> None:
+        super().__init__(message)
+        self.index = int(index)
+        self.attempts = int(attempts)
+
+
+class TaskTimeout(TaskFailure):
+    """A task exceeded its per-task wall-clock timeout on the last attempt."""
+
+    def __init__(
+        self, message: str, *, index: int, attempts: int, timeout: float
+    ) -> None:
+        super().__init__(message, index=index, attempts=attempts)
+        self.timeout = float(timeout)
+
+
+class WorkerCrash(TaskFailure):
+    """The worker process evaluating a task died before returning."""
+
+
+class TaskError(TaskFailure):
+    """The task function raised on every attempt (original as ``__cause__``)."""

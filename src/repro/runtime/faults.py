@@ -1,0 +1,209 @@
+"""Deterministic fault injection for chaos-testing the sweep runtime.
+
+Every recovery path in the runtime — retry-after-crash, timeout-and-
+requeue of hung workers, quarantine-and-recompute of corrupt cache
+entries — is provable only if faults can be *produced* on demand.  The
+``REPRO_FAULTS`` environment knob injects them::
+
+    REPRO_FAULTS="crash:0.05,hang:0.02,corrupt-cache:0.01"
+
+``crash:p``
+    With probability ``p`` a task attempt raises :class:`InjectedCrash`
+    (the executor classifies it as a worker crash and retries).
+``hang:p``
+    With probability ``p`` a task attempt sleeps ``hang-seconds``
+    (default 30), simulating a hung child; with ``REPRO_TIMEOUT`` set the
+    supervisor detects it, recycles the pool and retries the task.
+``corrupt-cache:p``
+    With probability ``p`` a just-written :class:`~repro.runtime.cache.
+    ResultCache` entry is bit-flipped on disk; the checksum layer must
+    detect, quarantine and recompute it.
+``seed:n`` / ``hang-seconds:s``
+    Fault-stream seed (default 0) and hang duration (default 30 s).
+
+Draws follow the repo's substream discipline: every decision is an
+independent ``child_rng(seed, "fault", kind, *labels)`` stream, so a
+fault plan is a pure function of (seed, kind, task index) — the same
+plan injects the same faults in every run, serial or pooled, which makes
+chaos tests reproducible instead of flaky.
+
+Crash/hang faults fire only on a task's *first* attempt: the harness
+exists to prove the recovery paths, and confining injection to attempt
+zero guarantees that a plan with any retry budget always completes —
+with results bit-identical to a fault-free run.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+from repro.utils.rng import child_rng
+
+__all__ = ["FaultPlan", "InjectedCrash", "inject_faults", "FAULT_KINDS", "DEFAULT_HANG_SECONDS"]
+
+#: injectable fault kinds accepted in a ``REPRO_FAULTS`` spec
+FAULT_KINDS = ("crash", "hang", "corrupt-cache")
+
+#: how long an injected hang sleeps unless the spec overrides it
+DEFAULT_HANG_SECONDS = 30.0
+
+
+class InjectedCrash(RuntimeError):
+    """The fault harness simulated a worker crash for this task attempt."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A parsed ``REPRO_FAULTS`` spec: per-kind probabilities plus a seed.
+
+    Attributes
+    ----------
+    crash, hang, corrupt_cache:
+        Per-attempt / per-entry injection probabilities in ``[0, 1]``.
+    seed:
+        Root seed of the fault decision streams.
+    hang_seconds:
+        Sleep duration of an injected hang.
+    """
+
+    crash: float = 0.0
+    hang: float = 0.0
+    corrupt_cache: float = 0.0
+    seed: int = 0
+    hang_seconds: float = DEFAULT_HANG_SECONDS
+
+    @classmethod
+    def parse(cls, spec: str, source: str = "REPRO_FAULTS") -> "FaultPlan":
+        """Parse a ``kind:probability,...`` spec string.
+
+        Raises ``ValueError`` naming ``source`` on unknown kinds, bad
+        numbers or probabilities outside ``[0, 1]``.
+        """
+        values: dict[str, float] = {}
+        seed = 0
+        hang_seconds = DEFAULT_HANG_SECONDS
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, raw = part.partition(":")
+            key = key.strip()
+            raw = raw.strip()
+            if not sep or not raw:
+                raise ValueError(
+                    f"{source}: entry {part!r} must be 'kind:value' "
+                    f"(kinds: {', '.join(FAULT_KINDS)}, plus seed / hang-seconds)"
+                )
+            if key == "seed":
+                try:
+                    seed = int(raw)
+                except ValueError:
+                    raise ValueError(f"{source}: seed must be an integer, got {raw!r}") from None
+                continue
+            if key == "hang-seconds":
+                try:
+                    hang_seconds = float(raw)
+                except ValueError:
+                    raise ValueError(
+                        f"{source}: hang-seconds must be a number, got {raw!r}"
+                    ) from None
+                if hang_seconds <= 0:
+                    raise ValueError(f"{source}: hang-seconds must be positive, got {raw!r}")
+                continue
+            if key not in FAULT_KINDS:
+                raise ValueError(
+                    f"{source}: unknown fault kind {key!r} (expected one of "
+                    f"{', '.join(FAULT_KINDS)}, seed, hang-seconds)"
+                )
+            try:
+                probability = float(raw)
+            except ValueError:
+                raise ValueError(
+                    f"{source}: probability of {key!r} must be a number, got {raw!r}"
+                ) from None
+            if not 0.0 <= probability <= 1.0:
+                raise ValueError(
+                    f"{source}: probability of {key!r} must be in [0, 1], got {probability!r}"
+                )
+            values[key] = probability
+        return cls(
+            crash=values.get("crash", 0.0),
+            hang=values.get("hang", 0.0),
+            corrupt_cache=values.get("corrupt-cache", 0.0),
+            seed=seed,
+            hang_seconds=hang_seconds,
+        )
+
+    @classmethod
+    def from_env(cls, env: str = "REPRO_FAULTS") -> "FaultPlan | None":
+        """The active fault plan, or ``None`` when ``REPRO_FAULTS`` is unset."""
+        raw = os.environ.get(env)
+        if raw is None or not raw.strip():
+            return None
+        return cls.parse(raw, source=env)
+
+    # -- deterministic decisions ----------------------------------------------
+
+    def should(self, kind: str, *labels: str) -> bool:
+        """Whether fault ``kind`` fires for the substream named by ``labels``.
+
+        A pure function of ``(seed, kind, labels)`` — the same plan makes
+        the same decision in any process, any number of times.
+        """
+        probability = {
+            "crash": self.crash,
+            "hang": self.hang,
+            "corrupt-cache": self.corrupt_cache,
+        }[kind]
+        if probability <= 0.0:
+            return False
+        return float(child_rng(self.seed, "fault", kind, *labels).random()) < probability
+
+    def maybe_inject(self, index: int, attempt: int) -> None:
+        """Inject a crash or hang into task ``index``'s attempt ``attempt``.
+
+        Runs inside the worker (pool child or serial loop).  Only attempt
+        zero is ever faulted, so any retry budget guarantees recovery.
+        """
+        if attempt > 0:
+            return
+        if self.should("crash", str(index)):
+            raise InjectedCrash(f"injected crash fault for task {index}")
+        if self.should("hang", str(index)):
+            time.sleep(self.hang_seconds)
+
+    def maybe_corrupt(self, path: str, digest: str) -> bool:
+        """Bit-flip the cache entry at ``path`` if the plan says so.
+
+        The decision is keyed by the entry ``digest`` (not by write
+        count), so a given entry is either always or never corrupted by a
+        given plan.  Returns whether corruption was applied.
+        """
+        if not self.should("corrupt-cache", digest):
+            return False
+        try:
+            with open(path, "rb") as fh:
+                data = bytearray(fh.read())
+        except OSError:
+            return False
+        if not data:
+            return False
+        position = int(child_rng(self.seed, "fault", "corrupt-byte", digest).integers(len(data)))
+        data[position] ^= 0xFF
+        with open(path, "wb") as fh:
+            fh.write(bytes(data))
+        return True
+
+
+def inject_faults(index: int, attempt: int) -> None:
+    """Apply the ``REPRO_FAULTS`` crash/hang plan to one task attempt.
+
+    Called by the executor's task wrappers in both the serial loop and
+    pool children (children inherit the environment, so the plan is the
+    same everywhere).  A no-op when ``REPRO_FAULTS`` is unset.
+    """
+    plan = FaultPlan.from_env()
+    if plan is not None:
+        plan.maybe_inject(index, attempt)

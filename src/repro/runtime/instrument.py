@@ -34,6 +34,9 @@ class SweepTiming:
     batch_size:
         Packets per stacked call of the vectorized link path (``None``
         when unknown; ``0``/``1`` mean the serial per-packet path).
+    retries:
+        Task attempts beyond the first that the supervisor recovered
+        (injected or real crashes, hangs and task errors).
     """
 
     wall_seconds: float
@@ -42,6 +45,7 @@ class SweepTiming:
     packets: int | None = None
     cache_hits: int = 0
     batch_size: int | None = None
+    retries: int = 0
 
     @property
     def num_points(self) -> int:
@@ -105,6 +109,8 @@ class SweepTiming:
             out["packets_per_second"] = self.packets_per_second
         if self.batch_size is not None:
             out["batch_size"] = self.batch_size
+        if self.retries:
+            out["retries"] = self.retries
         return out
 
     def summary(self) -> str:
@@ -121,4 +127,6 @@ class SweepTiming:
             parts.append(f"batch {self.batch_size}" if self.batch_size > 1 else "serial packets")
         if self.cache_hits:
             parts.append(f"cache hits {self.cache_hits}/{self.num_points}")
+        if self.retries:
+            parts.append(f"retries {self.retries}")
         return "timing: " + ", ".join(parts)

@@ -13,9 +13,17 @@ bit-identical to a serial one.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any, Callable
 
-from repro.runtime import ParallelExecutor, ResultCache, SweepTiming, resolve_batch
+from repro.runtime import (
+    ParallelExecutor,
+    ResultCache,
+    SweepCheckpoint,
+    SweepTiming,
+    make_checkpoint,
+    resolve_batch,
+    stable_hash,
+)
 
 if TYPE_CHECKING:
     from repro.analysis.sweep import SweepResult
@@ -79,6 +87,7 @@ def run_scenario(
     *,
     executor: ParallelExecutor | None = None,
     cache: "ResultCache | str | bool | None" = None,
+    checkpoint: "SweepCheckpoint | str | bool | None" = None,
 ) -> "SweepResult":
     """Evaluate a scenario's grid into a :class:`SweepResult`.
 
@@ -89,20 +98,72 @@ def run_scenario(
     a :class:`ResultCache` (or directory path) enables that store — cache
     keys derive from the scenario's own specs, so identical scenario JSON
     hits the same entries from any process.
+
+    ``checkpoint`` enables crash-safe resume: ``None`` defers to
+    ``REPRO_CHECKPOINT``, ``False`` forces it off, a string (or ``True``)
+    selects the checkpoint directory.  Completed grid points are
+    persisted incrementally under the scenario's canonical spec hash; a
+    rerun of the *same* scenario recomputes only unfinished points and —
+    because records round-trip through JSON bit-exactly — produces a
+    result bit-identical to an uninterrupted run.  The checkpoint file is
+    removed once the sweep completes.
     """
     from repro.analysis.sweep import SweepResult
 
     ex = executor if executor is not None else ParallelExecutor.from_env()
-    payload = {"scenario": scenario.to_dict(), "cache": _cache_token(cache)}
-    report = ex.map_spec(evaluate_scenario_point, payload, scenario.points())
+    spec_dict = scenario.to_dict()
+    payload = {"scenario": spec_dict, "cache": _cache_token(cache)}
+    points = list(scenario.points())
+    total = len(points)
+    ckpt = make_checkpoint(checkpoint, stable_hash(spec_dict), total)
+    loaded: dict[int, Any] = {} if ckpt is None else ckpt.load()
+    pending = [i for i in range(total) if not isinstance(loaded.get(i), dict)]
+    records: list[dict[str, float] | None] = [
+        loaded[i] if i not in pending else None for i in range(total)
+    ]
+    seconds = [0.0] * total
+    wall = 0.0
+    workers = 1
+    retries = 0
+    if pending:
+        on_result: Callable[[int, object], None] | None = None
+        if ckpt is not None:
+            active = ckpt
+
+            def _persist(local_index: int, value: object) -> None:
+                active.record(pending[local_index], value)
+
+            on_result = _persist
+        try:
+            report = ex.map_spec(
+                evaluate_scenario_point,
+                payload,
+                [points[i] for i in pending],
+                on_result=on_result,
+            )
+        except BaseException:
+            # Keep whatever finished: an interrupted sweep resumes from here.
+            if ckpt is not None:
+                ckpt.flush()
+            raise
+        for index, value, secs in zip(pending, report.values, report.seconds):
+            records[index] = value
+            seconds[index] = secs
+        wall = report.wall_seconds
+        workers = report.workers
+        retries = report.retries
+    if ckpt is not None:
+        ckpt.complete()
     result = SweepResult(columns=SCENARIO_COLUMNS)
-    for record in report.values:
+    for record in records:
+        assert record is not None  # every index is either loaded or pending
         result.add(**record)
     result.timing = SweepTiming(
-        wall_seconds=report.wall_seconds,
-        point_seconds=report.seconds,
-        workers=report.workers,
-        packets=scenario.packets * len(report.values),
+        wall_seconds=wall,
+        point_seconds=tuple(seconds),
+        workers=workers,
+        packets=scenario.packets * total,
         batch_size=resolve_batch(),
+        retries=retries,
     )
     return result

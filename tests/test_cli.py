@@ -122,3 +122,49 @@ class TestScenarioRunExitCodes:
     def test_bad_scenario_file_exits_two(self, tmp_path, capsys):
         assert main(["run", "--scenario", str(tmp_path / "missing.json")]) == 2
         assert "cannot read" in capsys.readouterr().err
+
+
+class TestCacheCommands:
+    @staticmethod
+    def _seed(directory):
+        from repro.runtime import ResultCache, stable_hash
+
+        store = ResultCache(str(directory))
+        store.put({"point": 1}, {"per": 0.25})
+        store.put({"point": 2}, {"per": 0.5})
+        return store._path(stable_hash({"point": 1}))
+
+    def test_verify_clean_cache_exits_zero(self, tmp_path, capsys):
+        self._seed(tmp_path)
+        assert main(["cache", "verify", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "cache verify: ok" in out
+        assert "entries     : 2" in out
+
+    def test_verify_corrupt_cache_exits_one_and_lists_paths(self, tmp_path, capsys):
+        entry = self._seed(tmp_path)
+        with open(entry, "a") as fh:
+            fh.write("bit rot")
+        assert main(["cache", "verify", str(tmp_path)]) == 1
+        captured = capsys.readouterr()
+        assert "cache verify: FAILED" in captured.err
+        assert entry in captured.out  # corrupt paths are printed for inspection
+
+    def test_gc_cleans_then_verify_passes(self, tmp_path, capsys):
+        entry = self._seed(tmp_path)
+        with open(entry, "a") as fh:
+            fh.write("bit rot")
+        assert main(["cache", "gc", str(tmp_path)]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert main(["cache", "verify", str(tmp_path)]) == 0
+
+    def test_no_directory_and_no_env_exits_two(self, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        assert main(["cache", "verify"]) == 2
+        assert "REPRO_CACHE" in capsys.readouterr().err
+
+    def test_directory_defaults_to_env(self, monkeypatch, tmp_path, capsys):
+        self._seed(tmp_path)
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path))
+        assert main(["cache", "verify"]) == 0
+        assert "cache verify: ok" in capsys.readouterr().out

@@ -129,7 +129,8 @@ class TestEnvKnobs:
 
     def test_code_knobs_are_the_known_set(self):
         assert self.code_knobs() == {
-            "REPRO_WORKERS", "REPRO_BATCH", "REPRO_CACHE", "REPRO_SCALE"
+            "REPRO_WORKERS", "REPRO_BATCH", "REPRO_CACHE", "REPRO_SCALE",
+            "REPRO_TIMEOUT", "REPRO_RETRIES", "REPRO_CHECKPOINT", "REPRO_FAULTS",
         }
 
     def test_api_guide_documents_runtime_knobs(self):

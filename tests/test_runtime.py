@@ -356,3 +356,115 @@ class TestSweepTiming:
         t = SweepTiming(wall_seconds=1.0, point_seconds=(0.1, 0.1), workers=1, cache_hits=1)
         assert "cache hits 1/2" in t.summary()
         assert t.to_dict()["cache_hits"] == 1
+
+
+class TestCacheIntegrity:
+    def test_entries_are_checksummed_on_disk(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put({"k": 1}, {"per": 0.25})
+        with open(cache._path(stable_hash({"k": 1}))) as fh:
+            doc = json.load(fh)
+        assert set(doc) == {"sha256", "value"}
+        assert doc["value"] == {"per": 0.25}
+        assert len(doc["sha256"]) == 64
+
+    def test_legacy_plain_dict_entry_still_served(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        path = cache._path(stable_hash({"k": 1}))
+        os.makedirs(os.path.dirname(path))
+        with open(path, "w") as fh:
+            json.dump({"per": 0.5}, fh)  # pre-checksum entry format
+        assert cache.get({"k": 1}) == {"per": 0.5}
+        assert cache.corrupt == 0
+
+    def test_checksum_mismatch_quarantined_as_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put({"k": 1}, {"per": 0.25})
+        path = cache._path(stable_hash({"k": 1}))
+        with open(path) as fh:
+            doc = json.load(fh)
+        doc["value"]["per"] = 0.75  # tamper without re-hashing
+        with open(path, "w") as fh:
+            json.dump(doc, fh)
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            assert cache.get({"k": 1}) is None
+        assert cache.corrupt == 1 and cache.misses == 1
+        assert not os.path.exists(path)  # moved aside, never served again
+        assert os.listdir(os.path.join(str(tmp_path), "quarantine"))
+
+    def test_undecodable_bytes_are_corrupt(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put({"k": 1}, {"per": 0.25})
+        path = cache._path(stable_hash({"k": 1}))
+        with open(path, "wb") as fh:
+            fh.write(b"\xff\xfe garbage")
+        with pytest.warns(RuntimeWarning):
+            assert cache.get({"k": 1}) is None
+
+    def test_verify_counts_and_gc_cleans(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put({"k": 1}, {"v": 1})
+        cache.put({"k": 2}, {"v": 2})
+        legacy = cache._path(stable_hash({"k": 3}))
+        os.makedirs(os.path.dirname(legacy), exist_ok=True)
+        with open(legacy, "w") as fh:
+            json.dump({"v": 3}, fh)
+        bad = cache._path(stable_hash({"k": 1}))
+        with open(bad, "a") as fh:
+            fh.write("bit rot")
+        audit = cache.verify()
+        assert (audit.entries, audit.valid, audit.legacy, audit.corrupt) == (3, 1, 1, 1)
+        assert audit.corrupt_paths == (bad,)
+        assert not audit.ok
+        swept = cache.gc()
+        assert swept.removed == 1 and swept.ok
+        assert (swept.entries, swept.valid, swept.legacy) == (2, 1, 1)
+        assert cache.verify().ok  # verify is read-only; gc actually cleaned
+
+    def test_gc_removes_quarantined_and_tmp_files(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put({"k": 1}, {"v": 1})
+        path = cache._path(stable_hash({"k": 1}))
+        with open(path, "w") as fh:
+            fh.write("{nope")
+        with pytest.warns(RuntimeWarning):
+            cache.get({"k": 1})  # quarantines
+        stray = os.path.join(str(tmp_path), "ab", "leftover.tmp")
+        os.makedirs(os.path.dirname(stray), exist_ok=True)
+        with open(stray, "w") as fh:
+            fh.write("partial write")
+        assert cache.verify().quarantined == 1
+        swept = cache.gc()
+        assert swept.removed == 2  # the quarantined entry + the stray tmp
+        assert swept.quarantined == 0
+        assert not os.path.exists(stray)
+
+    def test_put_on_unwritable_root_warns_once_and_degrades(self, tmp_path):
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("file where the cache root should be")
+        cache = ResultCache(str(blocker))
+        with pytest.warns(RuntimeWarning, match="cannot write result cache"):
+            cache.put({"k": 1}, {"v": 1})
+        cache.put({"k": 2}, {"v": 2})  # second failure is silent
+        assert cache.get({"k": 1}) is None  # sweep just runs uncached
+
+    def test_put_still_raises_on_unjsonable_value(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        with pytest.raises(TypeError):
+            cache.put({"k": 1}, {"v": object()})
+
+
+class TestRetriesReporting:
+    def test_map_report_defaults_to_zero_retries(self):
+        report = MapReport(values=(1,), seconds=(0.5,), wall_seconds=0.5, workers=1)
+        assert report.retries == 0
+
+    def test_sweep_timing_retries_in_dict_and_summary(self):
+        t = SweepTiming(wall_seconds=1.0, point_seconds=(0.5,), workers=2, retries=3)
+        assert t.to_dict()["retries"] == 3
+        assert "retries 3" in t.summary()
+
+    def test_sweep_timing_zero_retries_omitted(self):
+        t = SweepTiming(wall_seconds=1.0, point_seconds=(0.5,), workers=2)
+        assert "retries" not in t.to_dict()
+        assert "retries" not in t.summary()
