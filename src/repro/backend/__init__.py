@@ -1,0 +1,183 @@
+"""Pluggable DSP compute backends and the per-stage profiler hook.
+
+The hot batch primitives of the signal chain (FIR application, fast
+convolution, Welch PSD, chip modulation, DSSS spread/despread) dispatch
+through this package: the public wrappers validate their arguments, then
+call :func:`dispatch`, which routes to the *active*
+:class:`~repro.backend.base.DSPBackend` and — when a profiler is open —
+attributes the kernel's wall time to its stage.
+
+Backend selection, in precedence order:
+
+* :func:`set_backend` / :func:`use_backend` (what ``--backend`` and a
+  scenario's ``"backend"`` field call),
+* the ``REPRO_BACKEND`` environment knob (``numpy`` | ``numba``),
+* the default: ``numpy``, the bit-identical reference oracle.
+
+The registry is factory-based and lazy: naming a backend never imports
+its accelerator, and a missing accelerator degrades inside the backend
+itself (see :mod:`repro.backend.numba_accel`), so selection is always
+safe.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
+
+from repro.backend.base import DSPBackend
+from repro.runtime.instrument import StageProfiler
+
+__all__ = [
+    "BACKEND_FACTORIES",
+    "DEFAULT_BACKEND",
+    "DSPBackend",
+    "active_backend",
+    "active_profiler",
+    "available_backends",
+    "backend_info",
+    "dispatch",
+    "make_backend",
+    "profile_stages",
+    "resolve_backend",
+    "set_backend",
+    "use_backend",
+]
+
+#: the fallback selection when ``REPRO_BACKEND`` is unset
+DEFAULT_BACKEND = "numpy"
+
+
+def _make_numpy() -> DSPBackend:
+    from repro.backend.numpy_ref import NumpyBackend
+
+    return NumpyBackend()
+
+
+def _make_numba() -> DSPBackend:
+    from repro.backend.numba_accel import NumbaBackend
+
+    return NumbaBackend()
+
+
+#: registry: ``REPRO_BACKEND`` value -> backend factory (lazy imports)
+BACKEND_FACTORIES: dict[str, Callable[[], DSPBackend]] = {
+    "numpy": _make_numpy,
+    "numba": _make_numba,
+}
+
+_active: DSPBackend | None = None
+_profiler: StageProfiler | None = None
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, sorted (all are constructible)."""
+    return tuple(sorted(BACKEND_FACTORIES))
+
+
+def resolve_backend(env: str = "REPRO_BACKEND") -> str:
+    """The backend name selected by the environment (default ``numpy``).
+
+    Raises ``ValueError`` naming the knob when the value is not a
+    registered backend, so a typo fails loudly instead of silently
+    benchmarking the wrong kernels.
+    """
+    raw = os.environ.get(env, "").strip().lower()
+    if not raw:
+        return DEFAULT_BACKEND
+    if raw not in BACKEND_FACTORIES:
+        raise ValueError(
+            f"{env}={raw!r}: unknown backend; expected one of {sorted(BACKEND_FACTORIES)}"
+        )
+    return raw
+
+
+def make_backend(name: str) -> DSPBackend:
+    """Construct a backend by registry name (never cached, never global)."""
+    try:
+        factory = BACKEND_FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; expected one of {sorted(BACKEND_FACTORIES)}"
+        ) from None
+    return factory()
+
+
+def active_backend() -> DSPBackend:
+    """The backend the primitives currently dispatch to.
+
+    Resolved lazily from ``REPRO_BACKEND`` on first use; fork-based pool
+    workers inherit the parent's selection.
+    """
+    global _active
+    if _active is None:
+        _active = make_backend(resolve_backend())
+    return _active
+
+
+def set_backend(backend: str | DSPBackend) -> DSPBackend:
+    """Select the process-wide active backend; returns it."""
+    global _active
+    _active = make_backend(backend) if isinstance(backend, str) else backend
+    return _active
+
+
+@contextmanager
+def use_backend(backend: str | DSPBackend | None) -> Iterator[DSPBackend]:
+    """Scope a backend selection; ``None`` keeps the current one (no-op)."""
+    global _active
+    if backend is None:
+        yield active_backend()
+        return
+    previous = _active
+    _active = make_backend(backend) if isinstance(backend, str) else backend
+    try:
+        yield _active
+    finally:
+        _active = previous
+
+
+def backend_info(backend: str | DSPBackend | None = None) -> dict[str, Any]:
+    """Name + capability metadata of a backend (default: the active one)."""
+    if backend is None:
+        b = active_backend()
+    elif isinstance(backend, str):
+        b = make_backend(backend)
+    else:
+        b = backend
+    return {"name": b.name, **b.capabilities()}
+
+
+def active_profiler() -> StageProfiler | None:
+    """The open stage profiler, if :func:`profile_stages` is active."""
+    return _profiler
+
+
+@contextmanager
+def profile_stages(profiler: StageProfiler | None = None) -> Iterator[StageProfiler]:
+    """Open a profiling scope: every dispatch inside records its stage."""
+    global _profiler
+    prof = profiler if profiler is not None else StageProfiler()
+    previous = _profiler
+    _profiler = prof
+    try:
+        yield prof
+    finally:
+        _profiler = previous
+
+
+def dispatch(stage: str, method: str, *args: Any, **kwargs: Any) -> Any:
+    """Route a validated primitive call to the active backend.
+
+    ``stage`` names the profiler bucket; ``method`` is the
+    :class:`DSPBackend` method to invoke.  When no profiler is open this
+    is a plain attribute lookup and call — the overhead on the hot path
+    is one dict read.
+    """
+    backend = active_backend()
+    call = getattr(backend, method)
+    if _profiler is None:
+        return call(*args, **kwargs)
+    with _profiler.stage(stage):
+        return call(*args, **kwargs)

@@ -1,0 +1,128 @@
+"""The :class:`DSPBackend` protocol every compute backend implements.
+
+A backend owns the *numerics* of the six hot batch primitives of the
+signal chain — FIR application, fast convolution, Welch PSD, chip
+modulation, DSSS spreading/despreading.  The public module functions
+(:func:`repro.dsp.fir.apply_fir_batch` and friends) keep doing all
+argument validation and dtype coercion, then hand the checked arrays to
+the active backend through :func:`repro.backend.dispatch`, so every
+backend sees identical, pre-validated inputs.
+
+Two conformance tiers exist, declared by :attr:`DSPBackend.bit_exact`:
+
+* ``bit_exact=True`` — outputs must be *bit-identical* to the NumPy
+  reference implementation (the batch==serial equivalence wall extends
+  through the backend unchanged).
+* ``bit_exact=False`` — outputs must match the NumPy oracle within the
+  tolerances of ``tests/test_backend_conformance.py`` (accelerated
+  kernels may reassociate floating-point work).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Any, ClassVar
+
+import numpy as np
+
+if TYPE_CHECKING:
+    from repro.phy.qpsk import ChipModulator
+    from repro.spread.dsss import DespreadResult, SixteenAryDSSS
+
+__all__ = ["DSPBackend"]
+
+
+class DSPBackend(ABC):
+    """Interface of a pluggable DSP compute backend.
+
+    Subclasses set :attr:`name` (the ``REPRO_BACKEND`` registry key) and
+    :attr:`bit_exact`, and implement the six kernel methods.  Inputs are
+    pre-validated by the public wrappers: shapes are 2-D with consistent
+    batch axes, dtypes are already coerced, and the degenerate batches a
+    kernel cannot express (zero rows, zero-length signals) are
+    early-returned by the wrappers before dispatch.
+    """
+
+    #: registry key selected by ``REPRO_BACKEND`` / ``--backend``
+    name: ClassVar[str] = ""
+    #: whether outputs are bit-identical to the NumPy reference
+    bit_exact: ClassVar[bool] = False
+
+    @classmethod
+    def available(cls) -> bool:
+        """Whether this backend can run at all in this environment.
+
+        Backends with optional acceleration (e.g. Numba) should return
+        ``True`` even when the accelerator is absent if they can fall
+        back per-kernel; :meth:`capabilities` reports what is actually
+        accelerated.
+        """
+        return True
+
+    def capabilities(self) -> dict[str, Any]:
+        """Describe what this backend accelerates (for bench metadata).
+
+        The default reports every kernel as the NumPy reference.
+        """
+        return {
+            "bit_exact": self.bit_exact,
+            "kernels": {
+                "apply_fir": "numpy",
+                "fft_convolve": "numpy",
+                "welch_psd": "numpy",
+                "modulate": "numpy",
+                "spread": "numpy",
+                "despread": "numpy",
+            },
+        }
+
+    # -- kernels ---------------------------------------------------------------
+
+    @abstractmethod
+    def apply_fir_batch(
+        self,
+        signals: np.ndarray,
+        taps: np.ndarray,
+        mode: str,
+        block_size: int | None,
+    ) -> np.ndarray:
+        """Row-wise overlap-save FIR filtering of a validated ``(R, N)`` stack."""
+
+    @abstractmethod
+    def fft_convolve_batch(
+        self,
+        signals: np.ndarray,
+        taps: np.ndarray,
+        taps_fft: np.ndarray | None,
+    ) -> np.ndarray:
+        """Row-wise full linear convolution of a validated ``(R, N)`` stack."""
+
+    @abstractmethod
+    def welch_psd_batch(
+        self,
+        x: np.ndarray,
+        sample_rate: float,
+        nperseg: int,
+        noverlap: int | None,
+        window: Any,
+        nfft: int | None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Row-wise Welch PSD of a validated ``(R, N)`` complex stack."""
+
+    @abstractmethod
+    def modulate_batch(
+        self, modulator: "ChipModulator", chips: np.ndarray, sps: int
+    ) -> np.ndarray:
+        """Pulse-shaped QPSK modulation of a validated ``(R, n)`` complex-chip stack."""
+
+    @abstractmethod
+    def spread_batch(
+        self, modem: "SixteenAryDSSS", symbols: np.ndarray, start_chip: Any
+    ) -> np.ndarray:
+        """16-ary DSSS spreading of a validated ``(R, n_sym)`` symbol stack."""
+
+    @abstractmethod
+    def despread_batch(
+        self, modem: "SixteenAryDSSS", soft_chips: np.ndarray, start_chip: Any
+    ) -> "DespreadResult":
+        """16-ary DSSS correlator bank over a validated ``(R, n_chips)`` stack."""

@@ -1,0 +1,149 @@
+"""Numba-accelerated backend with a per-kernel capability-probe fallback.
+
+When Numba is importable, the FIR kernels (``apply_fir_batch`` /
+``fft_convolve_batch``) run a jitted direct-form convolution for *short*
+filters: below :data:`JIT_FIR_MAX_TAPS` taps the O(N*K) inner loop beats
+the FFT overlap-save's transform overhead, and the jitted loop has no
+per-block Python cost at all.  Long filters (the 3181-tap excision and
+low-pass banks) stay on the NumPy overlap-save reference, which is the
+right algorithm at that size.  Everything else (Welch PSD, modulation,
+DSSS) inherits the NumPy reference unchanged.
+
+When Numba is absent — probed with :func:`importlib.util.find_spec`, no
+import error ever escapes — the backend still constructs and runs: every
+kernel falls back to the inherited NumPy reference, and
+:meth:`NumbaBackend.capabilities` reports ``jit: false`` so benchmarks
+and conformance tests can see that the accelerated path was not
+exercised.
+
+Conformance tier: ``bit_exact = False``.  The direct-form sum is not the
+FFT overlap-save sum, so outputs are tolerance-checked against the NumPy
+oracle (``tests/test_backend_conformance.py``), never bit-compared.
+"""
+
+from __future__ import annotations
+
+import importlib
+import importlib.util
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.backend.numpy_ref import NumpyBackend
+
+__all__ = ["JIT_FIR_MAX_TAPS", "NumbaBackend", "numba_available"]
+
+#: longest filter the jitted direct-form kernel accepts; beyond this the
+#: FFT overlap-save reference is asymptotically better and is used instead.
+JIT_FIR_MAX_TAPS = 64
+
+
+def numba_available() -> bool:
+    """Capability probe: is a working ``numba`` importable?"""
+    return importlib.util.find_spec("numba") is not None
+
+
+def _load_numba() -> Any | None:
+    """Import numba if present; any failure degrades to the NumPy path."""
+    if not numba_available():
+        return None
+    try:
+        return importlib.import_module("numba")
+    except Exception:
+        return None
+
+
+def _build_convolve_kernel(numba: Any) -> Callable[..., None]:
+    """Compile the row-wise direct-form convolution kernel.
+
+    ``x`` is ``(R, N)``, ``h`` is ``(R, K)`` (shared taps are broadcast by
+    the caller), ``out`` is ``(R, N + K - 1)`` and must arrive zeroed.
+    Numba specializes per dtype, so float64 and complex128 batches each
+    get their own native loop.
+    """
+
+    @numba.njit(cache=True)
+    def convolve_rows(x: np.ndarray, h: np.ndarray, out: np.ndarray) -> None:
+        rows, n = x.shape
+        k = h.shape[1]
+        for r in range(rows):
+            for i in range(n):
+                v = x[r, i]
+                for j in range(k):
+                    out[r, i + j] += v * h[r, j]
+
+    return convolve_rows
+
+
+class NumbaBackend(NumpyBackend):
+    """Numba-jitted FIR kernels over the NumPy reference baseline."""
+
+    name = "numba"
+    bit_exact = False
+
+    def __init__(self) -> None:
+        numba = _load_numba()
+        self._convolve_rows: Callable[..., None] | None = (
+            _build_convolve_kernel(numba) if numba is not None else None
+        )
+
+    @property
+    def jit_active(self) -> bool:
+        """Whether the jitted kernels compiled (False = full NumPy fallback)."""
+        return self._convolve_rows is not None
+
+    def capabilities(self) -> dict[str, Any]:
+        caps = super().capabilities()
+        fir = f"numba-jit(<= {JIT_FIR_MAX_TAPS} taps)" if self.jit_active else "numpy-fallback"
+        caps["jit"] = self.jit_active
+        caps["jit_fir_max_taps"] = JIT_FIR_MAX_TAPS
+        caps["kernels"]["apply_fir"] = fir
+        caps["kernels"]["fft_convolve"] = fir
+        return caps
+
+    # -- jitted kernels --------------------------------------------------------
+
+    def _convolve_full(self, x: np.ndarray, h: np.ndarray) -> np.ndarray:
+        """Full linear convolution of each row via the jitted kernel."""
+        assert self._convolve_rows is not None
+        rows, n = x.shape
+        k = h.shape[-1]
+        complex_out = np.iscomplexobj(x) or np.iscomplexobj(h)
+        dtype = np.complex128 if complex_out else np.float64
+        xc = np.ascontiguousarray(x, dtype=dtype)
+        hc = np.ascontiguousarray(np.broadcast_to(h, (rows, k)), dtype=dtype)
+        out = np.zeros((rows, n + k - 1), dtype=dtype)
+        self._convolve_rows(xc, hc, out)
+        return out
+
+    def apply_fir_batch(
+        self,
+        signals: np.ndarray,
+        taps: np.ndarray,
+        mode: str,
+        block_size: int | None,
+    ) -> np.ndarray:
+        k = int(np.asarray(taps).shape[-1])
+        if self._convolve_rows is None or k > JIT_FIR_MAX_TAPS:
+            return super().apply_fir_batch(signals, taps, mode, block_size)
+        out = self._convolve_full(signals, np.asarray(taps))
+        n = signals.shape[1]
+        if mode == "full":
+            return out
+        # "same" and "compensated" agree for linear-phase trims: both keep
+        # n samples starting at the (k-1)//2 group-delay offset.
+        start = (k - 1) // 2
+        return out[:, start : start + n]
+
+    def fft_convolve_batch(
+        self,
+        signals: np.ndarray,
+        taps: np.ndarray,
+        taps_fft: np.ndarray | None,
+    ) -> np.ndarray:
+        k = int(np.asarray(taps).shape[-1])
+        # A caller-precomputed taps spectrum means the FFT path is already
+        # amortized (cached pulse spectra); keep it on the reference.
+        if self._convolve_rows is None or taps_fft is not None or k > JIT_FIR_MAX_TAPS:
+            return super().fft_convolve_batch(signals, taps, taps_fft)
+        return self._convolve_full(signals, np.asarray(taps))

@@ -1,0 +1,85 @@
+"""The NumPy reference backend — the bit-identical oracle.
+
+Every kernel delegates to the reference implementation that lives next to
+the public wrapper it serves (``_apply_fir_batch_reference`` in
+:mod:`repro.dsp.fir`, ``ChipModulator._shape_chips_batch``, ...).  Those
+bodies are the original, equivalence-wall-audited numerics: each row of
+every output is bit-identical to the serial twin named in
+``repro.lint.manifest.BATCH_EQUIVALENCE``.  Accelerated backends are
+conformance-tested *against this backend*, so its outputs define the
+contract.
+
+Imports of the kernel modules happen inside the methods: the dsp/phy/
+spread modules import :mod:`repro.backend` for dispatch, so importing
+them here at module scope would be circular.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.backend.base import DSPBackend
+
+if TYPE_CHECKING:
+    from repro.phy.qpsk import ChipModulator
+    from repro.spread.dsss import DespreadResult, SixteenAryDSSS
+
+__all__ = ["NumpyBackend"]
+
+
+class NumpyBackend(DSPBackend):
+    """Pure-NumPy backend; outputs are the bit-exact reference."""
+
+    name = "numpy"
+    bit_exact = True
+
+    def apply_fir_batch(
+        self,
+        signals: np.ndarray,
+        taps: np.ndarray,
+        mode: str,
+        block_size: int | None,
+    ) -> np.ndarray:
+        from repro.dsp.fir import _apply_fir_batch_reference
+
+        return _apply_fir_batch_reference(signals, taps, mode, block_size)
+
+    def fft_convolve_batch(
+        self,
+        signals: np.ndarray,
+        taps: np.ndarray,
+        taps_fft: np.ndarray | None,
+    ) -> np.ndarray:
+        from repro.dsp.fir import _fft_convolve_batch_reference
+
+        return _fft_convolve_batch_reference(signals, taps, taps_fft)
+
+    def welch_psd_batch(
+        self,
+        x: np.ndarray,
+        sample_rate: float,
+        nperseg: int,
+        noverlap: int | None,
+        window: Any,
+        nfft: int | None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        from repro.dsp.spectral import _welch_psd_batch_reference
+
+        return _welch_psd_batch_reference(x, sample_rate, nperseg, noverlap, window, nfft)
+
+    def modulate_batch(
+        self, modulator: "ChipModulator", chips: np.ndarray, sps: int
+    ) -> np.ndarray:
+        return modulator._shape_chips_batch(chips, sps)
+
+    def spread_batch(
+        self, modem: "SixteenAryDSSS", symbols: np.ndarray, start_chip: Any
+    ) -> np.ndarray:
+        return modem._spread_batch_reference(symbols, start_chip)
+
+    def despread_batch(
+        self, modem: "SixteenAryDSSS", soft_chips: np.ndarray, start_chip: Any
+    ) -> "DespreadResult":
+        return modem._despread_batch_reference(soft_chips, start_chip)

@@ -23,8 +23,12 @@ Installed as ``repro-bhss`` (see ``pyproject.toml``); also runnable as
     Time the same packet workload through the serial and batched
     (vectorized) link paths, verify bit-identical statistics, then time a
     multi-point sweep serially and across the ``REPRO_WORKERS`` process
-    pool (also bit-checked).  Writes a BENCH JSON (``BENCH_pr3.json`` by
-    default); ``--quick`` is the CI smoke mode.
+    pool (also bit-checked; the payload records the *measured* pool
+    size).  ``--profile`` additionally runs the workload under every
+    registered DSP backend (``repro.backend``) with the stage profiler
+    on, emitting wall-seconds per DSP stage per backend.  Writes a BENCH
+    JSON (``BENCH_pr6.json`` by default); ``--quick`` is the CI smoke
+    mode.
 ``run``
     Execute a declarative scenario JSON file (``--scenario file.json``)
     over its (SNR x SJR) grid and print/export the tidy result table.
@@ -57,6 +61,7 @@ import sys
 import numpy as np
 
 from repro.analysis import ThresholdSearch, min_snr_for_per, run_sweep
+from repro.backend import available_backends, resolve_backend, use_backend
 from repro.core import BHSSConfig, BHSSTransmitter, LinkSimulator, theory
 from repro.hopping import (
     expected_bandwidth,
@@ -87,6 +92,10 @@ def _add_link_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0, help="pre-shared link seed")
     parser.add_argument("--fec", default="none", help="channel code: none/rep3/rep5/hamming74/hamming1511")
     parser.add_argument("--no-filtering", action="store_true", help="disable the receiver's jammer filtering")
+    parser.add_argument(
+        "--backend", choices=list(available_backends()), default=None,
+        help="DSP compute backend (default: the REPRO_BACKEND knob, else numpy)",
+    )
 
 
 def _add_jammer_options(parser: argparse.ArgumentParser) -> None:
@@ -293,7 +302,7 @@ def cmd_sweep(args) -> int:
     return 0
 
 
-def _bench_batched_link(args, config, link) -> dict:
+def _bench_batched_link(args, config, link) -> tuple[dict, dict]:
     """Time the same packet workload through the serial and batched paths.
 
     Each run rebuilds its jammer from the CLI spec so stateful jammers
@@ -303,6 +312,10 @@ def _bench_batched_link(args, config, link) -> dict:
 
     Walls are the median of ``--repeats`` timed runs per path (after an
     untimed warmup), so one scheduler hiccup does not decide the report.
+
+    Returns ``(report, stats_by_label)``: the JSON-able timing report and
+    the raw :class:`LinkStats` per path, so ``--profile`` can bit-compare
+    each backend's run against the serial reference.
     """
     import statistics
     import time
@@ -343,7 +356,7 @@ def _bench_batched_link(args, config, link) -> dict:
         }
     serial_wall = runs["serial"]["wall_seconds"]
     batched_wall = runs["batched"]["wall_seconds"]
-    return {
+    report = {
         "num_packets": num_packets,
         "batch_size": batch,
         "repeats": repeats,
@@ -354,6 +367,60 @@ def _bench_batched_link(args, config, link) -> dict:
         "speedup": serial_wall / batched_wall if batched_wall > 0 else 0.0,
         "bit_identical": stats_by_label["serial"] == stats_by_label["batched"],
     }
+    return report, stats_by_label
+
+
+def _profile_backends(args, config, link, batch_report, serial_stats) -> dict:
+    """Run the batched link workload under every backend with the profiler on.
+
+    Produces the per-stage, per-backend wall-second breakdown of
+    ``--profile``: each registered backend runs the *same* packet
+    workload as the link-engine bench (same jammer spec, seed, batch
+    size) inside a :func:`repro.backend.profile_stages` scope, so every
+    DSP kernel dispatch lands in a named stage bucket.  Bit-exact
+    backends are compared ``==`` against the serial reference stats
+    (``bit_identical``); accelerated backends get a decision-level
+    ``matches_oracle`` flag against the NumPy oracle run (their numeric
+    tolerance gate lives in ``tests/test_backend_conformance.py``).
+    """
+    import time
+
+    from repro.backend import backend_info, profile_stages, use_backend
+
+    num_packets = batch_report["num_packets"]
+    batch = batch_report["batch_size"]
+    snr_db = batch_report["snr_db"]
+    out: dict = {
+        "num_packets": num_packets,
+        "batch_size": batch,
+        "snr_db": snr_db,
+        "sjr_db": args.sjr,
+        "backends": {},
+    }
+    oracle_stats = None
+    # The NumPy oracle runs first so accelerated backends have a
+    # same-process reference to compare decisions against.
+    names = ["numpy"] + [n for n in available_backends() if n != "numpy"]
+    for name in names:
+        with use_backend(name) as backend:
+            jammer = _build_jammer(args, config)
+            with profile_stages() as prof:
+                t0 = time.perf_counter()
+                stats = link.run_packets_batched(
+                    num_packets, snr_db=snr_db, sjr_db=args.sjr, jammer=jammer,
+                    seed=args.run_seed, batch_size=batch, cache=False,
+                )
+                wall = time.perf_counter() - t0
+        entry = backend_info(backend)
+        entry["wall_seconds"] = wall
+        entry["stage_seconds"] = prof.to_dict()
+        if backend.bit_exact:
+            entry["bit_identical"] = stats == serial_stats
+            oracle_stats = stats
+        else:
+            entry["matches_oracle"] = oracle_stats is not None and stats == oracle_stats
+        out["backends"][name] = entry
+    return out
 
 
 def cmd_bench(args) -> int:
@@ -366,7 +433,7 @@ def cmd_bench(args) -> int:
     link = LinkSimulator(config)
 
     # -- part 1: the vectorized link engine vs the per-packet path ------------
-    batch_report = _bench_batched_link(args, config, link)
+    batch_report, stats_by_label = _bench_batched_link(args, config, link)
     rows = [
         [
             label,
@@ -391,9 +458,32 @@ def cmd_bench(args) -> int:
     if batch_report["speedup"] < 1.0:
         print("warning: batched path slower than serial on this workload", file=sys.stderr)
 
-    payload = {"benchmark": "pr3-batched-link", "batch": batch_report}
+    payload = {"benchmark": "pr6-backend-bench", "batch": batch_report}
 
-    # -- part 2: serial vs worker-pool sweep (skipped by --quick) -------------
+    # -- part 2 (--profile): per-stage DSP breakdown for every backend --------
+    if args.profile:
+        profile = _profile_backends(args, config, link, batch_report, stats_by_label["serial"])
+        for name, entry in profile["backends"].items():
+            stages = entry["stage_seconds"]["stages"]
+            rows = [
+                [stage, f"{rec['seconds']:.3f}", str(rec["calls"])]
+                for stage, rec in stages.items()
+            ]
+            kernels = entry["kernels"]
+            title = (
+                f"backend {name}: {entry['wall_seconds']:.2f} s wall, "
+                f"fir={kernels['apply_fir']}"
+            )
+            print(format_table(["stage", "seconds", "calls"], rows, title=title))
+            if "bit_identical" in entry:
+                flag = "yes" if entry["bit_identical"] else "NO — oracle diverged from serial"
+                print(f"bit-identical     : {flag}")
+                identical = identical and entry["bit_identical"]
+            else:
+                print(f"matches oracle    : {'yes' if entry['matches_oracle'] else 'no'}")
+        payload["profile"] = profile
+
+    # -- part 3: serial vs worker-pool sweep (skipped by --quick) -------------
     if not args.quick:
         snrs = [float(s) for s in np.linspace(args.snr_low, args.snr_high, args.points)]
         serial = ParallelExecutor(0)
@@ -407,15 +497,27 @@ def cmd_bench(args) -> int:
             return {"snr_db": snr_db, "per": stats.packet_error_rate, "ber": stats.bit_error_rate}
 
         columns = ["snr_db", "per", "ber"]
-        workers = args.workers if args.workers is not None else (resolve_workers() or os.cpu_count() or 1)
+        # Pool-size resolution: --workers beats REPRO_WORKERS beats the CPU
+        # count — but the pool half of this comparison exists to measure the
+        # pool, so the CPU-count default is floored at 2.  (The old default
+        # collapsed to 1 on single-CPU runners, where ParallelExecutor
+        # silently takes the serial path: BENCH_pr3.json's "1.03x parallel
+        # speedup" was serial-vs-serial noise.)
+        if args.workers is not None:
+            requested = args.workers
+        else:
+            requested = resolve_workers() or max(2, os.cpu_count() or 1)
         base = run_sweep(columns, snrs, evaluate, executor=serial)
-        pool = run_sweep(columns, snrs, evaluate, executor=ParallelExecutor(workers))
+        pool = run_sweep(columns, snrs, evaluate, executor=ParallelExecutor(requested))
+        # The measured pool size, straight from the executor's MapReport —
+        # 1 means the "parallel" run actually took the serial path.
+        resolved = pool.timing.workers
         pool_identical = base.rows == pool.rows
         speedup = base.timing.wall_seconds / pool.timing.wall_seconds if pool.timing.wall_seconds > 0 else 0.0
         packets = args.packets * len(snrs)
 
         rows = []
-        for label, timing in [("serial", base.timing), (f"{workers} workers", pool.timing)]:
+        for label, timing in [("serial", base.timing), (f"{resolved} workers", pool.timing)]:
             pkt_rate = packets / timing.wall_seconds if timing.wall_seconds > 0 else 0.0
             rows.append([
                 label,
@@ -431,13 +533,21 @@ def cmd_bench(args) -> int:
                 title=f"sweep benchmark: {len(snrs)} points x {args.packets} packets",
             )
         )
-        print(f"pool speedup      : {speedup:.2f}x")
+        print(f"pool speedup      : {speedup:.2f}x ({resolved} workers, {requested} requested)")
         print(f"bit-identical     : {'yes' if pool_identical else 'NO — determinism violation'}")
+        if resolved <= 1:
+            print(
+                "warning: the pool sweep ran on the serial path "
+                f"({requested} worker(s) requested) — the speedup above is not a "
+                "parallel measurement",
+                file=sys.stderr,
+            )
         identical = identical and pool_identical
         payload["sweep"] = {
             "points": len(snrs),
             "packets_per_point": args.packets,
-            "workers": workers,
+            "workers": resolved,
+            "workers_requested": requested,
             "serial": base.timing.to_dict(),
             "parallel": pool.timing.to_dict(),
             "speedup": speedup,
@@ -741,7 +851,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--snr-low", type=float, default=0.0)
     p_bench.add_argument("--snr-high", type=float, default=20.0)
     p_bench.add_argument("--sjr", type=float, default=-10.0)
-    p_bench.add_argument("--workers", type=int, default=None, help="pool size (default: REPRO_WORKERS or CPU count)")
+    p_bench.add_argument(
+        "--workers", type=int, default=None,
+        help="pool size (default: REPRO_WORKERS, else CPU count floored at 2 so "
+        "the pool is actually exercised)",
+    )
     p_bench.add_argument("--batch", type=int, default=64, help="packets per stacked link call")
     p_bench.add_argument(
         "--batch-packets", type=int, default=None,
@@ -755,8 +869,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--repeats", type=int, default=3,
         help="timed runs per path; the median wall is reported",
     )
+    p_bench.add_argument(
+        "--profile", action="store_true",
+        help="per-stage DSP timing breakdown under every compute backend",
+    )
     p_bench.add_argument("--run-seed", type=int, default=0)
-    p_bench.add_argument("--output", "-o", default="BENCH_pr3.json", help="write the BENCH JSON here ('' disables)")
+    p_bench.add_argument("--output", "-o", default="BENCH_pr6.json", help="write the BENCH JSON here ('' disables)")
     # Bench against the fast-hopping workload (one symbol per hop dwell,
     # the paper-default linear hop distribution): it maximizes segments
     # per packet, which is exactly the regime the batched segment-grouping
@@ -828,8 +946,20 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    selection = getattr(args, "backend", None)
+    if selection is None:
+        try:
+            # Resolve the env knob up front so a typo'd REPRO_BACKEND is a
+            # clean usage error, not a mid-command traceback.
+            selection = resolve_backend()
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     try:
-        return args.func(args)
+        # --backend scopes to this command: repeated in-process main()
+        # calls (tests, notebooks) must not leak a selection.
+        with use_backend(selection):
+            return args.func(args)
     except BrokenPipeError:
         # output piped into e.g. `head` that exited early — not an error
         try:

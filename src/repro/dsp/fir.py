@@ -10,6 +10,12 @@ The BHSS receiver uses two FIR structures (paper, Section 4.2):
 Filters are applied with overlap-save fast convolution, written directly on
 top of ``numpy.fft`` (the simulation filters millions of samples per packet
 sweep, so direct convolution is not an option).
+
+The batch entry points (:func:`apply_fir_batch`, :func:`fft_convolve_batch`)
+validate and coerce their arguments here, then dispatch the numerics to the
+active :mod:`repro.backend` — the NumPy reference backend runs the
+``_*_reference`` bodies below (bit-identical to the serial twins), while
+accelerated backends may substitute their own tolerance-checked kernels.
 """
 
 from __future__ import annotations
@@ -18,6 +24,7 @@ import math
 
 import numpy as np
 
+from repro.backend import dispatch
 from repro.dsp.windows import WindowSpec, get_window
 from repro.utils.validation import as_complex_array, ensure_positive
 
@@ -205,15 +212,45 @@ def fft_convolve_batch(
         )
     if h.ndim not in (1, 2):
         raise ValueError(f"taps must be 1-D or 2-D, got shape {h.shape}")
+    if h.shape[-1] == 0:
+        raise ValueError(f"taps must be non-empty, got shape {h.shape}")
+    rows, n = x.shape
+    if rows == 0 or n == 0:
+        # Same early-return as apply_fir_batch: a coerced copy of the
+        # empty input, so the two share empty-input dtype and shape.
+        empty = (
+            x.astype(np.complex128, copy=False)
+            if np.iscomplexobj(x)
+            else x.astype(np.float64, copy=False)
+        )
+        return empty.copy()
+    nfft = _next_fast_len(n + h.shape[-1] - 1)
+    if taps_fft is not None:
+        tf = np.asarray(taps_fft)
+        if tf.ndim not in (1, 2):
+            raise ValueError(f"taps_fft must be 1-D or 2-D, got shape {tf.shape}")
+        if tf.ndim == 2 and tf.shape[0] != x.shape[0]:
+            raise ValueError(
+                f"per-row taps_fft batch {tf.shape[0]} does not match signal batch {x.shape[0]}"
+            )
+        if tf.shape[-1] != nfft:
+            raise ValueError(
+                f"taps_fft length {tf.shape[-1]} does not match the "
+                f"convolution FFT length {nfft}"
+            )
+        taps_fft = tf
+    out: np.ndarray = dispatch("fft_convolve", "fft_convolve_batch", x, h, taps_fft)
+    return out
+
+
+def _fft_convolve_batch_reference(
+    x: np.ndarray, h: np.ndarray, taps_fft: np.ndarray | None
+) -> np.ndarray:
+    """The NumPy oracle kernel of :func:`fft_convolve_batch` (validated inputs)."""
     n_out = x.shape[1] + h.shape[-1] - 1
     nfft = _next_fast_len(n_out)
     if taps_fft is None:
         taps_fft = np.fft.fft(h, nfft, axis=-1)
-    elif taps_fft.shape[-1] != nfft:
-        raise ValueError(
-            f"taps_fft length {taps_fft.shape[-1]} does not match the "
-            f"convolution FFT length {nfft}"
-        )
     spec = np.fft.fft(x, nfft, axis=-1) * taps_fft
     out = np.fft.ifft(spec, axis=-1)[:, :n_out]
     if np.isrealobj(x) and np.isrealobj(h):
@@ -252,7 +289,17 @@ def apply_fir_batch(
     rows, n = x.shape
     if n == 0 or rows == 0:
         return x.copy()
+    if mode not in ("compensated", "same", "full"):
+        raise ValueError(f"unknown mode {mode!r}; expected 'compensated', 'same', or 'full'")
+    out: np.ndarray = dispatch("apply_fir", "apply_fir_batch", x, h, mode, block_size)
+    return out
 
+
+def _apply_fir_batch_reference(
+    x: np.ndarray, h: np.ndarray, mode: str, block_size: int | None
+) -> np.ndarray:
+    """The NumPy oracle kernel of :func:`apply_fir_batch` (validated inputs)."""
+    rows, n = x.shape
     k = h.shape[-1]
     if block_size is None:
         block_size = _default_block_size(n, k)

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backend import dispatch
 from repro.dsp.windows import WindowSpec, get_window
 from repro.utils.validation import as_complex_array, ensure_positive
 
@@ -127,6 +128,21 @@ def welch_psd_batch(
     if not np.iscomplexobj(x):
         x = x.astype(float)
     x = x.astype(np.complex128, copy=False)
+    out: tuple[np.ndarray, np.ndarray] = dispatch(
+        "welch_psd", "welch_psd_batch", x, sample_rate, nperseg, noverlap, window, nfft
+    )
+    return out
+
+
+def _welch_psd_batch_reference(
+    x: np.ndarray,
+    sample_rate: float,
+    nperseg: int,
+    noverlap: int | None,
+    window: WindowSpec,
+    nfft: int | None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """The NumPy oracle kernel of :func:`welch_psd_batch` (coerced input)."""
     ensure_positive(sample_rate, "sample_rate")
     if noverlap is None:
         noverlap = int(nperseg) // 2

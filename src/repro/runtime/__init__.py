@@ -32,6 +32,10 @@ This package provides the pieces the analysis layer threads through:
     packets/sec, worker utilization, recovered retries) attached to
     sweep results and surfaced by the benchmark harness and the
     ``repro-bhss bench`` subcommand.
+``StageProfiler``
+    Exclusive per-stage wall-time accumulator the backend dispatch layer
+    (:mod:`repro.backend`) records DSP kernel timings into; rendered by
+    ``repro-bhss bench --profile`` as the per-backend stage breakdown.
 """
 
 from repro.runtime.cache import CacheAudit, ResultCache, canonical, stable_hash
@@ -47,11 +51,13 @@ from repro.runtime.executor import (
     spec_runner_ref,
 )
 from repro.runtime.faults import FaultPlan, InjectedCrash, inject_faults
-from repro.runtime.instrument import SweepTiming
+from repro.runtime.instrument import StageProfiler, StageRecord, SweepTiming
 
 __all__ = [
     "ParallelExecutor",
     "MapReport",
+    "StageProfiler",
+    "StageRecord",
     "ResultCache",
     "CacheAudit",
     "canonical",

@@ -80,6 +80,12 @@ class Scenario:
     impairments:
         Optional front-end impairment spec
         (:meth:`~repro.channel.impairments.Impairments.to_dict` layout).
+    backend:
+        Optional DSP compute backend name (see :mod:`repro.backend`).
+        ``None`` (default) keeps whatever ``REPRO_BACKEND``/``--backend``
+        selected; a name pins this scenario's numerics to that backend —
+        pool workers rebuild the scenario from this spec, so the choice
+        reaches them too.
     description:
         Free-text note carried through the JSON file.
     """
@@ -93,6 +99,7 @@ class Scenario:
     seed: int = 0
     channel: dict | None = None
     impairments: dict | None = None
+    backend: str | None = None
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -108,6 +115,14 @@ class Scenario:
             raise ScenarioError("packets: must be an integer >= 1")
         if isinstance(self.seed, bool) or not isinstance(self.seed, int):
             raise ScenarioError("seed: must be an integer")
+        if self.backend is not None:
+            from repro.backend import available_backends
+
+            if not isinstance(self.backend, str) or self.backend not in available_backends():
+                raise ScenarioError(
+                    f"backend: unknown backend {self.backend!r}; expected one of "
+                    f"{sorted(available_backends())}"
+                )
 
     # -- construction ---------------------------------------------------------
 
@@ -171,6 +186,8 @@ class Scenario:
             out["channel"] = self.channel
         if self.impairments is not None:
             out["impairments"] = self.impairments
+        if self.backend is not None:
+            out["backend"] = self.backend
         return out
 
     @classmethod
@@ -187,7 +204,7 @@ class Scenario:
                 raise ScenarioError(f"scenario spec must be a mapping, got {type(data).__name__}")
             known = {
                 "name", "description", "config", "jammer", "channel",
-                "impairments", "grid", "packets", "seed",
+                "impairments", "grid", "packets", "seed", "backend",
             }
             unknown = set(data) - known
             if unknown:
@@ -213,6 +230,7 @@ class Scenario:
                 "jammer": data.get("jammer", {"type": "none"}),
                 "channel": data.get("channel"),
                 "impairments": data.get("impairments"),
+                "backend": data.get("backend"),
                 "description": description,
             }
             if "snr_db" in grid:
