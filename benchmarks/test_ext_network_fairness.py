@@ -1,0 +1,62 @@
+"""Extension: network throughput and Jain fairness vs jammer count.
+
+The paper evaluates one BHSS link against one jammer; this extension
+superposes six uncoordinated BHSS links in a shared spectrum (chain
+coupling at -20 dB between neighbours) and activates their personal
+jammers 0..6 at a time.  Each row of the sweep is a full
+:func:`repro.network.run_network` evaluation of the derived
+:class:`~repro.network.NetworkSpec` through the parallel runtime.
+
+Expected shape:
+
+* the unjammed network carries at least as much aggregate goodput as
+  the fully jammed one;
+* the fairness index stays in (0, 1] everywhere and equals a valid
+  Jain value (1/N lower bound for a non-degenerate network);
+* mean PER never decreases when jammers are added to an otherwise
+  identical network (monotone within measurement noise).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import experiments
+
+from _common import run_once, save_and_print
+
+NUM_LINKS = 6
+
+
+def compute_network(*args, **kwargs):
+    """Delegate to :func:`repro.analysis.experiments.ext_network` —
+    the canonical, user-callable implementation of this experiment."""
+    return experiments.ext_network(*args, num_links=NUM_LINKS, **kwargs)
+
+
+@pytest.mark.benchmark(group="extension")
+def test_ext_network_fairness(benchmark):
+    result = run_once(benchmark, compute_network)
+    save_and_print(
+        result,
+        "ext_network_fairness",
+        f"Extension: {NUM_LINKS}-link network throughput + Jain fairness vs jammer count",
+    )
+
+    counts = np.array(result.column("num_jammers"))
+    throughput = np.array(result.column("network_throughput_bps"))
+    fairness = np.array(result.column("fairness"))
+    per = np.array(result.column("mean_per"))
+
+    # one row per jammer population, 0..N inclusive
+    assert counts.tolist() == list(range(NUM_LINKS + 1))
+
+    # jamming every link cannot beat the unjammed network
+    assert throughput[-1] <= throughput[0]
+
+    # Jain index is bounded: 1/N when one link hogs, 1 when all equal
+    assert np.all(fairness > 0.0)
+    assert np.all(fairness <= 1.0 + 1e-12)
+
+    # error rates are valid probabilities and jammers do not help
+    assert np.all((0.0 <= per) & (per <= 1.0))
+    assert per[-1] >= per[0] - 1e-9

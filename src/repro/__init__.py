@@ -38,6 +38,9 @@ Subpackages
     BHSS transmitter/receiver, control logic, link simulator, theory.
 ``repro.analysis``
     Power-advantage threshold search and sweep utilities.
+``repro.network``
+    N-link shared-spectrum networks: serializable topologies, the
+    parallel ``run_network`` driver, throughput/fairness aggregates.
 """
 
 __version__ = "1.0.0"
@@ -78,6 +81,14 @@ from repro.hopping import (
     paper_bandwidths,
     parabolic_weights,
 )
+from repro.network import (
+    LinkSpec,
+    NetworkResult,
+    NetworkSimulator,
+    NetworkSpec,
+    jain_fairness,
+    run_network,
+)
 
 __all__ = [
     "__version__",
@@ -113,4 +124,10 @@ __all__ = [
     "linear_weights",
     "exponential_weights",
     "parabolic_weights",
+    "LinkSpec",
+    "NetworkSpec",
+    "NetworkResult",
+    "NetworkSimulator",
+    "run_network",
+    "jain_fairness",
 ]

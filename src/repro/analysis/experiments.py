@@ -55,6 +55,7 @@ __all__ = [
     "ablation_fec",
     "ext_fhss_vs_bhss",
     "ext_multipath",
+    "ext_network",
     "REGISTRY",
 ]
 
@@ -629,6 +630,62 @@ def ext_multipath(scale: float | None = None, payload_bytes: int = 8, seed: int 
     return result
 
 
+def ext_network(
+    scale: float | None = None,
+    num_links: int = 6,
+    payload_bytes: int = 2,
+    seed: int = 211,
+) -> SweepResult:
+    """Extension: network throughput and Jain fairness vs jammer count.
+
+    ``num_links`` BHSS links share one spectrum with nearest-neighbour
+    chain coupling at -20 dB; every link carries a personal jammer
+    (alternating tone/noise, distinct parameters), and the sweep
+    activates them 0..N at a time (:func:`jammer_count_sweep`), so the
+    rows trace how aggregate goodput and Jain fairness degrade as the
+    jammer population grows.
+    """
+    from repro.network import LinkSpec, NetworkSpec, jammer_count_sweep
+
+    if scale is None:
+        scale = env_scale()
+    packets = max(2, int(round(4 * scale)))
+    links = []
+    for i in range(num_links):
+        if i % 2 == 0:
+            jammer = {"type": "tone", "frequency": float(150e3 * (i + 1))}
+            sjr_db = -6.0
+        else:
+            jammer = {"type": "noise", "bandwidth": float(312.5e3 * (i + 1))}
+            sjr_db = -8.0
+        links.append(
+            LinkSpec(
+                name=f"n{i}",
+                config=_paper_config(
+                    pattern=PATTERNS[i % len(PATTERNS)],
+                    seed=seed + i,
+                    payload_bytes=payload_bytes,
+                ),
+                seed=1000 + i,
+                snr_db=15.0,
+                sjr_db=sjr_db,
+                jammer=jammer,
+            )
+        )
+    coupling = tuple(
+        tuple(-20.0 if abs(i - j) == 1 else None for j in range(num_links))
+        for i in range(num_links)
+    )
+    spec = NetworkSpec(
+        name=f"ext-network-{num_links}",
+        links=tuple(links),
+        coupling_db=coupling,
+        packets=packets,
+        description="chain-coupled network behind the fairness-vs-jammer-count figure",
+    )
+    return jammer_count_sweep(spec)
+
+
 #: experiment name -> (callable, one-line description)
 REGISTRY: dict[str, tuple[Callable, str]] = {
     "fig07": (figure07, "SNR improvement bound vs Bp/Bj (Figure 7)"),
@@ -646,4 +703,5 @@ REGISTRY: dict[str, tuple[Callable, str]] = {
     "ablation-fec": (ablation_fec, "FEC + interleaving vs uncoded"),
     "ext-fhss": (ext_fhss_vs_bhss, "empirical FHSS baseline vs BHSS"),
     "ext-multipath": (ext_multipath, "multipath PER per bandwidth, +/- equalizer"),
+    "ext-network": (ext_network, "network throughput + Jain fairness vs jammer count"),
 }

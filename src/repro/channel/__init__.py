@@ -2,7 +2,7 @@
 
 from repro.channel.awgn import add_awgn, complex_awgn, noise_power_for_snr
 from repro.channel.impairments import IDEAL_FRONT_END, Impairments
-from repro.channel.link_medium import Medium, ReceivedBlock
+from repro.channel.link_medium import Medium, MediumSource, ReceivedBlock
 from repro.channel.multipath import MultipathChannel, exponential_power_delay_profile
 from repro.channel.registry import (
     CHANNEL_REGISTRY,
@@ -20,6 +20,7 @@ __all__ = [
     "Impairments",
     "IDEAL_FRONT_END",
     "Medium",
+    "MediumSource",
     "ReceivedBlock",
     "MultipathChannel",
     "exponential_power_delay_profile",

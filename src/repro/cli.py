@@ -31,11 +31,14 @@ Installed as ``repro-bhss`` (see ``pyproject.toml``); also runnable as
     mode.
 ``run``
     Execute a declarative scenario JSON file (``--scenario file.json``)
-    over its (SNR x SJR) grid and print/export the tidy result table.
+    over its (SNR x SJR) grid, or an N-link shared-spectrum network file
+    (``--network file.json``) over its links, and print/export the tidy
+    result table plus (for networks) the throughput/fairness aggregates.
 ``scenario``
-    Tooling for scenario files: ``scenario validate <paths...>``
-    parse-validates files or directories of them; ``scenario list [dir]``
-    summarizes a directory (default ``examples/scenarios``).
+    Tooling for scenario *and* network files: ``scenario validate
+    <paths...>`` parse-validates files or directories of them (files
+    with a ``links`` array route to the network loader); ``scenario
+    list [dir]`` summarizes a directory (default ``examples/scenarios``).
 ``cache``
     Integrity tooling for the ``REPRO_CACHE`` result store:
     ``cache verify [dir]`` audits every entry against its checksum
@@ -594,9 +597,62 @@ def cmd_reproduce(args) -> int:
     return 0
 
 
+def _run_network_file(args) -> int:
+    """The ``run --network`` path: one shared-spectrum network file."""
+    from repro.network import NetworkError, NetworkSpec, run_network
+
+    try:
+        spec = NetworkSpec.load(args.network)
+    except NetworkError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    label = f" — {spec.description}" if spec.description else ""
+    print(
+        f"network {spec.name!r}{label}: "
+        f"{spec.num_links} links x {spec.packets} packets, {spec.num_jammers} jammer(s)"
+    )
+    result = run_network(spec, checkpoint=args.checkpoint)
+    rows = [
+        [
+            r["link"],
+            f"{r['snr_db']:g}",
+            f"{r['sjr_db']:g}",
+            f"{r['per']:.3f}",
+            f"[{r['per_lo']:.2f},{r['per_hi']:.2f}]",
+            f"{r['ber']:.5f}",
+            f"{r['throughput_bps'] / 1e3:.1f}",
+        ]
+        for r in result.records
+    ]
+    print(
+        format_table(
+            ["link", "SNR (dB)", "SJR (dB)", "PER", "95% CI", "BER", "goodput (kb/s)"],
+            rows,
+            title=f"network: {spec.name}",
+        )
+    )
+    agg = result.aggregates()
+    print(
+        f"network throughput {agg['network_throughput_bps'] / 1e3:.1f} kb/s, "
+        f"Jain fairness {agg['fairness']:.4f}, mean PER {agg['mean_per']:.3f}"
+    )
+    if result.timing is not None:
+        print(result.timing.summary())
+    if args.output:
+        from repro.analysis import write_csv
+
+        print(f"wrote {write_csv(result.to_sweep_result(), args.output)}")
+    return 0
+
+
 def cmd_run(args) -> int:
     from repro.scenario import Scenario, ScenarioError, run_scenario
 
+    if bool(args.scenario) == bool(args.network):
+        print("run: exactly one of --scenario or --network is required", file=sys.stderr)
+        return 2
+    if args.network:
+        return _run_network_file(args)
     try:
         scenario = Scenario.load(args.scenario)
     except ScenarioError as exc:
@@ -652,7 +708,24 @@ def _scenario_files(paths: list[str]) -> list[str]:
     return files
 
 
+def _is_network_file(path: str) -> bool:
+    """Whether a spec file is a network spec (has a ``links`` array).
+
+    Unreadable/unparsable files return ``False`` so they fall through to
+    the scenario loader, whose error messages name the problem.
+    """
+    import json
+
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except (OSError, ValueError):
+        return False
+    return isinstance(data, dict) and "links" in data
+
+
 def cmd_scenario_validate(args) -> int:
+    from repro.network import NetworkError, NetworkSpec
     from repro.scenario import Scenario, ScenarioError
 
     files = _scenario_files(args.paths)
@@ -662,20 +735,28 @@ def cmd_scenario_validate(args) -> int:
     failures = 0
     for path in files:
         try:
-            scenario = Scenario.load(path)
-        except ScenarioError as exc:
+            if _is_network_file(path):
+                network = NetworkSpec.load(path)
+                print(
+                    f"ok    {path}: {network.name} "
+                    f"({network.num_links} links x {network.packets} packets, "
+                    f"{network.num_jammers} jammer(s))"
+                )
+            else:
+                scenario = Scenario.load(path)
+                print(
+                    f"ok    {path}: {scenario.name} "
+                    f"({len(scenario.points())} points x {scenario.packets} packets)"
+                )
+        except (NetworkError, ScenarioError) as exc:
             failures += 1
             print(f"FAIL  {exc}")
-        else:
-            print(
-                f"ok    {path}: {scenario.name} "
-                f"({len(scenario.points())} points x {scenario.packets} packets)"
-            )
     print(f"{len(files) - failures}/{len(files)} scenario files valid")
     return 1 if failures else 0
 
 
 def cmd_scenario_list(args) -> int:
+    from repro.network import NetworkError, NetworkSpec
     from repro.scenario import Scenario, ScenarioError
 
     files = _scenario_files([args.directory])
@@ -684,6 +765,22 @@ def cmd_scenario_list(args) -> int:
         return 2
     rows = []
     for path in files:
+        if _is_network_file(path):
+            try:
+                n = NetworkSpec.load(path)
+            except NetworkError:
+                rows.append([os.path.basename(path), "(invalid)", "-", "-", "-"])
+                continue
+            rows.append(
+                [
+                    os.path.basename(path),
+                    n.name,
+                    f"network ({n.num_jammers} jammed)",
+                    f"{n.num_links} links x{n.packets}",
+                    n.description[:48],
+                ]
+            )
+            continue
         try:
             s = Scenario.load(path)
         except ScenarioError:
@@ -884,8 +981,12 @@ def build_parser() -> argparse.ArgumentParser:
         func=cmd_bench, pattern="linear", payload_bytes=8, symbols_per_hop=1, jammer="tone"
     )
 
-    p_run = sub.add_parser("run", help="execute a declarative scenario JSON file")
-    p_run.add_argument("--scenario", required=True, metavar="FILE", help="scenario JSON file")
+    p_run = sub.add_parser("run", help="execute a declarative scenario or network JSON file")
+    p_run.add_argument("--scenario", default=None, metavar="FILE", help="scenario JSON file")
+    p_run.add_argument(
+        "--network", default=None, metavar="FILE",
+        help="N-link network JSON file (see repro.network.NetworkSpec)",
+    )
     p_run.add_argument("--output", "-o", default=None, help="also write the result CSV here")
     p_run.add_argument(
         "--checkpoint", default=None, metavar="DIR",

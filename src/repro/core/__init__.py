@@ -8,6 +8,7 @@ from repro.core.config import BHSSConfig
 from repro.core.fhss_link import FHSSLink, FHSSLinkConfig, FHSSPacketOutcome
 from repro.core.control import ControlLogic, FilterDecision, FilterKind
 from repro.core.link import LinkSimulator, LinkStats, PacketOutcome
+from repro.core.paths import RxPath, TxPath, draw_jammer_wave
 from repro.core.receiver import AcquiringReceiver, AcquisitionResult, BHSSReceiver, ReceiveResult
 from repro.core.transmitter import BHSSTransmitter, TransmittedPacket
 from repro.core.uncoordinated import (
@@ -40,4 +41,7 @@ __all__ = [
     "LinkSimulator",
     "LinkStats",
     "PacketOutcome",
+    "TxPath",
+    "RxPath",
+    "draw_jammer_wave",
 ]

@@ -6,6 +6,11 @@ jammer models injected at a configured signal-to-jammer ratio.  The
 statistics it reports — packet error rate against the CRC, bit error rate
 against the known payload, throughput — are the quantities every
 experimental figure of Section 6 is built from.
+
+The synthesis and demodulation halves of the chain live in
+:mod:`repro.core.paths` (:class:`TxPath` / :class:`RxPath`);
+:class:`LinkSimulator` composes them around the medium and owns the
+batching, caching, and fan-out policy.
 """
 
 from __future__ import annotations
@@ -18,11 +23,10 @@ import numpy as np
 from repro.channel.impairments import Impairments
 from repro.channel.link_medium import Medium
 from repro.core.config import BHSSConfig
+from repro.core.paths import PacketOutcome, RxPath, TxPath, draw_jammer_wave
 from repro.core.receiver import BHSSReceiver, ReceiveResult
 from repro.core.transmitter import BHSSTransmitter, TransmittedPacket
-from repro.jamming.base import Jammer, NoJammer
-from repro.jamming.reactive import MatchedReactiveJammer
-from repro.phy.bits import hamming_distance_bits
+from repro.jamming.base import Jammer
 from repro.runtime import ParallelExecutor, ResultCache, canonical, resolve_batch
 from repro.utils.rng import child_rng, make_rng
 
@@ -47,21 +51,6 @@ def _spec_view(obj: Any) -> Any:
             except NotImplementedError:
                 break
     return canonical(obj)
-
-
-@dataclass(frozen=True)
-class PacketOutcome:
-    """Result of one simulated packet."""
-
-    accepted: bool
-    bit_errors: int
-    total_bits: int
-    receive: ReceiveResult
-
-    @property
-    def bit_error_rate(self) -> float:
-        """Payload-bit error rate of this packet."""
-        return self.bit_errors / self.total_bits if self.total_bits else 0.0
 
 
 @dataclass(frozen=True)
@@ -161,11 +150,49 @@ class LinkSimulator:
         channel: Any = None,
     ) -> None:
         self.config = config
-        self.transmitter = BHSSTransmitter(config)
-        self.receiver = BHSSReceiver(config)
+        self.tx_path = TxPath(config, channel=channel)
+        self.rx_path = RxPath(config, impairments=impairments)
         self.medium = Medium(config.sample_rate)
-        self.impairments = impairments
-        self.channel = channel
+
+    # The component attributes predate the TxPath/RxPath split; they keep
+    # working (including assignment — ablations swap the receiver) by
+    # delegating to the owning path.
+
+    @property
+    def transmitter(self) -> BHSSTransmitter:
+        """The synthesis path's transmitter."""
+        return self.tx_path.transmitter
+
+    @transmitter.setter
+    def transmitter(self, value: BHSSTransmitter) -> None:
+        self.tx_path.transmitter = value
+
+    @property
+    def receiver(self) -> BHSSReceiver:
+        """The demodulation path's receiver."""
+        return self.rx_path.receiver
+
+    @receiver.setter
+    def receiver(self, value: BHSSReceiver) -> None:
+        self.rx_path.receiver = value
+
+    @property
+    def channel(self) -> Any:
+        """The synthesis path's propagation channel (``None`` = coax)."""
+        return self.tx_path.channel
+
+    @channel.setter
+    def channel(self, value: Any) -> None:
+        self.tx_path.channel = value
+
+    @property
+    def impairments(self) -> Impairments | None:
+        """The demodulation path's front-end impairments."""
+        return self.rx_path.impairments
+
+    @impairments.setter
+    def impairments(self, value: Impairments | None) -> None:
+        self.rx_path.impairments = value
 
     # -- single packet ----------------------------------------------------------
 
@@ -181,25 +208,8 @@ class LinkSimulator:
     ) -> PacketOutcome:
         """Simulate one packet and compare what was decoded to the truth."""
         gen = make_rng(rng)
-        packet = self.transmitter.transmit(payload, packet_index)
-        tx_wave = packet.waveform
-        if self.channel is not None:
-            tx_wave = self.channel.apply(tx_wave)
-
-        jam_wave = None
-        use_jammer = jammer is not None and not isinstance(jammer, NoJammer)
-        if use_jammer:
-            if isinstance(jammer, MatchedReactiveJammer):
-                jammer.observe(packet.bandwidth_profile())
-            # Draw the jammer waveform even at sjr_db=+inf, where it is
-            # not injected: the draw keeps the shared RNG stream (and any
-            # jammer-internal state) advancing exactly as in a finite-SJR
-            # run, so an SJR sweep that includes inf as its unjammed
-            # baseline sees the same noise realization at every point.
-            wave = jammer.waveform(packet.num_samples, gen)
-            if np.isfinite(sjr_db):
-                jam_wave = wave
-
+        packet, tx_wave = self.tx_path.emit(packet_index, payload)
+        jam_wave = draw_jammer_wave(jammer, packet, sjr_db, gen)
         block = self.medium.combine(
             tx_wave,
             snr_db=snr_db,
@@ -208,49 +218,15 @@ class LinkSimulator:
             jammer_delay_samples=jammer_delay_samples,
             rng=gen,
         )
-        received = block.samples
-        phase_track = False
-        if self.impairments is not None and not self.impairments.is_ideal:
-            received = self.impairments.apply(received, self.config.sample_rate)
-            phase_track = True
-
-        result = self.receiver.receive(
-            received,
-            payload_len=len(packet.payload),
-            packet_index=packet_index,
-            phase_track=phase_track,
-        )
-        return self._score_packet(packet, result)
+        return self.rx_path.receive_packet(packet, block.samples, packet_index)
 
     def _score_packet(self, packet: TransmittedPacket, result: ReceiveResult) -> PacketOutcome:
         """Compare one receive result against the transmitted truth."""
-        if result.accepted and result.payload == packet.payload:
-            bit_errors = 0
-            accepted = True
-        else:
-            accepted = False
-            if len(result.payload) == len(packet.payload) and result.payload:
-                bit_errors = hamming_distance_bits(result.payload, packet.payload)
-            else:
-                # Frame-level failure: score the payload region symbol by
-                # symbol so BER remains meaningful under heavy jamming.
-                bit_errors = self._symbol_region_bit_errors(packet.symbols, result.symbols)
-        total_bits = 8 * len(packet.payload)
-        return PacketOutcome(
-            accepted=accepted,
-            bit_errors=min(bit_errors, total_bits),
-            total_bits=total_bits,
-            receive=result,
-        )
+        return self.rx_path.score(packet, result)
 
     def _symbol_region_bit_errors(self, sent_symbols: np.ndarray, got_symbols: np.ndarray) -> int:
         """Bit errors across the payload symbol region (nibble XOR popcount)."""
-        header = self.config.frame_format.header_symbols
-        end = min(sent_symbols.size, got_symbols.size) - 4  # exclude CRC symbols
-        if end <= header:
-            return 0
-        diff = (sent_symbols[header:end].astype(np.int64) ^ got_symbols[header:end].astype(np.int64)) & 0xF
-        return int(np.sum([bin(int(d)).count("1") for d in diff]))
+        return self.rx_path.symbol_region_bit_errors(sent_symbols, got_symbols)
 
     # -- batches ---------------------------------------------------------------
 
@@ -445,7 +421,6 @@ class LinkSimulator:
             if hit is not None:
                 return LinkStats(**hit)
 
-        use_jammer = jammer is not None and not isinstance(jammer, NoJammer)
         accepted = 0
         bit_errors = 0
         total_bits = 0
@@ -456,16 +431,8 @@ class LinkSimulator:
             received: list[np.ndarray] = []
             for k, packet in zip(indices, packets):
                 gen = child_rng(seed, "packet", str(k))
-                tx_wave = packet.waveform
-                if self.channel is not None:
-                    tx_wave = self.channel.apply(tx_wave)
-                jam_wave = None
-                if use_jammer:
-                    if isinstance(jammer, MatchedReactiveJammer):
-                        jammer.observe(packet.bandwidth_profile())
-                    wave = jammer.waveform(packet.num_samples, gen)
-                    if np.isfinite(sjr_db):
-                        jam_wave = wave
+                tx_wave = self.tx_path.propagate(packet.waveform)
+                jam_wave = draw_jammer_wave(jammer, packet, sjr_db, gen)
                 block = self.medium.combine(
                     tx_wave,
                     snr_db=snr_db,
@@ -481,7 +448,7 @@ class LinkSimulator:
                 packet_indices=indices,
             )
             for packet, result in zip(packets, results):
-                outcome = self._score_packet(packet, result)
+                outcome = self.rx_path.score(packet, result)
                 accepted += int(outcome.accepted)
                 bit_errors += outcome.bit_errors
                 total_bits += outcome.total_bits
@@ -547,17 +514,7 @@ class LinkSimulator:
     def data_rate_bps(self) -> float:
         """Average payload data rate of the configured link in bits/second.
 
-        Computed from the expected hop bandwidth: the PHY carries B/8
-        payload-plus-overhead bits per second; the frame overhead fraction
-        scales it down to goodput units.
+        Computed from the expected hop bandwidth; see
+        :meth:`TxPath.data_rate_bps`, which owns the calculation.
         """
-        schedule = self.transmitter.schedule
-        bands = self.config.bandwidth_set.as_array()
-        if self.config.fixed_bandwidth is not None:
-            mean_bw = float(self.config.fixed_bandwidth)
-        else:
-            mean_bw = float(np.sum(bands * schedule.hop_weights))
-        gross = mean_bw / 8.0
-        n_payload_sym = 2 * self.config.payload_bytes
-        n_frame_sym = self.config.frame_symbols()
-        return gross * n_payload_sym / n_frame_sym
+        return self.tx_path.data_rate_bps()

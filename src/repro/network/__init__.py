@@ -1,0 +1,34 @@
+"""Network-scale BHSS: N links superposed in one shared-spectrum medium.
+
+The :class:`NetworkSpec` JSON layer, the per-link
+:class:`NetworkSimulator`, and the :func:`run_network` driver that fans
+links out over the parallel runtime with spec-hash caching and
+checkpoint/resume — plus the aggregate outputs (network throughput and
+:func:`jain_fairness`) behind the fairness-vs-jammer-count figures.
+"""
+
+from repro.network.metrics import jain_fairness
+from repro.network.runner import (
+    JAMMER_SWEEP_COLUMNS,
+    NETWORK_COLUMNS,
+    NetworkResult,
+    evaluate_network_link,
+    jammer_count_sweep,
+    run_network,
+)
+from repro.network.simulator import NetworkSimulator
+from repro.network.spec import LinkSpec, NetworkError, NetworkSpec
+
+__all__ = [
+    "JAMMER_SWEEP_COLUMNS",
+    "NETWORK_COLUMNS",
+    "LinkSpec",
+    "NetworkError",
+    "NetworkResult",
+    "NetworkSimulator",
+    "NetworkSpec",
+    "evaluate_network_link",
+    "jain_fairness",
+    "jammer_count_sweep",
+    "run_network",
+]

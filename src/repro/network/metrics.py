@@ -1,0 +1,27 @@
+"""Network-level aggregate metrics."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["jain_fairness"]
+
+
+def jain_fairness(values: Sequence[float]) -> float:
+    """Jain's fairness index ``(sum x)^2 / (n * sum x^2)`` over ``values``.
+
+    1.0 when every link gets the same share, ``1/n`` when one link takes
+    everything.  Values must be non-negative (throughputs); all-zero
+    input — every link equally starved — is defined as 1.0, the
+    degenerate equal-share case.
+    """
+    xs = [float(v) for v in values]
+    if not xs:
+        raise ValueError("jain_fairness: requires at least one value")
+    for i, v in enumerate(xs):
+        if v < 0:
+            raise ValueError(f"jain_fairness: values[{i}] is negative ({v})")
+    total = sum(xs)
+    if total == 0.0:
+        return 1.0
+    return total * total / (len(xs) * sum(v * v for v in xs))

@@ -1,0 +1,287 @@
+"""Spec-driven network execution over the parallel runtime.
+
+:func:`run_network` fans a :class:`NetworkSpec`'s links out over the
+:class:`~repro.runtime.executor.ParallelExecutor` through the same spec
+transport, cache, and checkpoint machinery as scenario sweeps: the only
+things shipped to workers are the network's ``to_dict()`` payload and
+link indices, every worker rebuilds its simulator from the spec, results
+are memoized per link under the canonical spec hash, and completed links
+checkpoint incrementally so an interrupted run resumes bit-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+from repro.core.link import LinkStats
+from repro.network.metrics import jain_fairness
+from repro.network.spec import NetworkSpec
+from repro.runtime import (
+    ParallelExecutor,
+    ResultCache,
+    SweepTiming,
+    make_checkpoint,
+    resolve_batch,
+    stable_hash,
+)
+
+if TYPE_CHECKING:
+    from repro.analysis.sweep import SweepResult
+
+__all__ = [
+    "NETWORK_COLUMNS",
+    "JAMMER_SWEEP_COLUMNS",
+    "NetworkResult",
+    "evaluate_network_link",
+    "jammer_count_sweep",
+    "run_network",
+]
+
+#: column order of a per-link network result table.
+NETWORK_COLUMNS = ("link", "snr_db", "sjr_db", "per", "per_lo", "per_hi", "ber", "throughput_bps")
+
+#: column order of the fairness-vs-jammer-count sweep.
+JAMMER_SWEEP_COLUMNS = ("num_jammers", "network_throughput_bps", "fairness", "mean_per")
+
+
+def _cache_token(cache: "ResultCache | str | bool | None") -> "str | bool | None":
+    """Flatten a cache argument to picklable data for the spec payload."""
+    if cache is None or cache is False:
+        return cache
+    if isinstance(cache, ResultCache):
+        return cache.root
+    return str(cache)
+
+
+def _stats_record(name: str, link_snr_db: float, link_sjr_db: float, stats: LinkStats) -> dict:
+    per_lo, per_hi = stats.per_confidence_interval()
+    return {
+        "link": name,
+        "snr_db": float(link_snr_db),
+        "sjr_db": float(link_sjr_db),
+        "per": stats.packet_error_rate,
+        "per_lo": per_lo,
+        "per_hi": per_hi,
+        "ber": stats.bit_error_rate,
+        "throughput_bps": stats.throughput_bps,
+        # The raw counters, so callers (and the equivalence wall) can
+        # reconstruct the exact LinkStats from a record or cache entry.
+        "stats": {
+            "num_packets": stats.num_packets,
+            "num_accepted": stats.num_accepted,
+            "total_bits": stats.total_bits,
+            "bit_errors": stats.bit_errors,
+            "data_rate_bps": stats.data_rate_bps,
+            "filter_usage": dict(stats.filter_usage),
+        },
+    }
+
+
+def evaluate_network_link(payload: dict, index: int) -> dict:
+    """Evaluate one link of a network spec.
+
+    This is the module-level runner of the spec transport: ``payload`` is
+    plain data — ``{"network": NetworkSpec.to_dict(), "cache": None |
+    False | <root path>}`` — and the simulator is rebuilt from it, so the
+    call is a pure function of its arguments with no fork-inherited
+    state.  Per-link results are memoized under the canonical network
+    spec hash; unlike the single-link batch cache this needs no
+    statefulness guard, because each call rebuilds its jammer from the
+    spec and walks the packets in order.
+    """
+    from repro.network.simulator import NetworkSimulator
+
+    spec = NetworkSpec.from_dict(payload["network"])
+    token = payload.get("cache")
+    if token is None:
+        store = ResultCache.from_env()
+    elif token is False:
+        store = None
+    elif isinstance(token, str):
+        store = ResultCache(token)
+    else:
+        store = token
+    index = int(index)
+    key = None
+    if store is not None:
+        key = {
+            "kind": "NetworkSimulator.run_link",
+            "network": spec.to_dict(),
+            "link": index,
+        }
+        hit = store.get(key)
+        if hit is not None:
+            return dict(hit)
+    stats = NetworkSimulator(spec).run_link(index)
+    link = spec.links[index]
+    record = _stats_record(link.name, link.snr_db, link.sjr_db, stats)
+    if key is not None and store is not None:
+        store.put(key, record)
+    return record
+
+
+@dataclass
+class NetworkResult:
+    """Per-link records plus the network-level aggregates.
+
+    ``records`` holds one :func:`evaluate_network_link` record per link,
+    in link order; ``timing`` carries the fan-out telemetry (it does not
+    participate in equality).
+    """
+
+    spec: NetworkSpec
+    records: list[dict] = field(default_factory=list)
+    timing: SweepTiming | None = field(default=None, repr=False, compare=False)
+
+    def link_stats(self, name: str) -> LinkStats:
+        """Reconstruct the exact :class:`LinkStats` of link ``name``."""
+        for record in self.records:
+            if record["link"] == name:
+                return LinkStats(**record["stats"])
+        raise KeyError(f"no link named {name!r} in this result")
+
+    @property
+    def throughputs_bps(self) -> list[float]:
+        """Per-link goodput, in link order."""
+        return [float(r["throughput_bps"]) for r in self.records]
+
+    @property
+    def network_throughput_bps(self) -> float:
+        """Summed goodput of every link."""
+        return float(sum(self.throughputs_bps))
+
+    @property
+    def fairness(self) -> float:
+        """Jain fairness index over the per-link goodputs."""
+        return jain_fairness(self.throughputs_bps)
+
+    def aggregates(self) -> dict:
+        """The network-level summary row."""
+        n = len(self.records)
+        return {
+            "num_links": n,
+            "num_jammers": self.spec.num_jammers,
+            "network_throughput_bps": self.network_throughput_bps,
+            "fairness": self.fairness,
+            "mean_per": float(sum(r["per"] for r in self.records)) / n,
+            "mean_ber": float(sum(r["ber"] for r in self.records)) / n,
+        }
+
+    def to_sweep_result(self) -> "SweepResult":
+        """The per-link table as a tidy :class:`SweepResult`."""
+        from repro.analysis.sweep import SweepResult
+
+        out = SweepResult(columns=NETWORK_COLUMNS)
+        for record in self.records:
+            out.add(**{c: record[c] for c in NETWORK_COLUMNS})
+        out.timing = self.timing
+        return out
+
+
+def run_network(
+    spec: NetworkSpec,
+    *,
+    executor: ParallelExecutor | None = None,
+    cache: "ResultCache | str | bool | None" = None,
+    checkpoint: "str | bool | None" = None,
+) -> NetworkResult:
+    """Evaluate every link of a network into a :class:`NetworkResult`.
+
+    ``executor`` defaults to the ``REPRO_WORKERS``-configured pool
+    (serial when unset); links are merged in link order either way, and a
+    parallel run is bit-identical to a serial one.  ``cache`` and
+    ``checkpoint`` follow the :func:`repro.scenario.runner.run_scenario`
+    conventions (``REPRO_CACHE`` / ``REPRO_CHECKPOINT`` when ``None``,
+    ``False`` forces off); completed links are persisted incrementally
+    under the network's canonical spec hash, so a rerun of the *same*
+    network recomputes only unfinished links.
+    """
+    ex = executor if executor is not None else ParallelExecutor.from_env()
+    spec_dict = spec.to_dict()
+    payload = {"network": spec_dict, "cache": _cache_token(cache)}
+    total = spec.num_links
+    ckpt = make_checkpoint(checkpoint, stable_hash({"network": spec_dict}), total)
+    loaded: dict[int, Any] = {} if ckpt is None else ckpt.load()
+    pending = [i for i in range(total) if not isinstance(loaded.get(i), dict)]
+    records: list[dict | None] = [loaded[i] if i not in pending else None for i in range(total)]
+    seconds = [0.0] * total
+    wall = 0.0
+    workers = 1
+    retries = 0
+    if pending:
+        on_result: Callable[[int, object], None] | None = None
+        if ckpt is not None:
+            active = ckpt
+
+            def _persist(local_index: int, value: object) -> None:
+                active.record(pending[local_index], value)
+
+            on_result = _persist
+        try:
+            report = ex.map_spec(
+                evaluate_network_link,
+                payload,
+                pending,
+                on_result=on_result,
+            )
+        except BaseException:
+            # Keep whatever finished: an interrupted run resumes from here.
+            if ckpt is not None:
+                ckpt.flush()
+            raise
+        for index, value, secs in zip(pending, report.values, report.seconds):
+            records[index] = value
+            seconds[index] = secs
+        wall = report.wall_seconds
+        workers = report.workers
+        retries = report.retries
+    if ckpt is not None:
+        ckpt.complete()
+    final: list[dict] = []
+    for record in records:
+        assert record is not None  # every index is either loaded or pending
+        final.append(record)
+    timing = SweepTiming(
+        wall_seconds=wall,
+        point_seconds=tuple(seconds),
+        workers=workers,
+        packets=spec.packets * total,
+        batch_size=resolve_batch(),
+        retries=retries,
+    )
+    return NetworkResult(spec=spec, records=final, timing=timing)
+
+
+def jammer_count_sweep(
+    spec: NetworkSpec,
+    counts: Sequence[int] | None = None,
+    *,
+    executor: ParallelExecutor | None = None,
+    cache: "ResultCache | str | bool | None" = None,
+    checkpoint: "str | bool | None" = None,
+) -> "SweepResult":
+    """Network throughput and Jain fairness vs the number of active jammers.
+
+    For each ``count`` (default ``0..num_jammers``) the spec's first
+    ``count`` jammed links keep their jammer and the rest are silenced
+    (:meth:`NetworkSpec.with_active_jammers`); everything else — seeds,
+    coupling, operating points — is held fixed, so the sweep isolates
+    the jammer population's effect on the aggregate network.
+    """
+    from repro.analysis.sweep import SweepResult
+
+    if counts is None:
+        counts = list(range(spec.num_jammers + 1))
+    result = SweepResult(columns=JAMMER_SWEEP_COLUMNS)
+    for count in counts:
+        derived = spec.with_active_jammers(int(count))
+        net = run_network(derived, executor=executor, cache=cache, checkpoint=checkpoint)
+        agg = net.aggregates()
+        result.add(
+            num_jammers=int(count),
+            network_throughput_bps=agg["network_throughput_bps"],
+            fairness=agg["fairness"],
+            mean_per=agg["mean_per"],
+        )
+    return result

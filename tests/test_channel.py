@@ -8,6 +8,7 @@ from repro.channel import (
     IDEAL_FRONT_END,
     Impairments,
     Medium,
+    MediumSource,
     add_awgn,
     complex_awgn,
     noise_power_for_snr,
@@ -179,8 +180,28 @@ class TestMedium:
 
     def test_negative_delay_raises(self):
         medium = Medium(FS)
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match=r"jammer_delay_samples: must be >= 0, got -1"):
             medium.combine(np.ones(10, dtype=complex), 10.0, jammer=np.ones(10, dtype=complex), jammer_delay_samples=-1)
+
+    def test_negative_delay_raises_even_without_jammer(self):
+        # the delay field is validated unconditionally — a bad value must
+        # not slip through just because the jammer happens to be None
+        medium = Medium(FS)
+        with pytest.raises(ValueError, match=r"jammer_delay_samples: must be >= 0, got -7"):
+            medium.combine(np.ones(10, dtype=complex), 10.0, jammer_delay_samples=-7)
+
+    def test_non_integer_delay_raises(self):
+        medium = Medium(FS)
+        with pytest.raises(ValueError, match=r"jammer_delay_samples: expected an integer"):
+            medium.combine(
+                np.ones(10, dtype=complex), 10.0,
+                jammer=np.ones(10, dtype=complex), jammer_delay_samples=2.5,
+            )
+        with pytest.raises(ValueError, match=r"jammer_delay_samples: expected an integer"):
+            medium.combine(
+                np.ones(10, dtype=complex), 10.0,
+                jammer=np.ones(10, dtype=complex), jammer_delay_samples=True,
+            )
 
     def test_short_jammer_padded(self):
         medium = Medium(FS)
@@ -210,3 +231,107 @@ class TestMedium:
         a = medium.combine(s, snr_db=5.0, rng=11).samples
         b = medium.combine(s, snr_db=5.0, rng=11).samples
         np.testing.assert_array_equal(a, b)
+
+
+class TestMediumSuperpose:
+    """The N-source generalization behind network-scale runs."""
+
+    def unit_signal(self, n=50_000, seed=0):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=n) + 1j * rng.normal(size=n)
+        return x / np.sqrt(signal_power(x))
+
+    def test_combine_is_superpose_with_one_jammer_source(self):
+        # the equivalence wall: the classic entry point and the N-source
+        # form must agree bit-for-bit, including the drawn noise
+        medium = Medium(FS)
+        s = self.unit_signal(seed=20)
+        j = self.unit_signal(seed=21)
+        for sjr_db, delay in [(-12.0, 0), (0.0, 137), (8.5, 400)]:
+            a = medium.combine(s, snr_db=9.0, jammer=j, sjr_db=sjr_db, jammer_delay_samples=delay, rng=22)
+            b = medium.superpose(
+                s, snr_db=9.0,
+                sources=(MediumSource(samples=j, power_db=-sjr_db, delay_samples=delay, kind="jammer"),),
+                rng=22,
+            )
+            np.testing.assert_array_equal(a.samples, b.samples)
+            assert a.jammer_power == b.jammer_power
+            assert a.noise_power == b.noise_power
+
+    def test_zero_sources_is_unjammed_combine(self):
+        medium = Medium(FS)
+        s = self.unit_signal(seed=23)
+        a = medium.combine(s, snr_db=6.0, rng=24)
+        b = medium.superpose(s, snr_db=6.0, rng=24)
+        np.testing.assert_array_equal(a.samples, b.samples)
+        assert b.interference_power == 0.0
+        assert b.sir_db == float("inf")
+
+    def test_interference_power_calibration(self):
+        medium = Medium(FS)
+        s = self.unit_signal(seed=25)
+        other = self.unit_signal(seed=26)
+        block = medium.superpose(
+            s, snr_db=300.0,
+            sources=(MediumSource(samples=other, power_db=-18.0),),
+            rng=27,
+        )
+        # the realized cross-link power lands 18 dB under the signal
+        assert block.sir_db == pytest.approx(18.0, abs=1e-9)
+        assert signal_power(block.samples - s) == pytest.approx(10 ** -1.8, rel=0.05)
+        assert block.jammer_power == 0.0
+
+    def test_multi_source_buckets_and_order(self):
+        medium = Medium(FS)
+        s = self.unit_signal(seed=28)
+        interferer = self.unit_signal(seed=29)
+        jammer = self.unit_signal(seed=30)
+        block = medium.superpose(
+            s, snr_db=300.0,
+            sources=(
+                MediumSource(samples=interferer, power_db=-20.0, label="links[1]"),
+                MediumSource(samples=jammer, power_db=10.0, kind="jammer"),
+            ),
+            rng=31,
+        )
+        assert block.interference_power == pytest.approx(10 ** -2.0)
+        assert block.jammer_power == pytest.approx(10 ** 1.0)
+        assert block.sjr_db == pytest.approx(-10.0, abs=1e-9)
+        # sources add linearly: the composite equals the two singles' sum
+        one = medium.superpose(
+            s, snr_db=300.0,
+            sources=(MediumSource(samples=interferer, power_db=-20.0),), rng=31,
+        )
+        two = medium.superpose(
+            s, snr_db=300.0,
+            sources=(MediumSource(samples=jammer, power_db=10.0, kind="jammer"),), rng=31,
+        )
+        np.testing.assert_allclose(block.samples, one.samples + two.samples - s, rtol=0, atol=1e-9)
+
+    def test_source_delay_and_truncation(self):
+        medium = Medium(FS)
+        s = np.ones(1000, dtype=complex)
+        src = MediumSource(samples=np.ones(2000, dtype=complex), power_db=0.0, delay_samples=600)
+        block = medium.superpose(s, snr_db=300.0, sources=(src,), rng=32)
+        assert block.samples.size == 1000
+        assert signal_power(block.samples[:600] - s[:600]) < 1e-12
+        assert signal_power(block.samples[600:] - s[600:]) == pytest.approx(1.0, rel=0.05)
+
+    def test_reference_power_override(self):
+        medium = Medium(FS)
+        s = 2.0 * self.unit_signal(seed=33)  # actual power 4x the reference
+        block = medium.superpose(s, snr_db=10.0, rng=34, reference_power=1.0)
+        assert block.signal_power == 1.0
+        assert block.noise_power == pytest.approx(0.1)
+
+    def test_source_validation_names_the_label(self):
+        with pytest.raises(ValueError, match=r"links\[3\]\.delay_samples: must be >= 0"):
+            MediumSource(samples=np.ones(4, dtype=complex), power_db=0.0, delay_samples=-2, label="links[3]")
+        with pytest.raises(ValueError, match=r"source\.power_db: expected a number"):
+            MediumSource(samples=np.ones(4, dtype=complex), power_db="loud")
+        with pytest.raises(ValueError, match=r"source\.kind: must be 'interference' or 'jammer'"):
+            MediumSource(samples=np.ones(4, dtype=complex), power_db=0.0, kind="friendly")
+
+    def test_non_source_entry_rejected(self):
+        with pytest.raises(ValueError, match=r"sources: expected MediumSource"):
+            Medium(FS).superpose(np.ones(10, dtype=complex), 10.0, sources=(np.ones(10),), rng=0)

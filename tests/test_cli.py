@@ -124,6 +124,73 @@ class TestScenarioRunExitCodes:
         assert "cannot read" in capsys.readouterr().err
 
 
+class TestNetworkRun:
+    def network_spec(self, tmp_path, **overrides):
+        spec = {
+            "name": "cli2",
+            "links": [
+                {"name": "a", "config": {"seed": 1, "payload_bytes": 2}, "seed": 10,
+                 "snr_db": 14.0, "sjr_db": -8.0,
+                 "jammer": {"type": "tone", "frequency": 250e3}},
+                {"name": "b", "config": {"seed": 2, "payload_bytes": 2}, "seed": 11,
+                 "snr_db": 14.0},
+            ],
+            "coupling_db": [[None, -18.0], [-18.0, None]],
+            "packets": 2,
+        }
+        spec.update(overrides)
+        path = tmp_path / "net.json"
+        path.write_text(json.dumps(spec))
+        return str(path)
+
+    def test_run_network_prints_per_link_table_and_aggregates(self, tmp_path, capsys):
+        path = self.network_spec(tmp_path)
+        out_csv = str(tmp_path / "net.csv")
+        assert main(["run", "--network", path, "--output", out_csv]) == 0
+        out = capsys.readouterr().out
+        assert "network 'cli2': 2 links x 2 packets, 1 jammer(s)" in out
+        assert "network throughput" in out and "Jain fairness" in out
+        assert os.path.exists(out_csv)
+        with open(out_csv) as fh:
+            header = fh.readline().strip()
+        assert header.split(",")[0] == "link"
+
+    def test_run_requires_exactly_one_spec_kind(self, tmp_path, capsys):
+        path = self.network_spec(tmp_path)
+        assert main(["run"]) == 2
+        assert "exactly one of --scenario or --network" in capsys.readouterr().err
+        assert main(["run", "--scenario", path, "--network", path]) == 2
+        assert "exactly one of --scenario or --network" in capsys.readouterr().err
+
+    def test_bad_network_file_exits_two(self, tmp_path, capsys):
+        bad = self.network_spec(tmp_path, links=[])
+        assert main(["run", "--network", bad]) == 2
+        assert "links" in capsys.readouterr().err
+
+    def test_scenario_validate_routes_network_files(self, tmp_path, capsys):
+        self.network_spec(tmp_path)
+        assert main(["scenario", "validate", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "cli2 (2 links x 2 packets, 1 jammer(s))" in out
+
+    def test_scenario_validate_fails_bad_network_file(self, tmp_path, capsys):
+        self.network_spec(tmp_path, packets=0)
+        assert main(["scenario", "validate", str(tmp_path)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_scenario_list_shows_network_shape(self, tmp_path, capsys):
+        self.network_spec(tmp_path)
+        assert main(["scenario", "list", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "network (1 jammed)" in out
+        assert "2 links x2" in out
+
+    def test_example_network_specs_validate(self, capsys):
+        for name in ["network_mesh4.json", "network_jammed8.json"]:
+            assert main(["scenario", "validate", os.path.join(SCENARIO_DIR, name)]) == 0
+        capsys.readouterr()
+
+
 class TestCacheCommands:
     @staticmethod
     def _seed(directory):

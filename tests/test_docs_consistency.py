@@ -5,6 +5,7 @@ file the README/DESIGN mention exists, every registry experiment has a
 benchmark, and the public names the API guide shows actually resolve.
 """
 
+import json
 import os
 import re
 
@@ -172,9 +173,17 @@ class TestExampleScenarios:
         assert self.scenario_files()
 
     def test_every_example_scenario_validates(self):
+        from repro.network import NetworkSpec
         from repro.scenario import Scenario
 
         for path in self.scenario_files():
+            with open(path) as fh:
+                is_network = "links" in json.load(fh)
+            if is_network:
+                network = NetworkSpec.load(path)  # raises NetworkError on any bad field
+                assert network.num_links, path
+                assert NetworkSpec.from_dict(network.to_dict()).to_dict() == network.to_dict()
+                continue
             scenario = Scenario.load(path)  # raises ScenarioError on any bad field
             assert scenario.points(), path
             # loading must be lossless modulo config-default expansion
