@@ -1,0 +1,68 @@
+"""Extension: the adversary-zoo tournament's resilience matrix.
+
+The paper evaluates BHSS against narrowband, matched, and hopping
+jammers one at a time; this extension runs the full adaptive-attacker
+zoo — latent reactive, convolution/repeater, optimal multitone, and the
+learning follower — as one tournament grid over {static band, full
+randomized hopping} x {linear, parabolic} at a single shared (SNR, SJR)
+operating point, through :func:`repro.arena.run_tournament`.
+
+Expected shape:
+
+* every PER cell is a valid probability and the unjammed baseline
+  column is at least as clean as any jammed cell at the same grid
+  coordinates;
+* the learning follower hurts the static band at least as much as the
+  randomized hopper — the Wiese & Papadimitratos boundary the
+  integration wall gates strictly (the latent reactive attacker shows
+  the *opposite* sign here by design: the wide static band carries
+  short packets that fit inside its turnaround latency, a second
+  defensive effect the grid makes visible).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import experiments
+
+from _common import run_once, save_and_print
+
+
+def compute_arena(*args, **kwargs):
+    """Delegate to :func:`repro.analysis.experiments.ext_arena` —
+    the canonical, user-callable implementation of this experiment."""
+    return experiments.ext_arena(*args, **kwargs)
+
+
+@pytest.mark.benchmark(group="extension")
+def test_ext_arena_tournament(benchmark):
+    result = run_once(benchmark, compute_arena)
+    save_and_print(
+        result,
+        "ext_arena_tournament",
+        "Extension: adversary-zoo tournament (resilience matrix, jammer advantage)",
+    )
+
+    jammers = result.column("jammer")
+    patterns = result.column("pattern")
+    bands = result.column("num_bands")
+    per = np.array(result.column("per"))
+
+    # the full grid: 5 jammer strategies x 2 patterns x 2 hop ranges
+    assert len(per) == 5 * 2 * 2
+    assert set(jammers) == {"none", "latent", "repeater", "multitone", "follower"}
+    assert np.all((0.0 <= per) & (per <= 1.0))
+
+    cell = {
+        (j, p, b): float(v) for j, p, b, v in zip(jammers, patterns, bands, per)
+    }
+
+    # the baseline column is at least as clean as any jammed cell
+    for (j, p, b), v in cell.items():
+        assert v >= cell[("none", p, b)] - 1e-9
+
+    # the follower's learned estimate settles on the static band and
+    # chases the randomized hopper (the strict version, with the matched
+    # reactive attacker, lives in tests/test_integration_paper_claims.py)
+    for pattern in ("linear", "parabolic"):
+        assert cell[("follower", pattern, 1)] >= cell[("follower", pattern, 7)] - 1e-9

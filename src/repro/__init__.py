@@ -41,10 +41,14 @@ Subpackages
 ``repro.network``
     N-link shared-spectrum networks: serializable topologies, the
     parallel ``run_network`` driver, throughput/fairness aggregates.
+``repro.arena``
+    Jammer tournaments: the adversary zoo swept over hop patterns and
+    hop ranges into a resilience matrix with a jammer-advantage summary.
 """
 
 __version__ = "1.0.0"
 
+from repro.arena import ArenaSpec, TournamentResult, run_tournament
 from repro.core import (
     AcquiringReceiver,
     BHSSConfig,
@@ -65,11 +69,15 @@ from repro.channel import Impairments, Medium, MultipathChannel
 from repro.jamming import (
     BandlimitedNoiseJammer,
     CombJammer,
+    FollowerJammer,
     HoppingJammer,
     Jammer,
+    LatentReactiveJammer,
     MatchedReactiveJammer,
+    MultiToneJammer,
     NoJammer,
     PulsedJammer,
+    RepeaterJammer,
     SweepJammer,
     ToneJammer,
 )
@@ -118,6 +126,10 @@ __all__ = [
     "ToneJammer",
     "SweepJammer",
     "PulsedJammer",
+    "LatentReactiveJammer",
+    "RepeaterJammer",
+    "MultiToneJammer",
+    "FollowerJammer",
     "BandwidthSet",
     "HopSchedule",
     "paper_bandwidths",
@@ -130,4 +142,7 @@ __all__ = [
     "NetworkSimulator",
     "run_network",
     "jain_fairness",
+    "ArenaSpec",
+    "TournamentResult",
+    "run_tournament",
 ]

@@ -56,6 +56,7 @@ __all__ = [
     "ext_fhss_vs_bhss",
     "ext_multipath",
     "ext_network",
+    "ext_arena",
     "REGISTRY",
 ]
 
@@ -686,6 +687,50 @@ def ext_network(
     return jammer_count_sweep(spec)
 
 
+def ext_arena(
+    scale: float | None = None,
+    payload_bytes: int = 2,
+    seed: int = 223,
+) -> SweepResult:
+    """Extension: adversary-zoo tournament — the resilience matrix.
+
+    Pits the adaptive jammer strategies (latent reactive, repeater,
+    optimal multitone, learning follower) plus the unjammed baseline
+    against a static-band link (hop range 1) and full seven-bandwidth
+    randomized hopping, for two hop patterns, all at one common
+    (SNR, SJR) operating point.  The rows are the tournament's
+    resilience matrix; the ``jammer-advantage`` summary (mean PER
+    degradation vs baseline) is in ``TournamentResult.aggregates()``
+    when run through :func:`repro.arena.run_tournament` directly.
+    """
+    from repro.arena import ArenaSpec, run_tournament
+
+    if scale is None:
+        scale = env_scale()
+    packets = max(2, int(round(6 * scale)))
+    spec = ArenaSpec(
+        name="ext-arena",
+        config=_paper_config(seed=seed, payload_bytes=payload_bytes),
+        jammers=(
+            ("none", {"type": "none"}),
+            ("latent", {"type": "latent-reactive", "bandwidth": 10e6,
+                        "turnaround_samples": 2048}),
+            ("repeater", {"type": "repeater", "delay_samples": 64, "num_taps": 3}),
+            ("multitone", {"type": "multitone", "placement_bandwidth": 0.15625e6,
+                           "num_tones": 4}),
+            ("follower", {"type": "follower", "initial_bandwidth": 10e6}),
+        ),
+        patterns=("linear", "parabolic"),
+        hop_ranges=(1, 7),
+        snr_db=15.0,
+        sjr_db=-10.0,
+        packets=packets,
+        seed=seed,
+        description="adversary zoo vs static-band and randomized hopping",
+    )
+    return run_tournament(spec).to_sweep_result()
+
+
 #: experiment name -> (callable, one-line description)
 REGISTRY: dict[str, tuple[Callable, str]] = {
     "fig07": (figure07, "SNR improvement bound vs Bp/Bj (Figure 7)"),
@@ -704,4 +749,5 @@ REGISTRY: dict[str, tuple[Callable, str]] = {
     "ext-fhss": (ext_fhss_vs_bhss, "empirical FHSS baseline vs BHSS"),
     "ext-multipath": (ext_multipath, "multipath PER per bandwidth, +/- equalizer"),
     "ext-network": (ext_network, "network throughput + Jain fairness vs jammer count"),
+    "ext-arena": (ext_arena, "adversary-zoo tournament: resilience matrix + jammer advantage"),
 }

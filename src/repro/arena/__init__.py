@@ -1,0 +1,25 @@
+"""Adaptive arena: jammer-strategy x hop-pattern x hop-range tournaments.
+
+:class:`ArenaSpec` declares the grid as plain JSON data;
+:func:`run_tournament` sweeps it over the fault-tolerant parallel runtime
+(spec-hash caching, checkpoint/resume, bit-identical serial vs pool) and
+returns the resilience matrix plus the jammer-advantage summary.
+"""
+
+from repro.arena.runner import (
+    TOURNAMENT_COLUMNS,
+    TournamentResult,
+    evaluate_arena_cell,
+    run_tournament,
+)
+from repro.arena.spec import NO_JAMMER, ArenaError, ArenaSpec
+
+__all__ = [
+    "ArenaError",
+    "ArenaSpec",
+    "NO_JAMMER",
+    "TOURNAMENT_COLUMNS",
+    "TournamentResult",
+    "evaluate_arena_cell",
+    "run_tournament",
+]

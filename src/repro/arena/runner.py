@@ -1,0 +1,296 @@
+"""Tournament execution over the fault-tolerant parallel runtime.
+
+:func:`run_tournament` fans an :class:`ArenaSpec`'s cells out over the
+:class:`~repro.runtime.executor.ParallelExecutor` through the same spec
+transport, cache, and checkpoint machinery as scenario and network runs:
+workers receive only the arena's ``to_dict()`` payload plus cell
+indices, rebuild link and jammer from the spec, memoize each cell under
+a content hash of its exact configuration, and checkpoint completed
+cells incrementally so an interrupted tournament resumes bit-identically.
+
+The output is a **resilience matrix** — BER / PER / throughput per
+(jammer, pattern, hop range) cell — plus the ``jammer-advantage``
+summary: per jammer strategy, the mean PER degradation it inflicts
+relative to the unjammed baseline column at the same grid coordinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.arena.spec import ArenaError, ArenaSpec
+from repro.core.link import LinkSimulator, LinkStats
+from repro.runtime import (
+    ParallelExecutor,
+    ResultCache,
+    SweepTiming,
+    make_checkpoint,
+    resolve_batch,
+    stable_hash,
+)
+
+if TYPE_CHECKING:
+    from repro.analysis.sweep import SweepResult
+
+__all__ = [
+    "TOURNAMENT_COLUMNS",
+    "TournamentResult",
+    "evaluate_arena_cell",
+    "run_tournament",
+]
+
+#: column order of a per-cell tournament result table.
+TOURNAMENT_COLUMNS = (
+    "jammer", "pattern", "num_bands", "hop_range",
+    "per", "per_lo", "per_hi", "ber", "throughput_bps",
+)
+
+
+def _cache_token(cache: "ResultCache | str | bool | None") -> "str | bool | None":
+    """Flatten a cache argument to picklable data for the spec payload."""
+    if cache is None or cache is False:
+        return cache
+    if isinstance(cache, ResultCache):
+        return cache.root
+    return str(cache)
+
+
+def _cell_record(
+    label: str, pattern: str, num_bands: int, hop_range: float, stats: LinkStats
+) -> dict:
+    per_lo, per_hi = stats.per_confidence_interval()
+    return {
+        "jammer": label,
+        "pattern": pattern,
+        "num_bands": int(num_bands),
+        "hop_range": float(hop_range),
+        "per": stats.packet_error_rate,
+        "per_lo": per_lo,
+        "per_hi": per_hi,
+        "ber": stats.bit_error_rate,
+        "throughput_bps": stats.throughput_bps,
+        # The raw counters, so callers (and the equivalence wall) can
+        # reconstruct the exact LinkStats from a record or cache entry.
+        "stats": {
+            "num_packets": stats.num_packets,
+            "num_accepted": stats.num_accepted,
+            "total_bits": stats.total_bits,
+            "bit_errors": stats.bit_errors,
+            "data_rate_bps": stats.data_rate_bps,
+            "filter_usage": dict(stats.filter_usage),
+        },
+    }
+
+
+def evaluate_arena_cell(payload: dict, index: int) -> dict:
+    """Evaluate one cell of a tournament grid.
+
+    The module-level runner of the spec transport: ``payload`` is plain
+    data — ``{"arena": ArenaSpec.to_dict(), "cache": None | False |
+    <root path>}`` — and link + jammer are rebuilt from it, so the call
+    is a pure function of its arguments with no fork-inherited state.
+    The memo key is the *content* of the cell (derived config, jammer
+    spec, operating point), not its grid position, so duplicate cells —
+    e.g. the static-band column repeated across patterns — hit the same
+    entry.
+    """
+    spec = ArenaSpec.from_dict(payload["arena"])
+    token = payload.get("cache")
+    if token is None:
+        store = ResultCache.from_env()
+    elif token is False:
+        store = None
+    elif isinstance(token, str):
+        store = ResultCache(token)
+    else:
+        store = token
+    config, jammer, label, pattern, num_bands = spec.build_cell(int(index))
+    key = None
+    if store is not None:
+        key = {
+            "kind": "arena.cell",
+            "config": config.to_dict(),
+            "jammer": jammer.spec(),
+            "snr_db": float(spec.snr_db),
+            "sjr_db": float(spec.sjr_db),
+            "packets": int(spec.packets),
+            "seed": int(spec.seed),
+        }
+        hit = store.get(key)
+        if hit is not None:
+            record = dict(hit)
+            # Grid coordinates are not part of the content key: restamp
+            # them so a cache hit from a sibling cell reports its own.
+            record.update({"jammer": label, "pattern": pattern, "num_bands": int(num_bands)})
+            return record
+    link = LinkSimulator(config)
+    stats = link.run_packets_batched(
+        spec.packets,
+        snr_db=spec.snr_db,
+        sjr_db=spec.sjr_db,
+        jammer=jammer,
+        seed=spec.seed,
+        cache=False,  # the cell-level memo above is the single cache layer
+    )
+    record = _cell_record(label, pattern, num_bands, config.bandwidth_set.hop_range, stats)
+    if key is not None and store is not None:
+        store.put(key, record)
+    return record
+
+
+@dataclass
+class TournamentResult:
+    """Per-cell records plus the tournament-level summaries.
+
+    ``records`` holds one :func:`evaluate_arena_cell` record per cell in
+    :meth:`ArenaSpec.cells` order; ``timing`` carries the fan-out
+    telemetry (it does not participate in equality).
+    """
+
+    spec: ArenaSpec
+    records: list[dict] = field(default_factory=list)
+    timing: SweepTiming | None = field(default=None, repr=False, compare=False)
+
+    def cell_stats(self, jammer: str, pattern: str, num_bands: int) -> LinkStats:
+        """Reconstruct the exact :class:`LinkStats` of one cell."""
+        for record in self.records:
+            if (
+                record["jammer"] == jammer
+                and record["pattern"] == pattern
+                and record["num_bands"] == num_bands
+            ):
+                return LinkStats(**record["stats"])
+        raise KeyError(f"no cell ({jammer!r}, {pattern!r}, {num_bands}) in this result")
+
+    def resilience_matrix(self, metric: str = "ber") -> dict[tuple[str, str, int], float]:
+        """``(jammer, pattern, num_bands) -> metric`` over the whole grid."""
+        if metric not in ("per", "ber", "throughput_bps"):
+            raise ValueError(f"metric must be per/ber/throughput_bps, got {metric!r}")
+        return {
+            (r["jammer"], r["pattern"], r["num_bands"]): float(r[metric])
+            for r in self.records
+        }
+
+    def jammer_advantage(self, metric: str = "per") -> dict[str, float]:
+        """Mean per-cell degradation each jammer inflicts vs the baseline.
+
+        For every non-baseline jammer label, averages ``metric(jammed
+        cell) - metric(baseline cell)`` over the (pattern, hop range)
+        grid — the attacker's advantage in PER (or BER) points at equal
+        SJR.  Requires a ``{"type": "none"}`` jammer in the spec as the
+        baseline column.
+        """
+        baseline = self.spec.baseline_label
+        if baseline is None:
+            raise ArenaError(
+                "jammer advantage needs an unjammed baseline: add a "
+                '{"type": "none"} entry to the arena\'s jammers'
+            )
+        matrix = self.resilience_matrix(metric)
+        out: dict[str, float] = {}
+        coords = [(p, k) for p in self.spec.patterns for k in self.spec.hop_ranges]
+        for label in self.spec.jammer_labels:
+            if label == baseline:
+                continue
+            deltas = [
+                matrix[(label, p, k)] - matrix[(baseline, p, k)] for p, k in coords
+            ]
+            out[label] = float(sum(deltas) / len(deltas))
+        return out
+
+    def aggregates(self) -> dict:
+        """The tournament-level summary row."""
+        n = len(self.records)
+        return {
+            "num_cells": n,
+            "mean_per": float(sum(r["per"] for r in self.records)) / n,
+            "mean_ber": float(sum(r["ber"] for r in self.records)) / n,
+            "jammer_advantage": (
+                self.jammer_advantage() if self.spec.baseline_label is not None else {}
+            ),
+        }
+
+    def to_sweep_result(self) -> "SweepResult":
+        """The per-cell resilience matrix as a tidy :class:`SweepResult`."""
+        from repro.analysis.sweep import SweepResult
+
+        out = SweepResult(columns=TOURNAMENT_COLUMNS)
+        for record in self.records:
+            out.add(**{c: record[c] for c in TOURNAMENT_COLUMNS})
+        out.timing = self.timing
+        return out
+
+
+def run_tournament(
+    spec: ArenaSpec,
+    *,
+    executor: ParallelExecutor | None = None,
+    cache: "ResultCache | str | bool | None" = None,
+    checkpoint: "str | bool | None" = None,
+) -> TournamentResult:
+    """Evaluate every cell of a tournament into a :class:`TournamentResult`.
+
+    ``executor`` defaults to the ``REPRO_WORKERS``-configured pool
+    (serial when unset); cells are merged in grid order either way, and a
+    parallel run is bit-identical to a serial one.  ``cache`` and
+    ``checkpoint`` follow the :func:`repro.scenario.runner.run_scenario`
+    conventions (``REPRO_CACHE`` / ``REPRO_CHECKPOINT`` when ``None``,
+    ``False`` forces off); completed cells are persisted incrementally
+    under the arena's canonical spec hash, so a rerun of the *same*
+    tournament recomputes only unfinished cells.
+    """
+    ex = executor if executor is not None else ParallelExecutor.from_env()
+    spec_dict = spec.to_dict()
+    payload = {"arena": spec_dict, "cache": _cache_token(cache)}
+    total = spec.num_cells
+    ckpt = make_checkpoint(checkpoint, stable_hash({"arena": spec_dict}), total)
+    loaded: dict[int, Any] = {} if ckpt is None else ckpt.load()
+    pending = [i for i in range(total) if not isinstance(loaded.get(i), dict)]
+    records: list[dict | None] = [loaded[i] if i not in pending else None for i in range(total)]
+    seconds = [0.0] * total
+    wall = 0.0
+    workers = 1
+    retries = 0
+    if pending:
+        on_result: Callable[[int, object], None] | None = None
+        if ckpt is not None:
+            active = ckpt
+
+            def _persist(local_index: int, value: object) -> None:
+                active.record(pending[local_index], value)
+
+            on_result = _persist
+        try:
+            report = ex.map_spec(
+                evaluate_arena_cell,
+                payload,
+                pending,
+                on_result=on_result,
+            )
+        except BaseException:
+            # Keep whatever finished: an interrupted run resumes from here.
+            if ckpt is not None:
+                ckpt.flush()
+            raise
+        for index, value, secs in zip(pending, report.values, report.seconds):
+            records[index] = value
+            seconds[index] = secs
+        wall = report.wall_seconds
+        workers = report.workers
+        retries = report.retries
+    if ckpt is not None:
+        ckpt.complete()
+    final: list[dict] = []
+    for record in records:
+        assert record is not None  # every index is either loaded or pending
+        final.append(record)
+    timing = SweepTiming(
+        wall_seconds=wall,
+        point_seconds=tuple(seconds),
+        workers=workers,
+        packets=spec.packets * total,
+        batch_size=resolve_batch(),
+        retries=retries,
+    )
+    return TournamentResult(spec=spec, records=final, timing=timing)

@@ -31,14 +31,18 @@ Installed as ``repro-bhss`` (see ``pyproject.toml``); also runnable as
     mode.
 ``run``
     Execute a declarative scenario JSON file (``--scenario file.json``)
-    over its (SNR x SJR) grid, or an N-link shared-spectrum network file
-    (``--network file.json``) over its links, and print/export the tidy
-    result table plus (for networks) the throughput/fairness aggregates.
+    over its (SNR x SJR) grid, an N-link shared-spectrum network file
+    (``--network file.json``) over its links, or a jammer-tournament
+    arena (``--tournament file.json``) over its strategy x pattern x
+    hop-range grid, and print/export the tidy result table plus the
+    run-type-specific aggregates (fairness for networks, the resilience
+    matrix and jammer-advantage summary for tournaments).
 ``scenario``
-    Tooling for scenario *and* network files: ``scenario validate
-    <paths...>`` parse-validates files or directories of them (files
-    with a ``links`` array route to the network loader); ``scenario
-    list [dir]`` summarizes a directory (default ``examples/scenarios``).
+    Tooling for scenario, network, *and* arena files: ``scenario
+    validate <paths...>`` parse-validates files or directories of them
+    (files with a ``links`` array route to the network loader, files
+    with a ``jammers`` map to the arena loader); ``scenario list
+    [dir]`` summarizes a directory (default ``examples/scenarios``).
 ``cache``
     Integrity tooling for the ``REPRO_CACHE`` result store:
     ``cache verify [dir]`` audits every entry against its checksum
@@ -645,12 +649,71 @@ def _run_network_file(args) -> int:
     return 0
 
 
+def _run_tournament_file(args) -> int:
+    """The ``run --tournament`` path: one arena (jammer tournament) file."""
+    from repro.arena import ArenaError, ArenaSpec, run_tournament
+
+    try:
+        spec = ArenaSpec.load(args.tournament)
+    except ArenaError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    label = f" — {spec.description}" if spec.description else ""
+    print(
+        f"tournament {spec.name!r}{label}: "
+        f"{len(spec.jammers)} jammers x {len(spec.patterns)} patterns x "
+        f"{len(spec.hop_ranges)} hop ranges = {spec.num_cells} cells "
+        f"x {spec.packets} packets"
+    )
+    result = run_tournament(spec, checkpoint=args.checkpoint)
+    rows = [
+        [
+            r["jammer"],
+            r["pattern"],
+            f"{r['num_bands']}",
+            f"{r['hop_range']:g}",
+            f"{r['per']:.3f}",
+            f"[{r['per_lo']:.2f},{r['per_hi']:.2f}]",
+            f"{r['ber']:.5f}",
+            f"{r['throughput_bps'] / 1e3:.1f}",
+        ]
+        for r in result.records
+    ]
+    print(
+        format_table(
+            ["jammer", "pattern", "bands", "hop range", "PER", "95% CI", "BER", "goodput (kb/s)"],
+            rows,
+            title=f"resilience matrix: {spec.name}",
+        )
+    )
+    if spec.baseline_label is not None:
+        advantage = result.jammer_advantage()
+        if advantage:
+            summary = ", ".join(f"{k} {v:+.3f}" for k, v in sorted(advantage.items()))
+            print(f"jammer advantage (PER points vs {spec.baseline_label!r}): {summary}")
+    else:
+        print('(no {"type": "none"} baseline jammer: jammer-advantage summary skipped)')
+    if result.timing is not None:
+        print(result.timing.summary())
+    if args.output:
+        from repro.analysis import write_csv
+
+        print(f"wrote {write_csv(result.to_sweep_result(), args.output)}")
+    return 0
+
+
 def cmd_run(args) -> int:
     from repro.scenario import Scenario, ScenarioError, run_scenario
 
-    if bool(args.scenario) == bool(args.network):
-        print("run: exactly one of --scenario or --network is required", file=sys.stderr)
+    given = [n for n in ("scenario", "network", "tournament") if getattr(args, n)]
+    if len(given) != 1:
+        print(
+            "run: exactly one of --scenario, --network or --tournament is required",
+            file=sys.stderr,
+        )
         return 2
+    if args.tournament:
+        return _run_tournament_file(args)
     if args.network:
         return _run_network_file(args)
     try:
@@ -724,7 +787,24 @@ def _is_network_file(path: str) -> bool:
     return isinstance(data, dict) and "links" in data
 
 
+def _is_arena_file(path: str) -> bool:
+    """Whether a spec file is a tournament arena (has a ``jammers`` map).
+
+    Same fall-through contract as :func:`_is_network_file`: unreadable or
+    unparsable files return ``False`` and land in the scenario loader.
+    """
+    import json
+
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except (OSError, ValueError):
+        return False
+    return isinstance(data, dict) and "jammers" in data and "links" not in data
+
+
 def cmd_scenario_validate(args) -> int:
+    from repro.arena import ArenaError, ArenaSpec
     from repro.network import NetworkError, NetworkSpec
     from repro.scenario import Scenario, ScenarioError
 
@@ -735,7 +815,14 @@ def cmd_scenario_validate(args) -> int:
     failures = 0
     for path in files:
         try:
-            if _is_network_file(path):
+            if _is_arena_file(path):
+                arena = ArenaSpec.load(path)
+                print(
+                    f"ok    {path}: {arena.name} "
+                    f"({arena.num_cells} cells x {arena.packets} packets, "
+                    f"{len(arena.jammers)} jammer(s))"
+                )
+            elif _is_network_file(path):
                 network = NetworkSpec.load(path)
                 print(
                     f"ok    {path}: {network.name} "
@@ -748,7 +835,7 @@ def cmd_scenario_validate(args) -> int:
                     f"ok    {path}: {scenario.name} "
                     f"({len(scenario.points())} points x {scenario.packets} packets)"
                 )
-        except (NetworkError, ScenarioError) as exc:
+        except (ArenaError, NetworkError, ScenarioError) as exc:
             failures += 1
             print(f"FAIL  {exc}")
     print(f"{len(files) - failures}/{len(files)} scenario files valid")
@@ -756,6 +843,7 @@ def cmd_scenario_validate(args) -> int:
 
 
 def cmd_scenario_list(args) -> int:
+    from repro.arena import ArenaError, ArenaSpec
     from repro.network import NetworkError, NetworkSpec
     from repro.scenario import Scenario, ScenarioError
 
@@ -765,6 +853,22 @@ def cmd_scenario_list(args) -> int:
         return 2
     rows = []
     for path in files:
+        if _is_arena_file(path):
+            try:
+                a = ArenaSpec.load(path)
+            except ArenaError:
+                rows.append([os.path.basename(path), "(invalid)", "-", "-", "-"])
+                continue
+            rows.append(
+                [
+                    os.path.basename(path),
+                    a.name,
+                    f"arena ({len(a.jammers)} jammers)",
+                    f"{a.num_cells} cells x{a.packets}",
+                    a.description[:48],
+                ]
+            )
+            continue
         if _is_network_file(path):
             try:
                 n = NetworkSpec.load(path)
@@ -981,11 +1085,17 @@ def build_parser() -> argparse.ArgumentParser:
         func=cmd_bench, pattern="linear", payload_bytes=8, symbols_per_hop=1, jammer="tone"
     )
 
-    p_run = sub.add_parser("run", help="execute a declarative scenario or network JSON file")
+    p_run = sub.add_parser(
+        "run", help="execute a declarative scenario, network, or tournament JSON file"
+    )
     p_run.add_argument("--scenario", default=None, metavar="FILE", help="scenario JSON file")
     p_run.add_argument(
         "--network", default=None, metavar="FILE",
         help="N-link network JSON file (see repro.network.NetworkSpec)",
+    )
+    p_run.add_argument(
+        "--tournament", default=None, metavar="FILE",
+        help="jammer-tournament arena JSON file (see repro.arena.ArenaSpec)",
     )
     p_run.add_argument("--output", "-o", default=None, help="also write the result CSV here")
     p_run.add_argument(

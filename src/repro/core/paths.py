@@ -34,6 +34,7 @@ from repro.channel.impairments import Impairments
 from repro.core.config import BHSSConfig
 from repro.core.receiver import BHSSReceiver, ReceiveResult
 from repro.core.transmitter import BHSSTransmitter, TransmittedPacket
+from repro.jamming.adaptive.base import VictimAwareJammer
 from repro.jamming.base import Jammer, NoJammer
 from repro.jamming.reactive import MatchedReactiveJammer
 from repro.phy.bits import hamming_distance_bits
@@ -216,17 +217,20 @@ def draw_jammer_wave(
     """Draw the jammer's waveform for one packet, or ``None`` if not injected.
 
     This is the shared RNG-contract helper of every driver (serial,
-    batched, network): a reactive matched jammer observes the packet's
-    bandwidth profile first, and the waveform is drawn even at
-    ``sjr_db=+inf``, where it is not injected — the draw keeps the shared
-    RNG stream (and any jammer-internal state) advancing exactly as in a
-    finite-SJR run, so an SJR sweep that includes inf as its unjammed
-    baseline sees the same noise realization at every point.
+    batched, network): a sensing jammer (reactive matched, or any
+    :class:`~repro.jamming.adaptive.base.VictimAwareJammer`) observes the
+    packet first, and the waveform is drawn even at ``sjr_db=+inf``,
+    where it is not injected — the draw keeps the shared RNG stream (and
+    any jammer-internal state) advancing exactly as in a finite-SJR run,
+    so an SJR sweep that includes inf as its unjammed baseline sees the
+    same noise realization at every point.
     """
     if jammer is None or isinstance(jammer, NoJammer):
         return None
     if isinstance(jammer, MatchedReactiveJammer):
         jammer.observe(packet.bandwidth_profile())
+    elif isinstance(jammer, VictimAwareJammer):
+        jammer.observe_victim(packet.waveform, packet.bandwidth_profile())
     wave = jammer.waveform(packet.num_samples, gen)
     if np.isfinite(sjr_db):
         return np.asarray(wave)

@@ -1,5 +1,5 @@
 """Jammer models: fixed-band noise, reactive bandwidth-matching, hopping,
-tone, sweep, and pulsed attackers."""
+tone, sweep, pulsed, and adaptive sensing-driven attackers."""
 
 from repro.jamming.base import Jammer, NoJammer
 from repro.jamming.noise import BandlimitedNoiseJammer, bandlimited_noise
@@ -7,11 +7,19 @@ from repro.jamming.reactive import MatchedReactiveJammer
 from repro.jamming.hopping_jammer import HoppingJammer
 from repro.jamming.misc import PulsedJammer, SweepJammer, ToneJammer
 from repro.jamming.comb import CombJammer
+from repro.jamming.adaptive import (
+    FollowerJammer,
+    LatentReactiveJammer,
+    MultiToneJammer,
+    RepeaterJammer,
+    VictimAwareJammer,
+)
 from repro.jamming.registry import (
     JAMMER_REGISTRY,
     jammer_from_spec,
     jammer_names,
     register_jammer,
+    verify_spec_roundtrip,
 )
 
 __all__ = [
@@ -25,8 +33,14 @@ __all__ = [
     "SweepJammer",
     "PulsedJammer",
     "CombJammer",
+    "VictimAwareJammer",
+    "LatentReactiveJammer",
+    "RepeaterJammer",
+    "MultiToneJammer",
+    "FollowerJammer",
     "JAMMER_REGISTRY",
     "jammer_from_spec",
     "jammer_names",
     "register_jammer",
+    "verify_spec_roundtrip",
 ]

@@ -1,0 +1,26 @@
+"""Adversary zoo v2: adaptive, sensing-driven attackers.
+
+The classic zoo (:mod:`repro.jamming`) emits waveforms blind to the
+victim; the adaptive zoo senses the victim's transmission and reacts —
+energy-detect-then-jam (:class:`LatentReactiveJammer`), replay the
+victim's own waveform (:class:`RepeaterJammer`), learn the hop process
+online (:class:`FollowerJammer`) — or optimizes its placement against a
+known hop range (:class:`MultiToneJammer`).  All are registry-backed and
+spec-serializable like the rest of the zoo; randomness flows only through
+the per-packet ``child_rng`` substreams, so the serial, batched, and
+pool drivers stay bit-identical.
+"""
+
+from repro.jamming.adaptive.base import VictimAwareJammer
+from repro.jamming.adaptive.follower import FollowerJammer
+from repro.jamming.adaptive.latent_reactive import LatentReactiveJammer
+from repro.jamming.adaptive.multitone import MultiToneJammer
+from repro.jamming.adaptive.repeater import RepeaterJammer
+
+__all__ = [
+    "VictimAwareJammer",
+    "LatentReactiveJammer",
+    "RepeaterJammer",
+    "MultiToneJammer",
+    "FollowerJammer",
+]

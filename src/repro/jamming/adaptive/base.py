@@ -1,0 +1,64 @@
+"""Victim-aware jammer base class.
+
+The adaptive attackers of the zoo (latent-reactive, repeater, follower)
+all need to *sense* the victim's transmission before emitting: energy
+detection needs the waveform, band estimation needs the bandwidth
+profile.  :class:`VictimAwareJammer` is the contract between those
+attackers and the link drivers — :func:`repro.core.paths.draw_jammer_wave`
+calls :meth:`observe_victim` with the packet's air waveform and bandwidth
+profile immediately before drawing the jammer waveform, on the serial,
+batched, and network paths alike, so the observation is always exactly
+one packet old state-wise and the per-packet ``child_rng`` substream
+contract is untouched.
+
+Wrapping a victim-aware jammer inside a :class:`~repro.jamming.misc.PulsedJammer`
+hides it from the drivers (only the outermost jammer is observed); compose
+the other way around if duty cycling is wanted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.jamming.base import Jammer
+
+__all__ = ["VictimAwareJammer"]
+
+
+class VictimAwareJammer(Jammer):
+    """A jammer that senses the victim's packet before emitting.
+
+    Subclasses read the stored observation (``self._victim_wave``,
+    ``self._victim_profile``) inside :meth:`waveform`.  The observation is
+    *replaced* on every call to :meth:`observe_victim`, so per-packet
+    attackers stay memoryless; attackers that learn across packets (the
+    follower) fold the observation into their own state and declare
+    ``is_stateful = True``.
+    """
+
+    def __init__(self) -> None:
+        self._victim_wave: np.ndarray | None = None
+        self._victim_profile: list[tuple[int, float]] = []
+
+    def observe_victim(
+        self, waveform: np.ndarray, profile: list[tuple[int, float]]
+    ) -> None:
+        """Record the victim packet about to be transmitted.
+
+        ``waveform`` is the victim's air waveform (what a co-located
+        sensing receiver captures); ``profile`` is its bandwidth profile
+        as ``(num_samples, bandwidth_hz)`` segments in transmission
+        order.  Replaces any previous observation.
+        """
+        for length, bw in profile:
+            if length < 0:
+                raise ValueError("segment lengths must be >= 0")
+            if bw <= 0:
+                raise ValueError("segment bandwidths must be positive")
+        self._victim_wave = np.asarray(waveform, dtype=complex)
+        self._victim_profile = [(int(n), float(bw)) for n, bw in profile]
+
+    def reset(self) -> None:
+        """Forget the stored observation (and any learned state)."""
+        self._victim_wave = None
+        self._victim_profile = []

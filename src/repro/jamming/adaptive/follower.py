@@ -1,0 +1,145 @@
+"""Learning/follower jammer: online band estimation over a noisy sensor.
+
+Wiese & Papadimitratos (arXiv 1512.06645) argue that hopping *alone* buys
+no resilience against an adversary that can learn the hop process.  This
+attacker makes that argument executable: it observes each packet's hop
+decisions through a noisy sensing channel and maintains an exponentially
+weighted estimate of the victim's bandwidth in the log2 (octave) domain —
+the natural axis of the paper's octave-spaced hop set.  Each packet it
+jams at its *current* estimate, then folds the new observation in.
+
+Against a static-bandwidth victim the estimate converges to the true
+band (up to the sensing-noise floor) and the jammer approaches the
+matched attacker no filtering can beat.  Against randomized bandwidth
+hopping the estimate chases a moving target and stays dispersed across
+the hop range — exactly the attacker/defender boundary the differential
+test wall gates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.jamming.adaptive.base import VictimAwareJammer
+from repro.jamming.noise import bandlimited_noise
+from repro.utils.rng import make_rng
+from repro.utils.validation import ensure_in_range, ensure_non_negative, ensure_positive
+
+__all__ = ["FollowerJammer"]
+
+#: dB per factor-of-two of bandwidth: converts a dB-domain sensing error
+#: standard deviation into the log2 (octave) domain the filter runs in.
+_DB_PER_OCTAVE = 10.0 * np.log10(2.0)
+
+
+class FollowerJammer(VictimAwareJammer):
+    """EWMA band-estimating jammer behind a noisy sensing channel.
+
+    Parameters
+    ----------
+    sample_rate:
+        Baseband sample rate in Hz.
+    initial_bandwidth:
+        Band estimate before the first observation, in Hz.
+    learning_rate:
+        EWMA weight of each new observation in (0, 1]; 1 trusts only the
+        latest dwell, small values average over many packets.
+    sense_noise_db:
+        Standard deviation of the sensing channel's bandwidth-measurement
+        error in dB (0 = a perfect sensor).
+    min_bandwidth, max_bandwidth:
+        Optional clamp on the estimate in Hz, modeling an attacker that
+        knows the victim's advertised hop range.
+    """
+
+    def __init__(
+        self,
+        sample_rate: float,
+        initial_bandwidth: float,
+        learning_rate: float = 0.5,
+        sense_noise_db: float = 1.0,
+        min_bandwidth: float | None = None,
+        max_bandwidth: float | None = None,
+    ) -> None:
+        super().__init__()
+        self.sample_rate = ensure_positive(sample_rate, "sample_rate")
+        self.initial_bandwidth = ensure_positive(initial_bandwidth, "initial_bandwidth")
+        self.learning_rate = ensure_in_range(learning_rate, 1e-6, 1.0, "learning_rate")
+        self.sense_noise_db = float(ensure_non_negative(sense_noise_db, "sense_noise_db"))
+        if min_bandwidth is not None:
+            min_bandwidth = ensure_positive(min_bandwidth, "min_bandwidth")
+        if max_bandwidth is not None:
+            max_bandwidth = ensure_positive(max_bandwidth, "max_bandwidth")
+        if min_bandwidth is not None and max_bandwidth is not None and min_bandwidth > max_bandwidth:
+            raise ValueError("min_bandwidth must not exceed max_bandwidth")
+        self.min_bandwidth = min_bandwidth
+        self.max_bandwidth = max_bandwidth
+        self._log_estimate = float(np.log2(self.initial_bandwidth))
+        self.estimate_history: list[float] = []
+
+    @property
+    def bandwidth_estimate(self) -> float:
+        """The jammer's current victim-bandwidth estimate in Hz."""
+        return float(2.0 ** self._log_estimate)
+
+    def reset(self) -> None:
+        super().reset()
+        self._log_estimate = float(np.log2(self.initial_bandwidth))
+        self.estimate_history = []
+
+    def _clamp(self, log_estimate: float) -> float:
+        if self.min_bandwidth is not None:
+            log_estimate = max(log_estimate, float(np.log2(self.min_bandwidth)))
+        if self.max_bandwidth is not None:
+            log_estimate = min(log_estimate, float(np.log2(self.max_bandwidth)))
+        return log_estimate
+
+    def _learn(self, gen: np.random.Generator) -> None:
+        """Fold the pending observation into the band estimate.
+
+        Each dwell of the observed profile is one noisy measurement:
+        the true log2-bandwidth plus Gaussian sensing error.  The draw
+        count is a deterministic function of the profile, so the stream
+        position stays reproducible across serial/batched/pool drivers.
+        """
+        sigma = self.sense_noise_db / _DB_PER_OCTAVE
+        for _length, bw in self._victim_profile:
+            measured = float(np.log2(bw)) + sigma * float(gen.standard_normal())
+            self._log_estimate = self._clamp(
+                (1.0 - self.learning_rate) * self._log_estimate
+                + self.learning_rate * measured
+            )
+
+    def waveform(self, num_samples: int, rng=None) -> np.ndarray:
+        n = self._check_length(num_samples)
+        gen = make_rng(rng)
+        # Emit at the *pre-observation* estimate — the jammer cannot see
+        # the current packet's hops before jamming it — then learn.
+        out = bandlimited_noise(n, self.bandwidth_estimate, self.sample_rate, gen)
+        self._learn(gen)
+        self.estimate_history.append(self.bandwidth_estimate)
+        return out
+
+    def spec(self) -> dict:
+        return {
+            "type": "follower",
+            "sample_rate": float(self.sample_rate),
+            "initial_bandwidth": float(self.initial_bandwidth),
+            "learning_rate": float(self.learning_rate),
+            "sense_noise_db": float(self.sense_noise_db),
+            "min_bandwidth": None if self.min_bandwidth is None else float(self.min_bandwidth),
+            "max_bandwidth": None if self.max_bandwidth is None else float(self.max_bandwidth),
+        }
+
+    @property
+    def description(self) -> str:
+        return (
+            f"follower jammer (estimate {self.bandwidth_estimate / 1e6:.4g} MHz, "
+            f"lr {self.learning_rate:g})"
+        )
+
+    @property
+    def is_stateful(self) -> bool:
+        # The band estimate evolves across packets: packet order matters,
+        # so the link layer keeps this jammer serial and uncached.
+        return True

@@ -1,0 +1,131 @@
+"""Reactive jammer with an explicit detect-then-jam loop.
+
+Where :class:`~repro.jamming.reactive.MatchedReactiveJammer` abstracts the
+sensing stage away (it is handed the bandwidth profile and only models the
+reaction *delay*), this attacker models the detection itself: a windowed
+energy detector runs over the victim's observed waveform, and jamming
+starts only ``turnaround_samples`` after the detector first fires — the
+sense/decide/switch latency every real reactive jammer pays (the
+SDR-based reactive jammers the paper cites measure tens of microseconds).
+
+Before the turnaround elapses the output is *exactly zero*: the medium
+skips zero-power sources, so the head of the packet is genuinely
+unjammed.  The energy the jammer saves while silent is spent on the tail
+— the emitted burst is boosted so the *whole-packet* average power stays
+at unity, the paper's budgeted-power attacker model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.jamming.adaptive.base import VictimAwareJammer
+from repro.jamming.noise import bandlimited_noise
+from repro.utils.units import db_to_linear
+from repro.utils.validation import ensure_non_negative, ensure_positive
+
+__all__ = ["LatentReactiveJammer"]
+
+
+class LatentReactiveJammer(VictimAwareJammer):
+    """Energy-detecting reactive jammer with turnaround latency.
+
+    Parameters
+    ----------
+    sample_rate:
+        Baseband sample rate in Hz.
+    bandwidth:
+        Two-sided bandwidth of the emitted noise burst in Hz.
+    threshold_db:
+        Detection threshold relative to the observed packet's mean power:
+        the detector fires at the first sample whose trailing
+        ``sense_window``-sample mean energy reaches this level.
+    sense_window:
+        Energy-detector integration window in samples.
+    turnaround_samples:
+        Sense/decide/switch latency: jamming starts this many samples
+        after the detector fires.  More turnaround ⇒ a longer unjammed
+        head (never shorter), which is the monotonicity the property
+        tests gate.
+    """
+
+    def __init__(
+        self,
+        sample_rate: float,
+        bandwidth: float,
+        threshold_db: float = -6.0,
+        sense_window: int = 64,
+        turnaround_samples: int = 256,
+    ) -> None:
+        super().__init__()
+        self.sample_rate = ensure_positive(sample_rate, "sample_rate")
+        self.bandwidth = ensure_positive(bandwidth, "bandwidth")
+        self.threshold_db = float(threshold_db)
+        self.sense_window = int(ensure_positive(sense_window, "sense_window"))
+        self.turnaround_samples = int(
+            ensure_non_negative(turnaround_samples, "turnaround_samples")
+        )
+
+    def detect_index(self) -> int | None:
+        """First sample index at which the energy detector fires.
+
+        ``None`` when nothing was observed, the observation is silent, or
+        no window ever reaches the threshold.
+        """
+        if self._victim_wave is None or self._victim_wave.size == 0:
+            return None
+        power = np.abs(self._victim_wave) ** 2
+        mean = float(power.mean())
+        if mean <= 0.0:
+            return None
+        w = min(self.sense_window, power.size)
+        csum = np.cumsum(power)
+        windowed = (csum[w - 1 :] - np.concatenate(([0.0], csum[:-w]))) / w
+        hits = np.flatnonzero(windowed >= mean * db_to_linear(self.threshold_db))
+        if hits.size == 0:
+            return None
+        return int(hits[0]) + w - 1
+
+    def jam_start(self, num_samples: int) -> int:
+        """First jammed sample index (``num_samples`` = never jams)."""
+        detect = self.detect_index()
+        if detect is None:
+            return num_samples
+        return min(detect + self.turnaround_samples, num_samples)
+
+    def waveform(self, num_samples: int, rng=None) -> np.ndarray:
+        n = self._check_length(num_samples)
+        start = self.jam_start(n)
+        out = np.zeros(n, dtype=complex)
+        tail = n - start
+        if tail > 0:
+            burst = bandlimited_noise(tail, self.bandwidth, self.sample_rate, rng)
+            # Silence saved during the head is spent on the burst: the
+            # whole-packet average power stays at the unit budget.
+            out[start:] = burst * np.sqrt(n / tail)
+        return out
+
+    def spec(self) -> dict:
+        return {
+            "type": "latent-reactive",
+            "sample_rate": float(self.sample_rate),
+            "bandwidth": float(self.bandwidth),
+            "threshold_db": float(self.threshold_db),
+            "sense_window": int(self.sense_window),
+            "turnaround_samples": int(self.turnaround_samples),
+        }
+
+    @property
+    def description(self) -> str:
+        tau_us = self.turnaround_samples / self.sample_rate * 1e6
+        return (
+            f"latent reactive jammer (turnaround {tau_us:.3g} us, "
+            f"Bj = {self.bandwidth / 1e6:.4g} MHz)"
+        )
+
+    @property
+    def is_stateful(self) -> bool:
+        # The observation is replaced per packet by the drivers and the
+        # burst draws fresh noise from the supplied stream, so packets
+        # are order-free: chunking and caching stay allowed.
+        return False

@@ -1,0 +1,107 @@
+"""Optimal multi-tone jammer for a known or estimated hop range.
+
+Multi-tone jamming against spread spectrum (cf. the optimal-tone analyses
+of arXiv 2602.06816 / 1911.10462) concentrates the power budget into K
+discrete tones.  Against a *bandwidth-hopping* victim whose hop range is
+known, the worst-case-optimal placement under a unit power budget puts
+every tone inside the narrowest hop bandwidth: any tone outside it is
+wasted whenever the victim picks a narrow hop, while tones inside the
+narrowest band land in-band for *every* hop choice.  The K tones are
+spread uniformly across that placement band so the receiver's excision
+filter cannot notch them all with one stopband.
+
+Tone phases are drawn fresh per call from the supplied RNG stream (a
+real attacker's oscillators are not packet-locked), so the jammer is
+memoryless and batch/pool chunking stays exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.jamming.base import Jammer
+from repro.utils.rng import make_rng
+from repro.utils.units import normalize_power
+from repro.utils.validation import ensure_positive
+
+__all__ = ["MultiToneJammer"]
+
+
+class MultiToneJammer(Jammer):
+    """K equal-power tones packed into a hop-range-aware placement band.
+
+    Parameters
+    ----------
+    sample_rate:
+        Baseband sample rate in Hz.
+    placement_bandwidth:
+        Two-sided band the tones are confined to, in Hz.  For the
+        worst-case-optimal attack against a known hop range this is the
+        *narrowest* hop bandwidth (see :meth:`for_hop_range`).
+    num_tones:
+        Number of tones K; the budget is split equally.
+    """
+
+    def __init__(
+        self,
+        sample_rate: float,
+        placement_bandwidth: float,
+        num_tones: int = 4,
+    ) -> None:
+        self.sample_rate = ensure_positive(sample_rate, "sample_rate")
+        self.placement_bandwidth = ensure_positive(placement_bandwidth, "placement_bandwidth")
+        if placement_bandwidth > sample_rate:
+            raise ValueError(
+                f"placement_bandwidth {placement_bandwidth} exceeds the sample rate"
+            )
+        self.num_tones = int(ensure_positive(num_tones, "num_tones"))
+
+    @classmethod
+    def for_hop_range(
+        cls, sample_rate: float, bandwidths, num_tones: int = 4
+    ) -> "MultiToneJammer":
+        """The optimal placement against a victim hopping over ``bandwidths``.
+
+        Every tone is confined to the narrowest hop bandwidth, so the
+        full budget is in-band whatever the victim picks.
+        """
+        bws = [float(b) for b in bandwidths]
+        if not bws:
+            raise ValueError("bandwidths must be non-empty")
+        return cls(sample_rate, min(bws), num_tones)
+
+    def tone_frequencies(self) -> np.ndarray:
+        """Tone centre frequencies in Hz, uniform inside the placement band."""
+        k = np.arange(self.num_tones, dtype=float)
+        return self.placement_bandwidth * ((k + 1.0) / (self.num_tones + 1.0) - 0.5)
+
+    def waveform(self, num_samples: int, rng=None) -> np.ndarray:
+        n = self._check_length(num_samples)
+        gen = make_rng(rng)
+        phases = gen.uniform(0.0, 2.0 * np.pi, self.num_tones)
+        if n == 0:
+            return np.zeros(0, dtype=complex)
+        t = np.arange(n) / self.sample_rate
+        out = np.zeros(n, dtype=complex)
+        for freq, phase in zip(self.tone_frequencies(), phases):
+            out += np.exp(1j * (2.0 * np.pi * freq * t + phase))
+        return normalize_power(out)
+
+    def spec(self) -> dict:
+        return {
+            "type": "multitone",
+            "sample_rate": float(self.sample_rate),
+            "placement_bandwidth": float(self.placement_bandwidth),
+            "num_tones": int(self.num_tones),
+        }
+
+    @property
+    def description(self) -> str:
+        return (
+            f"multi-tone jammer ({self.num_tones} tones in "
+            f"{self.placement_bandwidth / 1e6:.4g} MHz)"
+        )
+
+    @property
+    def is_stateful(self) -> bool:
+        return False

@@ -1,0 +1,96 @@
+"""Convolution/repeater attack: replay the victim's own waveform.
+
+Harshan & Hu (arXiv 1903.11261) show that a full-duplex adversary which
+instantaneously *convolves* the victim's signal with a filter and
+re-radiates it defeats frequency hopping outright — the attack energy
+lands in-band by construction, whatever band the victim hops to, because
+the jamming waveform *is* the victim's waveform.  This class models that
+attacker at baseband: the observed packet is passed through an optional
+random repeat filter, delayed by the adversary's processing/propagation
+latency, re-normalized to the unit power budget, and re-emitted.
+
+With ``num_taps=1`` (the default) the output is exactly a delayed, scaled
+copy of the victim waveform — the differential test wall's semantic gate.
+Longer filters draw fresh complex-Gaussian taps from the per-packet RNG
+substream, modeling the unknown adversary-to-receiver channel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.jamming.adaptive.base import VictimAwareJammer
+from repro.utils.rng import make_rng
+from repro.utils.units import normalize_power, signal_power
+from repro.utils.validation import ensure_non_negative, ensure_positive
+
+__all__ = ["RepeaterJammer"]
+
+
+class RepeaterJammer(VictimAwareJammer):
+    """Replay the victim's waveform with delay, filtering, and unit gain.
+
+    Parameters
+    ----------
+    delay_samples:
+        Adversary processing + propagation latency in samples; the head
+        of the emitted waveform is zero for this long.
+    num_taps:
+        Length of the random repeat filter.  ``1`` re-emits a pure
+        delayed copy; longer filters convolve the victim signal with
+        complex-Gaussian taps drawn fresh per packet from the supplied
+        RNG stream.
+    """
+
+    def __init__(self, delay_samples: int = 64, num_taps: int = 1) -> None:
+        super().__init__()
+        self.delay_samples = int(ensure_non_negative(delay_samples, "delay_samples"))
+        self.num_taps = int(ensure_positive(num_taps, "num_taps"))
+
+    def waveform(self, num_samples: int, rng=None) -> np.ndarray:
+        n = self._check_length(num_samples)
+        gen = make_rng(rng)
+        # Draw the repeat filter before anything else so the stream
+        # position is independent of the victim's observation.
+        if self.num_taps > 1:
+            taps = (
+                gen.standard_normal(self.num_taps)
+                + 1j * gen.standard_normal(self.num_taps)
+            ) / np.sqrt(2.0 * self.num_taps)
+        else:
+            taps = None
+        out = np.zeros(n, dtype=complex)
+        victim = self._victim_wave
+        if victim is None or victim.size == 0 or n == 0:
+            return out
+        if taps is not None:
+            replay = np.convolve(victim, taps)[: victim.size]
+        else:
+            replay = victim
+        keep = min(n - self.delay_samples, replay.size)
+        if keep <= 0:
+            return out
+        out[self.delay_samples : self.delay_samples + keep] = replay[:keep]
+        if signal_power(out) <= 0.0:
+            return out
+        return normalize_power(out)
+
+    def spec(self) -> dict:
+        return {
+            "type": "repeater",
+            "delay_samples": int(self.delay_samples),
+            "num_taps": int(self.num_taps),
+        }
+
+    @property
+    def description(self) -> str:
+        return (
+            f"repeater jammer (delay {self.delay_samples} samples, "
+            f"{self.num_taps}-tap repeat filter)"
+        )
+
+    @property
+    def is_stateful(self) -> bool:
+        # Observation replaced per packet, filter taps drawn per packet:
+        # nothing carries across calls.
+        return False

@@ -32,7 +32,14 @@ _KNOB_RE = re.compile(r"^REPRO_[A-Z][A-Z0-9_]*$")
 _DOC_KNOB_RE = re.compile(r"\b(REPRO_[A-Z][A-Z0-9_]*)\b")
 
 #: packages that must stay mypy-strict — never allowed in the baseline
-STRICT_MODULES = ("repro.core", "repro.dsp", "repro.network", "repro.scenario", "repro.utils.rng")
+STRICT_MODULES = (
+    "repro.arena",
+    "repro.core",
+    "repro.dsp",
+    "repro.network",
+    "repro.scenario",
+    "repro.utils.rng",
+)
 
 #: docs that must collectively document every code knob
 KNOB_DOCS = ("docs/API.md", "EXPERIMENTS.md")

@@ -1,0 +1,96 @@
+"""Regenerate the golden tournament cells (``arena_cells.json``).
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/golden/regenerate_arena.py
+
+Freezes the full :func:`repro.arena.evaluate_arena_cell` record — PER,
+BER, throughput, and the raw counters — for a handful of pinned
+(jammer, pattern) tournament cells.  ``tests/test_adversary_zoo.py``
+recomputes the cells and compares *exactly* (JSON round-trips Python
+floats losslessly), so any numerics drift in the adaptive jammers, the
+link engine, or the tournament runner is caught even when it preserves
+the serial/batched equivalence.
+
+Only regenerate after an *intentional* numerics change, and say why in
+the commit message.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.arena import ArenaSpec
+from repro.core.config import BHSSConfig
+from repro.hopping.bands import BandwidthSet
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+OUTPUT = os.path.join(HERE, "arena_cells.json")
+
+# Every generation input is pinned here; the test imports these so the
+# recomputation can't drift away from the fixture's provenance.
+ARENA = {
+    "name": "golden-arena",
+    "config": None,  # filled by build_spec() — BHSSConfig is not JSON
+    "jammers": {
+        "latent": {
+            "type": "latent-reactive",
+            "bandwidth": 10e6,
+            "turnaround_samples": 1024,
+        },
+        "repeater": {"type": "repeater", "delay_samples": 64, "num_taps": 3},
+        "follower": {"type": "follower", "initial_bandwidth": 10e6},
+    },
+    "patterns": ["linear", "parabolic"],
+    "hop_ranges": [3],
+    "snr_db": 12.0,
+    "sjr_db": -6.0,
+    "packets": 3,
+    "seed": 17,
+}
+
+#: the frozen (jammer, pattern) pairs; hop range is pinned to 3 bands.
+FROZEN_CELLS = [
+    ("latent", "linear"),
+    ("repeater", "parabolic"),
+    ("follower", "linear"),
+]
+
+
+def build_spec() -> ArenaSpec:
+    data = {k: v for k, v in ARENA.items() if k != "config"}
+    data["config"] = BHSSConfig(
+        bandwidth_set=BandwidthSet.paper_default(count=3),
+        payload_bytes=2,
+        symbols_per_hop=2,
+        seed=13,
+    ).to_dict()
+    return ArenaSpec.from_dict(data)
+
+
+def generate() -> dict[str, dict]:
+    from repro.arena import evaluate_arena_cell
+
+    spec = build_spec()
+    payload = {"arena": spec.to_dict(), "cache": False}
+    wanted = {pair: None for pair in FROZEN_CELLS}
+    for index, (label, _jspec, pattern, _bands) in enumerate(spec.cells()):
+        if (label, pattern) in wanted:
+            wanted[(label, pattern)] = evaluate_arena_cell(payload, index)
+    missing = [pair for pair, record in wanted.items() if record is None]
+    if missing:
+        raise RuntimeError(f"frozen cells not in the grid: {missing}")
+    return {f"{label}:{pattern}": record for (label, pattern), record in wanted.items()}
+
+
+def main() -> None:
+    cells = generate()
+    with open(OUTPUT, "w") as fh:
+        json.dump(cells, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {OUTPUT}: {len(cells)} tournament cells")
+
+
+if __name__ == "__main__":
+    main()

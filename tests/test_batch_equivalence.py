@@ -53,6 +53,24 @@ JAMMER_SPECS = {
         "reaction_samples": 2048,
         "initial_bandwidth": 2.5e6,
     },
+    "latent-reactive": {
+        "type": "latent-reactive",
+        "sample_rate": FS,
+        "bandwidth": 2.5e6,
+        "turnaround_samples": 1024,
+    },
+    "repeater": {"type": "repeater", "delay_samples": 64, "num_taps": 3},
+    "multitone": {
+        "type": "multitone",
+        "sample_rate": FS,
+        "placement_bandwidth": 0.15625e6,
+        "num_tones": 4,
+    },
+    "follower": {
+        "type": "follower",
+        "sample_rate": FS,
+        "initial_bandwidth": 2.5e6,
+    },
 }
 
 CHANNEL_SPECS = {

@@ -173,16 +173,22 @@ class TestExampleScenarios:
         assert self.scenario_files()
 
     def test_every_example_scenario_validates(self):
+        from repro.arena import ArenaSpec
         from repro.network import NetworkSpec
         from repro.scenario import Scenario
 
         for path in self.scenario_files():
             with open(path) as fh:
-                is_network = "links" in json.load(fh)
-            if is_network:
+                data = json.load(fh)
+            if "links" in data:
                 network = NetworkSpec.load(path)  # raises NetworkError on any bad field
                 assert network.num_links, path
                 assert NetworkSpec.from_dict(network.to_dict()).to_dict() == network.to_dict()
+                continue
+            if "jammers" in data:
+                arena = ArenaSpec.load(path)  # raises ArenaError on any bad field
+                assert arena.num_cells, path
+                assert ArenaSpec.from_dict(arena.to_dict()).to_dict() == arena.to_dict()
                 continue
             scenario = Scenario.load(path)  # raises ScenarioError on any bad field
             assert scenario.points(), path

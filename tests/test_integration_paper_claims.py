@@ -105,6 +105,69 @@ class TestSection643PatternGame:
         assert worst["parabolic"] <= worst["exponential"] + 4.0
 
 
+class TestAdaptiveJammerBoundary:
+    """Wiese & Papadimitratos' boundary, run as a tournament grid: an
+    adaptive attacker that can sense the victim (matched reactive, or a
+    learning follower) degrades a *static-band* link strictly more than
+    a *randomized-hopping* link at equal SJR — randomizing the hop
+    process is what denies the attacker its matched steady state."""
+
+    def run_grid(self):
+        from repro.arena import ArenaSpec, run_tournament
+        from repro.hopping import BandwidthSet
+
+        config = BHSSConfig(
+            bandwidth_set=BandwidthSet.paper_default(),
+            payload_bytes=2,
+            symbols_per_hop=2,
+            seed=11,
+        )
+        spec = ArenaSpec(
+            name="adaptive-boundary",
+            config=config,
+            jammers=(
+                ("none", {"type": "none"}),
+                ("reactive", {"type": "reactive", "reaction_samples": 4096,
+                              "initial_bandwidth": 10e6, "reaction_fraction": 0.25}),
+                ("follower", {"type": "follower", "initial_bandwidth": 10e6,
+                              "learning_rate": 0.7, "sense_noise_db": 0.5}),
+            ),
+            patterns=("parabolic",),
+            hop_ranges=(1, 7),  # static band vs the full randomized octave set
+            snr_db=15.0,
+            sjr_db=-8.0,  # equal SJR in every cell: the comparison is fair
+            packets=12,
+            seed=5,
+        )
+        return spec, run_tournament(spec, cache=False, checkpoint=False)
+
+    def test_sensing_jammers_prefer_the_static_target(self):
+        _, result = self.run_grid()
+        matrix = result.resilience_matrix("per")
+        for jammer in ("reactive", "follower"):
+            static = matrix[(jammer, "parabolic", 1)]
+            hopping = matrix[(jammer, "parabolic", 7)]
+            assert static > hopping, (
+                f"{jammer}: static-band PER {static} not strictly above "
+                f"randomized-hopping PER {hopping}"
+            )
+
+    def test_baseline_is_clean_at_this_operating_point(self):
+        # The separation claim is vacuous if the unjammed link already
+        # fails; the baseline column pins the grid to a healthy regime.
+        _, result = self.run_grid()
+        matrix = result.resilience_matrix("per")
+        assert matrix[("none", "parabolic", 1)] == 0.0
+        assert matrix[("none", "parabolic", 7)] == 0.0
+
+    def test_advantage_metric_agrees_with_the_matrix(self):
+        _, result = self.run_grid()
+        advantage = result.jammer_advantage("per")
+        assert set(advantage) == {"reactive", "follower"}
+        assert advantage["reactive"] > 0.0
+        assert advantage["follower"] > 0.0
+
+
 class TestEndToEndArtifacts:
     """The full pipeline produces externally consumable artifacts."""
 

@@ -1,0 +1,224 @@
+"""Property-based invariants of the adaptive jammer zoo.
+
+Hypothesis sweeps the constructor and observation space of the adaptive
+attackers for the contracts every driver silently relies on:
+
+* **unit power** — any emitting jammer's waveform has mean power 1 (the
+  paper's budgeted-power attacker model; the medium rescales by measured
+  power, so violations skew every SJR in the matrix);
+* **dtype discipline** — waveforms are ``complex128``, derived scalars
+  ``float``/``int``, whatever the inputs;
+* **latency monotonicity** — a latent reactive jammer with more
+  turnaround never jams more samples of the same observation at the
+  same seed;
+* **replay fidelity** — the single-tap repeater's output is always a
+  delayed scaled copy of the victim, for arbitrary victim waveforms.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.jamming import (
+    FollowerJammer,
+    LatentReactiveJammer,
+    MultiToneJammer,
+    RepeaterJammer,
+)
+from repro.utils.units import signal_power
+
+FS = 20e6
+
+SLOW = settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+#: victim waveforms: random complex bursts with a quiet head, so the
+#: energy detector has something real to find.
+victim_waves = st.integers(min_value=0, max_value=2**31).map(
+    lambda seed: _make_victim(seed)
+)
+
+
+def _make_victim(seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    head = int(rng.integers(0, 512))
+    body = 1024 + int(rng.integers(0, 1024))
+    wave = np.zeros(head + body, dtype=complex)
+    wave[head:] = rng.standard_normal(body) + 1j * rng.standard_normal(body)
+    return wave / np.sqrt(signal_power(wave))
+
+
+class TestUnitPowerAndDtype:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        bandwidth=st.floats(min_value=1e5, max_value=10e6),
+        turnaround=st.integers(min_value=0, max_value=1024),
+    )
+    @SLOW
+    def test_latent_reactive_budget_and_dtype(self, seed, bandwidth, turnaround):
+        jammer = LatentReactiveJammer(FS, bandwidth, turnaround_samples=turnaround)
+        victim = _make_victim(seed)
+        jammer.observe_victim(victim, [(victim.size, bandwidth)])
+        wave = jammer.waveform(victim.size, np.random.default_rng(seed))
+        assert wave.dtype == np.complex128
+        assert wave.size == victim.size
+        if np.any(wave != 0):
+            # zero head + boosted tail average to exactly the unit budget
+            assert signal_power(wave) == pytest.approx(1.0)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        delay=st.integers(min_value=0, max_value=256),
+        taps=st.integers(min_value=1, max_value=8),
+    )
+    @SLOW
+    def test_repeater_budget_and_dtype(self, seed, delay, taps):
+        jammer = RepeaterJammer(delay_samples=delay, num_taps=taps)
+        victim = _make_victim(seed)
+        jammer.observe_victim(victim, [(victim.size, 1e6)])
+        wave = jammer.waveform(victim.size, np.random.default_rng(seed))
+        assert wave.dtype == np.complex128
+        if np.any(wave != 0):
+            assert signal_power(wave) == pytest.approx(1.0)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        placement=st.floats(min_value=1e5, max_value=10e6),
+        tones=st.integers(min_value=1, max_value=12),
+        n=st.integers(min_value=1, max_value=4096),
+    )
+    @SLOW
+    def test_multitone_budget_and_dtype(self, seed, placement, tones, n):
+        jammer = MultiToneJammer(FS, placement, num_tones=tones)
+        wave = jammer.waveform(n, np.random.default_rng(seed))
+        assert wave.dtype == np.complex128
+        assert wave.size == n
+        assert signal_power(wave) == pytest.approx(1.0)
+        assert np.all(np.abs(jammer.tone_frequencies()) <= placement / 2)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        initial=st.floats(min_value=1e5, max_value=10e6),
+        lr=st.floats(min_value=0.01, max_value=1.0),
+        noise_db=st.floats(min_value=0.0, max_value=6.0),
+    )
+    @SLOW
+    def test_follower_budget_and_dtype(self, seed, initial, lr, noise_db):
+        jammer = FollowerJammer(
+            FS, initial, learning_rate=lr, sense_noise_db=noise_db
+        )
+        victim = _make_victim(seed)
+        jammer.observe_victim(victim, [(victim.size, 1.25e6)])
+        wave = jammer.waveform(2048, np.random.default_rng(seed))
+        assert wave.dtype == np.complex128
+        assert signal_power(wave) == pytest.approx(1.0, rel=1e-6)
+        assert isinstance(jammer.bandwidth_estimate, float)
+
+
+class TestLatencyMonotonicity:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        tau_small=st.integers(min_value=0, max_value=2048),
+        extra=st.integers(min_value=0, max_value=2048),
+    )
+    @SLOW
+    def test_more_turnaround_never_jams_more_samples(self, seed, tau_small, extra):
+        victim = _make_victim(seed)
+        counts = []
+        for tau in (tau_small, tau_small + extra):
+            jammer = LatentReactiveJammer(FS, 2.5e6, turnaround_samples=tau)
+            jammer.observe_victim(victim, [(victim.size, 2.5e6)])
+            wave = jammer.waveform(victim.size, np.random.default_rng(seed))
+            counts.append(int(np.count_nonzero(wave)))
+        assert counts[1] <= counts[0]
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        tau=st.integers(min_value=0, max_value=4096),
+    )
+    @SLOW
+    def test_jam_start_is_detection_plus_turnaround(self, seed, tau):
+        victim = _make_victim(seed)
+        jammer = LatentReactiveJammer(FS, 2.5e6, turnaround_samples=tau)
+        jammer.observe_victim(victim, [(victim.size, 2.5e6)])
+        detect = jammer.detect_index()
+        start = jammer.jam_start(victim.size)
+        if detect is None:
+            assert start == victim.size
+        else:
+            assert start == min(detect + tau, victim.size)
+
+
+class TestReplayFidelity:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        delay=st.integers(min_value=0, max_value=512),
+    )
+    @SLOW
+    def test_single_tap_repeat_is_a_delayed_scaled_copy(self, seed, delay):
+        victim = _make_victim(seed)
+        jammer = RepeaterJammer(delay_samples=delay, num_taps=1)
+        jammer.observe_victim(victim, [(victim.size, 1e6)])
+        n = victim.size
+        wave = jammer.waveform(n, np.random.default_rng(seed))
+        assert np.all(wave[:delay] == 0)
+        keep = n - delay
+        if keep <= 0 or not np.any(wave):
+            return
+        replay, ref = wave[delay:], victim[:keep]
+        anchor = int(np.argmax(np.abs(ref)))
+        scale = replay[anchor] / ref[anchor]
+        np.testing.assert_allclose(replay, scale * ref, rtol=1e-9, atol=1e-9)
+
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    @SLOW
+    def test_same_stream_same_waveform(self, seed):
+        victim = _make_victim(seed)
+        waves = []
+        for _ in range(2):
+            jammer = RepeaterJammer(delay_samples=32, num_taps=4)
+            jammer.observe_victim(victim, [(victim.size, 1e6)])
+            waves.append(jammer.waveform(victim.size, np.random.default_rng(seed)))
+        np.testing.assert_array_equal(waves[0], waves[1])
+
+
+class TestObservationContract:
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    @SLOW
+    def test_observation_is_replaced_not_accumulated(self, seed):
+        first = _make_victim(seed)
+        second = _make_victim(seed + 1)
+        jammer = RepeaterJammer(delay_samples=0, num_taps=1)
+        jammer.observe_victim(first, [(first.size, 1e6)])
+        jammer.observe_victim(second, [(second.size, 1e6)])
+        wave = jammer.waveform(second.size, np.random.default_rng(0))
+        anchor = int(np.argmax(np.abs(second)))
+        scale = wave[anchor] / second[anchor]
+        np.testing.assert_allclose(wave, scale * second, rtol=1e-9, atol=1e-9)
+
+    @given(
+        lengths=st.lists(
+            st.integers(min_value=1, max_value=4096), min_size=1, max_size=6
+        ),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @SLOW
+    def test_follower_draw_count_tracks_the_profile(self, lengths, seed):
+        # One sensing draw per profile segment: two followers fed the
+        # same profile through differently-sized waveform calls stay in
+        # lockstep — the substream contract batching relies on.
+        profile = [(n, 1.25e6 * (1 + i % 3)) for i, n in enumerate(lengths)]
+        estimates = []
+        for _ in range(2):
+            jammer = FollowerJammer(FS, 10e6, sense_noise_db=2.0)
+            rng = np.random.default_rng(seed)
+            jammer.observe_victim(np.ones(64, dtype=complex), profile)
+            jammer.waveform(64, rng)
+            estimates.append(jammer.bandwidth_estimate)
+        assert estimates[0] == estimates[1]
+
+    def test_invalid_profile_rejected(self):
+        jammer = FollowerJammer(FS, 10e6)
+        with pytest.raises(ValueError, match="positive"):
+            jammer.observe_victim(np.ones(8, dtype=complex), [(8, 0.0)])
+        with pytest.raises(ValueError, match=">= 0"):
+            jammer.observe_victim(np.ones(8, dtype=complex), [(-1, 1e6)])

@@ -26,10 +26,14 @@ from repro.jamming import (
     JAMMER_REGISTRY,
     BandlimitedNoiseJammer,
     CombJammer,
+    FollowerJammer,
     HoppingJammer,
+    LatentReactiveJammer,
     MatchedReactiveJammer,
+    MultiToneJammer,
     NoJammer,
     PulsedJammer,
+    RepeaterJammer,
     SweepJammer,
     ToneJammer,
     jammer_from_spec,
@@ -122,6 +126,12 @@ def _sample_jammers() -> dict[str, Jammer]:
         "reactive": MatchedReactiveJammer(
             FS, reaction_samples=1024, initial_bandwidth=10e6, reaction_fraction=0.25
         ),
+        "latent-reactive": LatentReactiveJammer(
+            FS, bandwidth=2.5e6, threshold_db=-6.0, turnaround_samples=1024
+        ),
+        "repeater": RepeaterJammer(delay_samples=64, num_taps=3),
+        "multitone": MultiToneJammer(FS, placement_bandwidth=0.625e6, num_tones=4),
+        "follower": FollowerJammer(FS, initial_bandwidth=2.5e6, learning_rate=0.5),
     }
 
 
