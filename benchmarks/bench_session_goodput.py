@@ -1,0 +1,135 @@
+"""Session-layer goodput bench: serial vs pooled, plus a chaos probe.
+
+Times :func:`repro.protocol.run_session` over the bundled follower
+session's grid serially and across a worker pool, hard-gates the
+bit-identity of the two result tables, and runs one forced-desync
+session to record the re-sync telemetry.  Writes a ``BENCH_pr10.json``
+style report::
+
+    PYTHONPATH=src python benchmarks/bench_session_goodput.py -o BENCH_pr10.json
+
+Exit status 1 when the pooled rows differ from serial or the forced
+desync fails to recover — the same gates the protocol-chaos CI job
+enforces.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+
+from repro.protocol import SessionSpec, run_session, simulate_session
+from repro.runtime import FaultPlan, ParallelExecutor
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SESSION_FILE = os.path.join(REPO, "examples", "scenarios", "session_follower.json")
+
+
+def load_spec() -> SessionSpec:
+    """The bundled follower session, widened to a 4-point SJR grid."""
+    return SessionSpec.load(SESSION_FILE).with_overrides(sjr_db=(-2.0, -4.0, -6.0, -8.0))
+
+
+def time_run(spec: SessionSpec, workers: int, repeats: int) -> tuple[dict, list]:
+    """Median-of-N wall time for one executor size; returns (entry, rows)."""
+    walls = []
+    rows = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = run_session(spec, executor=ParallelExecutor(workers), cache=False)
+        walls.append(time.perf_counter() - t0)
+        rows = result.as_table_rows()
+    assert rows is not None
+    median = statistics.median(walls)
+    entry = {
+        "wall_seconds": median,
+        "wall_seconds_all": sorted(walls),
+        "points_per_second": len(spec.points()) / median,
+    }
+    return entry, rows
+
+
+def chaos_probe(spec: SessionSpec) -> dict:
+    """One forced-desync session: must recover inside the retry budget."""
+    plan = None
+    for seed in range(1000):
+        candidate = FaultPlan(desync=0.5, seed=seed)
+        if candidate.should("desync", "0"):
+            plan = candidate
+            break
+    assert plan is not None, "no firing fault seed found"
+    point = spec.with_overrides(jammer={"type": "none"}, sjr_db=(-4.0,))
+    clean = simulate_session(point, snr_db=15.0, sjr_db=-4.0)
+    faulted = simulate_session(point, snr_db=15.0, sjr_db=-4.0, faults=plan)
+    return {
+        "fault_seed": plan.seed,
+        "desync_injected": faulted.desync_injected,
+        "desync_count": faulted.desync_count,
+        "resync_count": faulted.resync_count,
+        "mean_resync_latency_slots": faulted.mean_resync_latency,
+        "delivery_ratio": faulted.delivery_ratio,
+        "degraded": faulted.degraded,
+        "recovered": (
+            faulted.resync_count == faulted.desync_count
+            and not faulted.degraded
+            and faulted.delivered == clean.delivered
+        ),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=2, help="pool size (default 2)")
+    parser.add_argument("--repeats", type=int, default=3, help="timing repeats (default 3)")
+    parser.add_argument("-o", "--output", default="BENCH_pr10.json", help="report path")
+    args = parser.parse_args(argv)
+
+    spec = load_spec().validate()
+    serial, serial_rows = time_run(spec, workers=0, repeats=args.repeats)
+    pooled, pooled_rows = time_run(spec, workers=args.workers, repeats=args.repeats)
+    bit_identical = serial_rows == pooled_rows
+
+    result = run_session(spec, executor=ParallelExecutor(0), cache=False)
+    goodput = result.column("goodput_bps")
+    delivery = result.column("delivery_ratio")
+
+    chaos = chaos_probe(spec)
+    report = {
+        "benchmark": "pr10-session-goodput",
+        "session": {
+            "file": os.path.relpath(SESSION_FILE, REPO),
+            "points": len(spec.points()),
+            "fragments": spec.num_fragments(),
+            "repeats": args.repeats,
+        },
+        "serial": serial,
+        "pooled": {"workers": args.workers, **pooled},
+        "speedup": serial["wall_seconds"] / pooled["wall_seconds"],
+        "bit_identical": bit_identical,
+        "goodput_bps": goodput,
+        "delivery_ratio": delivery,
+        "chaos": chaos,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(
+        f"serial {serial['wall_seconds']:.2f}s, pooled {pooled['wall_seconds']:.2f}s "
+        f"({report['speedup']:.2f}x, workers={args.workers}), "
+        f"bit_identical={bit_identical}, chaos recovered={chaos['recovered']}"
+    )
+    if not bit_identical:
+        print("pooled session rows differ from serial — determinism regression", file=sys.stderr)
+        return 1
+    if not chaos["recovered"]:
+        print("forced desync did not recover within the retry budget", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

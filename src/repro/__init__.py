@@ -44,6 +44,10 @@ Subpackages
 ``repro.arena``
     Jammer tournaments: the adversary zoo swept over hop patterns and
     hop ranges into a resilience matrix with a jammer-advantage summary.
+``repro.protocol``
+    Seed-synchronized session layer: packetizer/whitening, hop-seed
+    generators, and the desync-detecting, re-syncing session state
+    machine with the parallel ``run_session`` driver.
 """
 
 __version__ = "1.0.0"
@@ -97,6 +101,14 @@ from repro.network import (
     jain_fairness,
     run_network,
 )
+from repro.protocol import (
+    MessageTrafficSpec,
+    SessionManager,
+    SessionSpec,
+    SessionState,
+    run_session,
+    simulate_session,
+)
 
 __all__ = [
     "__version__",
@@ -145,4 +157,10 @@ __all__ = [
     "ArenaSpec",
     "TournamentResult",
     "run_tournament",
+    "SessionSpec",
+    "MessageTrafficSpec",
+    "SessionManager",
+    "SessionState",
+    "simulate_session",
+    "run_session",
 ]

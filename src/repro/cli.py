@@ -32,17 +32,22 @@ Installed as ``repro-bhss`` (see ``pyproject.toml``); also runnable as
 ``run``
     Execute a declarative scenario JSON file (``--scenario file.json``)
     over its (SNR x SJR) grid, an N-link shared-spectrum network file
-    (``--network file.json``) over its links, or a jammer-tournament
+    (``--network file.json``) over its links, a jammer-tournament
     arena (``--tournament file.json``) over its strategy x pattern x
-    hop-range grid, and print/export the tidy result table plus the
-    run-type-specific aggregates (fairness for networks, the resilience
-    matrix and jammer-advantage summary for tournaments).
+    hop-range grid, or a seed-synchronized session (``--session
+    file.json``, see ``repro.protocol``) over its operating points, and
+    print/export the tidy result table plus the run-type-specific
+    aggregates (fairness for networks, the resilience matrix and
+    jammer-advantage summary for tournaments, delivery/goodput/re-sync
+    stats for sessions).
 ``scenario``
-    Tooling for scenario, network, *and* arena files: ``scenario
-    validate <paths...>`` parse-validates files or directories of them
-    (files with a ``links`` array route to the network loader, files
-    with a ``jammers`` map to the arena loader); ``scenario list
-    [dir]`` summarizes a directory (default ``examples/scenarios``).
+    Tooling for scenario, network, arena *and* session files:
+    ``scenario validate <paths...>`` parse-validates files or
+    directories of them (files with a ``links`` array route to the
+    network loader, files with a ``jammers`` map to the arena loader,
+    files with a ``traffic`` map to the session loader); ``scenario
+    list [dir]`` summarizes a directory (default
+    ``examples/scenarios``).
 ``cache``
     Integrity tooling for the ``REPRO_CACHE`` result store:
     ``cache verify [dir]`` audits every entry against its checksum
@@ -702,16 +707,70 @@ def _run_tournament_file(args) -> int:
     return 0
 
 
+def _run_session_file(args) -> int:
+    """The ``run --session`` path: one seed-synchronized session file."""
+    from repro.protocol import SessionError, SessionSpec, run_session
+
+    try:
+        spec = SessionSpec.load(args.session)
+    except SessionError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    label = f" — {spec.description}" if spec.description else ""
+    print(
+        f"session {spec.name!r}{label}: "
+        f"{len(spec.points())} operating points, "
+        f"{spec.traffic.num_messages} messages x {spec.traffic.message_bytes} bytes "
+        f"({spec.num_fragments()} fragments), "
+        f"retry budget {spec.resync_retries} x {spec.sync_timeout}"
+    )
+    result = run_session(spec, checkpoint=args.checkpoint)
+    rows = [
+        [
+            f"{r['snr_db']:g}",
+            f"{r['sjr_db']:g}",
+            f"{r['delivery_ratio']:.3f}",
+            f"{r['goodput_bps'] / 1e3:.1f}",
+            f"{r['data_per']:.3f}",
+            f"{r['desync_count']:g}",
+            f"{r['resync_count']:g}",
+            f"{r['mean_resync_latency']:.1f}",
+            "yes" if r["degraded"] else "no",
+        ]
+        for r in result.rows
+    ]
+    print(
+        format_table(
+            [
+                "SNR (dB)", "SJR (dB)", "delivery", "goodput (kb/s)", "data PER",
+                "desyncs", "resyncs", "resync slots", "degraded",
+            ],
+            rows,
+            title=f"session: {spec.name}",
+        )
+    )
+    if result.timing is not None:
+        print(result.timing.summary())
+    if args.output:
+        from repro.analysis import write_csv
+
+        print(f"wrote {write_csv(result, args.output)}")
+    return 0
+
+
 def cmd_run(args) -> int:
     from repro.scenario import Scenario, ScenarioError, run_scenario
 
-    given = [n for n in ("scenario", "network", "tournament") if getattr(args, n)]
+    given = [n for n in ("scenario", "network", "tournament", "session") if getattr(args, n)]
     if len(given) != 1:
         print(
-            "run: exactly one of --scenario, --network or --tournament is required",
+            "run: exactly one of --scenario, --network, --tournament or --session "
+            "is required",
             file=sys.stderr,
         )
         return 2
+    if args.session:
+        return _run_session_file(args)
     if args.tournament:
         return _run_tournament_file(args)
     if args.network:
@@ -803,9 +862,31 @@ def _is_arena_file(path: str) -> bool:
     return isinstance(data, dict) and "jammers" in data and "links" not in data
 
 
+def _is_session_file(path: str) -> bool:
+    """Whether a spec file is a protocol session (has a ``traffic`` map).
+
+    Same fall-through contract as :func:`_is_network_file`: unreadable or
+    unparsable files return ``False`` and land in the scenario loader.
+    """
+    import json
+
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except (OSError, ValueError):
+        return False
+    return (
+        isinstance(data, dict)
+        and "traffic" in data
+        and "links" not in data
+        and "jammers" not in data
+    )
+
+
 def cmd_scenario_validate(args) -> int:
     from repro.arena import ArenaError, ArenaSpec
     from repro.network import NetworkError, NetworkSpec
+    from repro.protocol import SessionError, SessionSpec
     from repro.scenario import Scenario, ScenarioError
 
     files = _scenario_files(args.paths)
@@ -815,7 +896,15 @@ def cmd_scenario_validate(args) -> int:
     failures = 0
     for path in files:
         try:
-            if _is_arena_file(path):
+            if _is_session_file(path):
+                session = SessionSpec.load(path)
+                print(
+                    f"ok    {path}: {session.name} "
+                    f"({len(session.points())} points, "
+                    f"{session.traffic.num_messages} messages x "
+                    f"{session.traffic.message_bytes} bytes)"
+                )
+            elif _is_arena_file(path):
                 arena = ArenaSpec.load(path)
                 print(
                     f"ok    {path}: {arena.name} "
@@ -835,7 +924,7 @@ def cmd_scenario_validate(args) -> int:
                     f"ok    {path}: {scenario.name} "
                     f"({len(scenario.points())} points x {scenario.packets} packets)"
                 )
-        except (ArenaError, NetworkError, ScenarioError) as exc:
+        except (ArenaError, NetworkError, SessionError, ScenarioError) as exc:
             failures += 1
             print(f"FAIL  {exc}")
     print(f"{len(files) - failures}/{len(files)} scenario files valid")
@@ -845,6 +934,7 @@ def cmd_scenario_validate(args) -> int:
 def cmd_scenario_list(args) -> int:
     from repro.arena import ArenaError, ArenaSpec
     from repro.network import NetworkError, NetworkSpec
+    from repro.protocol import SessionError, SessionSpec
     from repro.scenario import Scenario, ScenarioError
 
     files = _scenario_files([args.directory])
@@ -853,6 +943,22 @@ def cmd_scenario_list(args) -> int:
         return 2
     rows = []
     for path in files:
+        if _is_session_file(path):
+            try:
+                sess = SessionSpec.load(path)
+            except SessionError:
+                rows.append([os.path.basename(path), "(invalid)", "-", "-", "-"])
+                continue
+            rows.append(
+                [
+                    os.path.basename(path),
+                    sess.name,
+                    f"session ({sess.jammer.get('type', '?')})",
+                    f"{len(sess.points())} pts x{sess.traffic.num_messages} msgs",
+                    sess.description[:48],
+                ]
+            )
+            continue
         if _is_arena_file(path):
             try:
                 a = ArenaSpec.load(path)
@@ -1086,7 +1192,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p_run = sub.add_parser(
-        "run", help="execute a declarative scenario, network, or tournament JSON file"
+        "run",
+        help="execute a declarative scenario, network, tournament, or session JSON file",
     )
     p_run.add_argument("--scenario", default=None, metavar="FILE", help="scenario JSON file")
     p_run.add_argument(
@@ -1096,6 +1203,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--tournament", default=None, metavar="FILE",
         help="jammer-tournament arena JSON file (see repro.arena.ArenaSpec)",
+    )
+    p_run.add_argument(
+        "--session", default=None, metavar="FILE",
+        help="seed-synchronized session JSON file (see repro.protocol.SessionSpec)",
     )
     p_run.add_argument("--output", "-o", default=None, help="also write the result CSV here")
     p_run.add_argument(

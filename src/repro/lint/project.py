@@ -37,6 +37,7 @@ STRICT_MODULES = (
     "repro.core",
     "repro.dsp",
     "repro.network",
+    "repro.protocol",
     "repro.scenario",
     "repro.utils.rng",
 )
@@ -98,7 +99,10 @@ class RegistryRoundtripRule(Rule):
     rebuildable *from* a scenario file: jammers override ``spec()`` and
     inherit/override ``from_spec``; channels expose ``spec()`` and
     ``apply()``; impairments keep their ``to_dict``/``from_dict`` pair;
-    named hop patterns survive ``pattern_spec`` -> ``pattern_from_spec``.
+    named hop patterns survive ``pattern_spec`` -> ``pattern_from_spec``;
+    hop-seed generators survive ``verify_seed_generator_roundtrip``; and
+    the session/traffic spec dataclasses survive a ``to_dict`` ->
+    ``from_dict`` -> ``to_dict`` round-trip.
     """
 
     id = "registry-roundtrip"
@@ -110,6 +114,11 @@ class RegistryRoundtripRule(Rule):
         from repro.hopping.patterns import PATTERN_NAMES, pattern_from_spec, pattern_spec
         from repro.jamming.base import Jammer
         from repro.jamming.registry import JAMMER_REGISTRY
+        from repro.protocol.hopseed import (
+            SEED_GENERATOR_REGISTRY,
+            verify_seed_generator_roundtrip,
+        )
+        from repro.protocol.spec import MessageTrafficSpec, SessionSpec
 
         for name, cls in sorted(JAMMER_REGISTRY.items()):
             path, line = _class_location(ctx, cls)
@@ -143,6 +152,37 @@ class RegistryRoundtripRule(Rule):
                 yield Finding(
                     "src/repro/hopping/patterns.py", 1, 0, self.id,
                     f"hop pattern {name!r} does not survive pattern_spec round-trip",
+                )
+        for name, cls in sorted(SEED_GENERATOR_REGISTRY.items()):
+            path, line = _class_location(ctx, cls)
+            try:
+                verify_seed_generator_roundtrip(cls())
+            except (TypeError, ValueError) as exc:
+                yield Finding(
+                    path, line, 0, self.id,
+                    f"seed generator {name!r} ({cls.__name__}) fails its spec "
+                    f"round-trip audit: {exc}",
+                )
+        for spec_cls in (MessageTrafficSpec, SessionSpec):
+            path, line = _class_location(ctx, spec_cls)
+            try:
+                instance = spec_cls(name="lint-roundtrip") if spec_cls is SessionSpec else spec_cls()
+                first = instance.to_dict()
+                second = type(instance).from_dict(first).to_dict()
+            except ValueError as exc:
+                yield Finding(
+                    path, line, 0, self.id,
+                    f"{spec_cls.__name__} default instance fails its dict round-trip: {exc}",
+                )
+                continue
+            if first != second:
+                drifted = sorted(
+                    k for k in set(first) | set(second) if first.get(k) != second.get(k)
+                )
+                yield Finding(
+                    path, line, 0, self.id,
+                    f"{spec_cls.__name__}.to_dict() does not round-trip through "
+                    f"from_dict(); field(s) {drifted} drift",
                 )
 
 

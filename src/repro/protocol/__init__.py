@@ -1,0 +1,86 @@
+"""Seed-synchronized session layer over the BHSS link.
+
+The paper's evaluation is per-packet; this subpackage adds the protocol
+above it: messages are whitened, CRC-framed and fragmented onto PHY
+frames (:mod:`repro.protocol.packetizer`), both ends derive per-epoch
+hop seeds from a shared keyed-hash stream
+(:mod:`repro.protocol.hopseed`), and a session state machine
+(:mod:`repro.protocol.session`) detects seed desynchronization and
+re-synchronizes over a rendezvous channel with bounded, deterministic
+retry/backoff — degrading to the static widest band when the budget is
+exhausted.
+
+:class:`SessionSpec` files run through the same cache / checkpoint /
+pool machinery as scenarios, via :func:`run_session`.
+"""
+
+from repro.protocol.hopseed import (
+    SEED_GENERATOR_REGISTRY,
+    CounterSeedGenerator,
+    HopSeedGenerator,
+    TimeSlottedSeedGenerator,
+    seed_commitment,
+    seed_generator_from_spec,
+    seed_generator_names,
+    verify_seed_generator_roundtrip,
+)
+from repro.protocol.packetizer import (
+    Fragment,
+    PacketKind,
+    ProtocolError,
+    Reassembler,
+    build_fragment,
+    fragment_message,
+    parse_fragment,
+    reassemble_message,
+)
+from repro.protocol.runner import SESSION_COLUMNS, evaluate_session_point, run_session
+from repro.protocol.session import SessionManager, SessionState, SessionStats, simulate_session
+from repro.protocol.spec import (
+    MessageTrafficSpec,
+    SessionError,
+    SessionSpec,
+    default_sync_retries,
+    default_sync_timeout,
+)
+from repro.protocol.whitening import (
+    DEFAULT_WHITEN_SEED,
+    fragment_whiten_seed,
+    whiten,
+    whitening_sequence,
+)
+
+__all__ = [
+    "ProtocolError",
+    "PacketKind",
+    "Fragment",
+    "build_fragment",
+    "parse_fragment",
+    "fragment_message",
+    "reassemble_message",
+    "Reassembler",
+    "whiten",
+    "whitening_sequence",
+    "fragment_whiten_seed",
+    "DEFAULT_WHITEN_SEED",
+    "HopSeedGenerator",
+    "CounterSeedGenerator",
+    "TimeSlottedSeedGenerator",
+    "SEED_GENERATOR_REGISTRY",
+    "seed_generator_from_spec",
+    "seed_generator_names",
+    "verify_seed_generator_roundtrip",
+    "seed_commitment",
+    "SessionError",
+    "SessionSpec",
+    "MessageTrafficSpec",
+    "default_sync_retries",
+    "default_sync_timeout",
+    "SessionState",
+    "SessionStats",
+    "SessionManager",
+    "simulate_session",
+    "SESSION_COLUMNS",
+    "evaluate_session_point",
+    "run_session",
+]

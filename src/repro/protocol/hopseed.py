@@ -1,0 +1,193 @@
+"""Deterministic hop-seed generators shared by both session ends.
+
+The paper's security model gives transmitter and receiver one pre-shared
+secret; a long-lived session must expand it into a *stream* of per-epoch
+hop seeds so that compromising (or brute-forcing) one dwell schedule
+reveals nothing about the next.  Both ends instantiate the same generator
+from the same spec and stay synchronized for free — until jamming or an
+injected ``desync`` fault makes them disagree on the epoch, which is
+exactly what the session layer's handshake re-establishes.
+
+Two keyed-hash stream shapes are provided:
+
+``counter``
+    One fresh seed per epoch: ``seed_for_epoch(e)`` hashes ``(key, e)``.
+``time-slotted``
+    Time-of-day style rotation: epochs are grouped into slots of
+    ``slot_epochs`` and every epoch in a slot shares the slot's seed —
+    the model of a real deployment that rotates keys on a wall-clock
+    schedule rather than per exchange.
+
+The registry mirrors :mod:`repro.jamming.registry`: specs are plain JSON
+mappings with a ``"type"`` field, unknown fields fail with the field
+named, and :func:`verify_seed_generator_roundtrip` audits that ``spec()``
+loses nothing.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+from repro.utils.rng import derive_seed
+
+__all__ = [
+    "HopSeedGenerator",
+    "CounterSeedGenerator",
+    "TimeSlottedSeedGenerator",
+    "SEED_GENERATOR_REGISTRY",
+    "seed_generator_from_spec",
+    "seed_generator_names",
+    "verify_seed_generator_roundtrip",
+    "seed_commitment",
+]
+
+
+class HopSeedGenerator:
+    """Base class: a deterministic epoch -> hop-seed stream."""
+
+    def seed_for_epoch(self, epoch: int) -> int:
+        """The hop seed both ends use during ``epoch`` (>= 0)."""
+        raise NotImplementedError
+
+    def spec(self) -> dict:
+        """JSON-able construction spec; ``seed_generator_from_spec`` inverts it."""
+        raise NotImplementedError
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "HopSeedGenerator":
+        """Rebuild a generator from its :meth:`spec` output."""
+        params = {k: v for k, v in spec.items() if k != "type"}
+        return cls(**params)
+
+    @staticmethod
+    def _check_epoch(epoch: int) -> int:
+        if isinstance(epoch, bool) or not isinstance(epoch, int) or epoch < 0:
+            raise ValueError(f"epoch must be an integer >= 0, got {epoch!r}")
+        return epoch
+
+
+class CounterSeedGenerator(HopSeedGenerator):
+    """Counter-keyed stream: an independent hop seed every epoch."""
+
+    def __init__(self, key: int = 0) -> None:
+        if isinstance(key, bool) or not isinstance(key, int):
+            raise ValueError(f"key must be an integer, got {key!r}")
+        self.key = key
+
+    def seed_for_epoch(self, epoch: int) -> int:
+        return derive_seed(self.key, "hopseed", "counter", str(self._check_epoch(epoch)))
+
+    def spec(self) -> dict:
+        return {"type": "counter", "key": int(self.key)}
+
+
+class TimeSlottedSeedGenerator(HopSeedGenerator):
+    """Time-of-day style stream: the seed rotates every ``slot_epochs`` epochs."""
+
+    def __init__(self, key: int = 0, slot_epochs: int = 4) -> None:
+        if isinstance(key, bool) or not isinstance(key, int):
+            raise ValueError(f"key must be an integer, got {key!r}")
+        if isinstance(slot_epochs, bool) or not isinstance(slot_epochs, int) or slot_epochs < 1:
+            raise ValueError(f"slot_epochs must be an integer >= 1, got {slot_epochs!r}")
+        self.key = key
+        self.slot_epochs = slot_epochs
+
+    def seed_for_epoch(self, epoch: int) -> int:
+        slot = self._check_epoch(epoch) // self.slot_epochs
+        return derive_seed(self.key, "hopseed", "slot", str(slot))
+
+    def spec(self) -> dict:
+        return {"type": "time-slotted", "key": int(self.key), "slot_epochs": int(self.slot_epochs)}
+
+
+#: registry key -> generator class; keys are the ``"type"`` values of specs.
+SEED_GENERATOR_REGISTRY: dict[str, type[HopSeedGenerator]] = {
+    "counter": CounterSeedGenerator,
+    "time-slotted": TimeSlottedSeedGenerator,
+}
+
+
+def seed_generator_names() -> list[str]:
+    """Registered seed-generator type names, sorted."""
+    return sorted(SEED_GENERATOR_REGISTRY)
+
+
+def seed_generator_from_spec(spec: dict | HopSeedGenerator) -> HopSeedGenerator:
+    """Build a hop-seed generator from a registry spec mapping.
+
+    Mirrors :func:`repro.jamming.registry.jammer_from_spec`: the spec must
+    carry a registered ``"type"``, unknown fields fail with the offending
+    field named, and an existing generator passes through unchanged.
+    """
+    if isinstance(spec, HopSeedGenerator):
+        return spec
+    if not isinstance(spec, dict):
+        raise ValueError(f"seed-generator spec must be a mapping, got {type(spec).__name__}")
+    if "type" not in spec:
+        raise ValueError("seed-generator spec must contain a 'type' field")
+    name = spec["type"]
+    if not isinstance(name, str) or name.lower() not in SEED_GENERATOR_REGISTRY:
+        raise ValueError(
+            f"unknown seed-generator type {name!r}; registered types: {seed_generator_names()}"
+        )
+    cls = SEED_GENERATOR_REGISTRY[name.lower()]
+    params = {k: v for k, v in spec.items() if k != "type"}
+    accepted = set(inspect.signature(cls.__init__).parameters) - {"self"}
+    unknown = set(params) - accepted
+    if unknown:
+        raise ValueError(
+            f"seed-generator spec field(s) {sorted(unknown)} not recognized for type "
+            f"{name!r}; accepted: {sorted(accepted)}"
+        )
+    try:
+        return cls.from_spec({"type": name, **params})
+    except TypeError as exc:
+        raise ValueError(f"seed-generator spec for type {name!r} is incomplete: {exc}") from None
+
+
+def verify_seed_generator_roundtrip(generator: HopSeedGenerator) -> dict:
+    """Audit that a generator's ``spec()`` loses no constructor field.
+
+    Rebuilds the generator from its own spec and fails with a field-named
+    error when the rebuilt spec drifts, when a constructor parameter is
+    silently dropped, or when the rebuilt stream diverges from the
+    original on the first epochs.  Returns the validated spec on success.
+    """
+    spec = generator.spec()
+    rebuilt = seed_generator_from_spec(spec)
+    rebuilt_spec = rebuilt.spec()
+    if rebuilt_spec != spec:
+        drifted = sorted(
+            k for k in set(spec) | set(rebuilt_spec) if spec.get(k) != rebuilt_spec.get(k)
+        )
+        raise ValueError(
+            f"{type(generator).__name__}.spec() does not round-trip; "
+            f"field(s) {drifted} drift on rebuild"
+        )
+    accepted = set(inspect.signature(type(generator).__init__).parameters) - {"self"}
+    for name in sorted(accepted - set(spec)):
+        if not (hasattr(generator, name) and hasattr(rebuilt, name)):
+            continue
+        if getattr(generator, name) != getattr(rebuilt, name):
+            raise ValueError(
+                f"{type(generator).__name__}.spec() silently drops constructor "
+                f"field {name!r} (value {getattr(generator, name)!r} lost on rebuild)"
+            )
+    for epoch in range(4):
+        if generator.seed_for_epoch(epoch) != rebuilt.seed_for_epoch(epoch):
+            raise ValueError(
+                f"{type(generator).__name__} rebuilt from its spec diverges at epoch {epoch}"
+            )
+    return spec
+
+
+def seed_commitment(epoch_seed: int) -> int:
+    """A 32-bit keyed-hash commitment to an epoch's hop seed.
+
+    Handshake frames carry this instead of the seed itself, so each end
+    can check that the other derived the *same* seed without putting the
+    seed on the air.  (Both ends already share the generator key; the
+    commitment only has to detect disagreement, not hide anything from a
+    key holder.)
+    """
+    return derive_seed(int(epoch_seed), "commit") & 0xFFFFFFFF

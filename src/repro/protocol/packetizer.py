@@ -1,0 +1,256 @@
+"""Message packetizer: fragments in PHY-payload clothing.
+
+A session message is arbitrarily long; the PHY frame carries a fixed,
+small payload.  The packetizer bridges the two:
+
+* the message grows a CRC-32 tail (end-to-end integrity across
+  fragments — the per-frame CRC-16 only covers one fragment),
+* the result is split into chunks that fit the session MTU,
+* each chunk rides behind a 5-byte fragment header
+  ``[message_id | frag_index | total_frags | kind | chunk_len]``,
+* everything after the header is whitened
+  (:mod:`repro.protocol.whitening`) with a per-fragment keystream phase,
+  then zero-padded to exactly the MTU so every fragment maps onto one
+  fixed-geometry PHY frame.
+
+The :class:`Reassembler` inverts all of it and is deliberately paranoid:
+fragments may arrive reordered or duplicated (ARQ retransmissions), and
+truncated or structurally inconsistent fragments raise
+:class:`ProtocolError` instead of corrupting state — properties the
+hypothesis wall in ``tests/test_properties_protocol.py`` drives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Iterable
+
+from repro.phy.crc import crc32_ieee
+from repro.protocol.whitening import fragment_whiten_seed, whiten
+
+__all__ = [
+    "ProtocolError",
+    "PacketKind",
+    "Fragment",
+    "HEADER_BYTES",
+    "MESSAGE_CRC_BYTES",
+    "build_fragment",
+    "parse_fragment",
+    "fragment_message",
+    "reassemble_message",
+    "Reassembler",
+]
+
+
+class ProtocolError(ValueError):
+    """A fragment or message failed structural validation."""
+
+
+class PacketKind(IntEnum):
+    """What a fragment carries: session data or sync control."""
+
+    DATA = 0
+    HANDSHAKE = 1
+    HANDSHAKE_ACK = 2
+
+
+#: fragment header: message_id, frag_index, total_frags, kind, chunk_len
+HEADER_BYTES = 5
+
+#: CRC-32 tail appended to every message before fragmentation
+MESSAGE_CRC_BYTES = 4
+
+#: smallest MTU that leaves room for the header and one chunk byte
+MIN_MTU = HEADER_BYTES + 1
+
+
+@dataclass(frozen=True)
+class Fragment:
+    """One parsed fragment: header fields plus the de-whitened chunk."""
+
+    kind: PacketKind
+    message_id: int
+    frag_index: int
+    total_frags: int
+    chunk: bytes
+
+    @property
+    def key(self) -> tuple[int, int]:
+        """The (message_id, frag_index) coordinate of this fragment."""
+        return (self.message_id, self.frag_index)
+
+
+def _check_byte(value: int, name: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int) or not 0 <= value <= 255:
+        raise ProtocolError(f"{name} must be an integer in 0..255, got {value!r}")
+    return value
+
+
+def _check_mtu(mtu: int) -> int:
+    if isinstance(mtu, bool) or not isinstance(mtu, int) or not MIN_MTU <= mtu <= 255:
+        raise ProtocolError(f"mtu must be an integer in {MIN_MTU}..255, got {mtu!r}")
+    return mtu
+
+
+def build_fragment(
+    kind: PacketKind,
+    message_id: int,
+    frag_index: int,
+    total_frags: int,
+    chunk: bytes,
+    mtu: int,
+    whiten_key: int,
+) -> bytes:
+    """One on-air fragment: header + whitened, zero-padded chunk (== MTU bytes)."""
+    _check_mtu(mtu)
+    _check_byte(message_id, "message_id")
+    _check_byte(frag_index, "frag_index")
+    _check_byte(total_frags, "total_frags")
+    if total_frags < 1:
+        raise ProtocolError(f"total_frags must be >= 1, got {total_frags}")
+    if frag_index >= total_frags:
+        raise ProtocolError(f"frag_index {frag_index} out of range for {total_frags} fragment(s)")
+    capacity = mtu - HEADER_BYTES
+    if len(chunk) > capacity:
+        raise ProtocolError(f"chunk of {len(chunk)} bytes exceeds MTU capacity {capacity}")
+    header = bytes([message_id, frag_index, total_frags, int(kind), len(chunk)])
+    body = bytes(chunk) + bytes(capacity - len(chunk))
+    seed = fragment_whiten_seed(whiten_key, message_id, frag_index)
+    return header + whiten(body, seed)
+
+
+def parse_fragment(data: bytes, whiten_key: int) -> Fragment:
+    """Invert :func:`build_fragment`; raises :class:`ProtocolError` if malformed.
+
+    Truncated fragments (shorter than the header, or shorter than the
+    length their own header claims) and structurally impossible headers
+    (index beyond the fragment count, unknown kind) are rejected before
+    any state is touched.
+    """
+    data = bytes(data)
+    if len(data) < HEADER_BYTES:
+        raise ProtocolError(
+            f"truncated fragment: {len(data)} byte(s), header needs {HEADER_BYTES}"
+        )
+    message_id, frag_index, total_frags, kind_value, chunk_len = data[:HEADER_BYTES]
+    if total_frags < 1:
+        raise ProtocolError("fragment header claims zero total fragments")
+    if frag_index >= total_frags:
+        raise ProtocolError(
+            f"fragment header index {frag_index} out of range for {total_frags} fragment(s)"
+        )
+    try:
+        kind = PacketKind(kind_value)
+    except ValueError:
+        raise ProtocolError(f"unknown fragment kind {kind_value}") from None
+    body = data[HEADER_BYTES:]
+    if chunk_len > len(body):
+        raise ProtocolError(
+            f"truncated fragment: header claims {chunk_len} chunk byte(s), "
+            f"only {len(body)} present"
+        )
+    seed = fragment_whiten_seed(whiten_key, message_id, frag_index)
+    chunk = whiten(body, seed)[:chunk_len]
+    return Fragment(
+        kind=kind,
+        message_id=message_id,
+        frag_index=frag_index,
+        total_frags=total_frags,
+        chunk=chunk,
+    )
+
+
+def fragment_message(
+    message: bytes, mtu: int, message_id: int, whiten_key: int
+) -> list[bytes]:
+    """Split ``message`` + CRC-32 into on-air DATA fragments of ``mtu`` bytes."""
+    _check_mtu(mtu)
+    _check_byte(message_id, "message_id")
+    crc = crc32_ieee(bytes(message))
+    body = bytes(message) + crc.to_bytes(MESSAGE_CRC_BYTES, "big")
+    capacity = mtu - HEADER_BYTES
+    total = max(1, -(-len(body) // capacity))
+    if total > 255:
+        raise ProtocolError(
+            f"message of {len(message)} bytes needs {total} fragments at MTU {mtu} (max 255)"
+        )
+    return [
+        build_fragment(
+            PacketKind.DATA,
+            message_id,
+            index,
+            total,
+            body[index * capacity : (index + 1) * capacity],
+            mtu,
+            whiten_key,
+        )
+        for index in range(total)
+    ]
+
+
+class Reassembler:
+    """Order-free, duplicate-tolerant fragment collector.
+
+    Feed parsed DATA fragments in any order (ARQ retransmissions arrive
+    late and repeated); :meth:`add` returns the reassembled message the
+    moment its last fragment lands and the end-to-end CRC-32 checks, and
+    ``None`` otherwise.  A message whose CRC fails on completion is
+    dropped (counted in :attr:`crc_failures`) and its id freed for a
+    clean retransmission.
+    """
+
+    def __init__(self) -> None:
+        self._partial: dict[int, dict[int, bytes]] = {}
+        self._totals: dict[int, int] = {}
+        self.crc_failures = 0
+
+    def add(self, fragment: Fragment) -> bytes | None:
+        """Fold one fragment in; returns the completed message, if any."""
+        if fragment.kind is not PacketKind.DATA:
+            raise ProtocolError(f"reassembler only accepts DATA fragments, got {fragment.kind.name}")
+        known_total = self._totals.get(fragment.message_id)
+        if known_total is not None and known_total != fragment.total_frags:
+            raise ProtocolError(
+                f"message {fragment.message_id}: fragment claims {fragment.total_frags} "
+                f"total fragment(s), earlier fragments claimed {known_total}"
+            )
+        chunks = self._partial.setdefault(fragment.message_id, {})
+        self._totals.setdefault(fragment.message_id, fragment.total_frags)
+        chunks.setdefault(fragment.frag_index, fragment.chunk)
+        if len(chunks) < fragment.total_frags:
+            return None
+        body = b"".join(chunks[i] for i in range(fragment.total_frags))
+        del self._partial[fragment.message_id]
+        del self._totals[fragment.message_id]
+        if len(body) < MESSAGE_CRC_BYTES:
+            self.crc_failures += 1
+            return None
+        message, tail = body[:-MESSAGE_CRC_BYTES], body[-MESSAGE_CRC_BYTES:]
+        if crc32_ieee(message).to_bytes(MESSAGE_CRC_BYTES, "big") != tail:
+            self.crc_failures += 1
+            return None
+        return message
+
+
+def reassemble_message(fragments: Iterable[Fragment]) -> bytes:
+    """Reassemble one message from its fragments, in any order.
+
+    Raises :class:`ProtocolError` when fragments are missing or the
+    end-to-end CRC-32 fails — the strict single-message convenience the
+    property tests drive; live sessions use :class:`Reassembler`.
+    """
+    collector = Reassembler()
+    fragment_list = list(fragments)
+    if not fragment_list:
+        raise ProtocolError("no fragments to reassemble")
+    for fragment in fragment_list:
+        message = collector.add(fragment)
+        if message is not None:
+            return message
+    if collector.crc_failures:
+        raise ProtocolError("message CRC-32 failed on reassembly")
+    missing = sorted(
+        set(range(fragment_list[0].total_frags)) - {f.frag_index for f in fragment_list}
+    )
+    raise ProtocolError(f"incomplete message: missing fragment indices {missing}")

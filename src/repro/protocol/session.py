@@ -1,0 +1,463 @@
+"""The seed-synchronized session layer: state machine + slot engine.
+
+:class:`SessionManager` runs one session at one (SNR, SJR) operating
+point.  Both ends share a pre-shared rendezvous configuration (the
+spec's ``config``) and a deterministic hop-seed generator
+(:mod:`repro.protocol.hopseed`); data flows in *epochs* of
+``packets_per_epoch`` dwell slots, each epoch hopping under its own
+generator seed.  The state machine is::
+
+          +--------------------------------------------+
+          v                                            |
+    IDLE --> HANDSHAKE --> SYNCED --> DESYNCED --> RESYNC
+                 |                                     |
+                 +----------> DEGRADED <---------------+
+                         (retry budget exhausted:
+                          static widest band, watchdogs off)
+
+Desync is detected by two watchdogs: ``crc_fail_threshold`` consecutive
+frame failures inside an epoch, or an epoch whose accepted fraction
+falls below ``min_epoch_utilization``.  Either sends the session to
+RESYNC: the epoch counter advances (the poisoned epoch is abandoned),
+and up to ``resync_retries`` handshake rounds of ``sync_timeout``
+attempts each — separated by deterministic exponential backoff
+(``backoff_base << round`` idle slots) — try to re-agree on the seed
+over the rendezvous channel.  Exhausting the budget degrades the
+session to the static widest band, where hopping (and the watchdogs)
+are off but traffic still drains.
+
+Determinism contract: data transmission ``k`` draws its channel noise
+from ``child_rng(seed, "packet", k)`` and handshake transmission ``j``
+from ``child_rng(seed, "handshake", j)`` — *disjoint substreams*, so
+protocol faults that add or drop handshakes never shift the data-plane
+noise, which is what makes the chaos equivalence tests exact instead of
+statistical.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.channel.link_medium import Medium
+from repro.core.paths import RxPath, TxPath, draw_jammer_wave
+from repro.jamming.registry import jammer_from_spec
+from repro.protocol.hopseed import HopSeedGenerator, seed_commitment, seed_generator_from_spec
+from repro.protocol.packetizer import (
+    Fragment,
+    PacketKind,
+    ProtocolError,
+    Reassembler,
+    build_fragment,
+    fragment_message,
+    parse_fragment,
+)
+from repro.protocol.spec import HANDSHAKE_CHUNK_BYTES, SessionSpec
+from repro.utils.rng import child_rng, derive_seed
+
+if TYPE_CHECKING:
+    from repro.jamming.base import Jammer
+    from repro.runtime.faults import FaultPlan
+
+__all__ = ["SessionState", "SessionStats", "SessionManager", "simulate_session"]
+
+#: cap on the exponential backoff between re-sync rounds, in idle slots
+MAX_BACKOFF_SLOTS = 64
+
+
+class SessionState(Enum):
+    """Where the session state machine currently is."""
+
+    IDLE = "idle"
+    HANDSHAKE = "handshake"
+    SYNCED = "synced"
+    DESYNCED = "desynced"
+    RESYNC = "resync"
+    DEGRADED = "degraded"
+
+
+@dataclass
+class SessionStats:
+    """Everything a session run produced, in bit-identity-friendly form.
+
+    Counters and logs are plain ints/strings/bools, so two runs can be
+    compared with ``stats_a.to_dict() == stats_b.to_dict()`` — the form
+    the serial-vs-pool and chaos-equivalence tests use.
+    """
+
+    snr_db: float
+    sjr_db: float
+    total_messages: int
+    payload_bits_total: int
+    sample_rate: float
+    delivered: dict[int, bytes] = field(default_factory=dict)
+    data_tx: int = 0
+    data_accepted: int = 0
+    handshake_tx: int = 0
+    handshake_accepted: int = 0
+    handshake_dropped: int = 0
+    desync_count: int = 0
+    desync_injected: int = 0
+    resync_count: int = 0
+    resync_latencies: list[int] = field(default_factory=list)
+    degraded: bool = False
+    final_state: str = SessionState.IDLE.value
+    slots_used: int = 0
+    airtime_samples: int = 0
+    epochs_completed: int = 0
+    reassembly_crc_failures: int = 0
+    transitions: list[tuple[int, str, str]] = field(default_factory=list)
+    transmissions: list[tuple[str, int, bool]] = field(default_factory=list)
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Fraction of the traffic's messages delivered intact."""
+        if not self.total_messages:
+            return 0.0
+        return len(self.delivered) / self.total_messages
+
+    @property
+    def goodput_bps(self) -> float:
+        """Delivered payload bits per second of airtime (handshakes included)."""
+        if self.airtime_samples <= 0:
+            return 0.0
+        delivered_bits = 8 * sum(len(m) for m in self.delivered.values())
+        return delivered_bits / (self.airtime_samples / self.sample_rate)
+
+    @property
+    def data_per(self) -> float:
+        """Packet error rate of the data-plane transmissions."""
+        if not self.data_tx:
+            return 0.0
+        return 1.0 - self.data_accepted / self.data_tx
+
+    @property
+    def mean_resync_latency(self) -> float:
+        """Mean slots from desync detection to SYNCED re-entry (0 if none)."""
+        if not self.resync_latencies:
+            return 0.0
+        return float(np.mean(self.resync_latencies))
+
+    def to_dict(self) -> dict:
+        """JSON-able snapshot; equality of two snapshots == bit-identity."""
+        return {
+            "snr_db": float(self.snr_db),
+            "sjr_db": float(self.sjr_db),
+            "total_messages": self.total_messages,
+            "delivered_ids": sorted(self.delivered),
+            "delivery_ratio": self.delivery_ratio,
+            "goodput_bps": self.goodput_bps,
+            "data_per": self.data_per,
+            "data_tx": self.data_tx,
+            "data_accepted": self.data_accepted,
+            "handshake_tx": self.handshake_tx,
+            "handshake_accepted": self.handshake_accepted,
+            "handshake_dropped": self.handshake_dropped,
+            "desync_count": self.desync_count,
+            "desync_injected": self.desync_injected,
+            "resync_count": self.resync_count,
+            "resync_latencies": list(self.resync_latencies),
+            "mean_resync_latency": self.mean_resync_latency,
+            "degraded": self.degraded,
+            "final_state": self.final_state,
+            "slots_used": self.slots_used,
+            "airtime_samples": self.airtime_samples,
+            "epochs_completed": self.epochs_completed,
+            "reassembly_crc_failures": self.reassembly_crc_failures,
+            "transitions": [list(t) for t in self.transitions],
+            "transmissions": [list(t) for t in self.transmissions],
+        }
+
+
+class SessionManager:
+    """One session at one operating point, run slot by slot.
+
+    Parameters
+    ----------
+    spec:
+        The session spec (traffic, jammer, hop-seed generator, budgets).
+    snr_db, sjr_db:
+        The channel operating point of this run.
+    faults:
+        Optional :class:`~repro.runtime.faults.FaultPlan` supplying the
+        protocol-level ``drop-handshake`` / ``desync`` decisions.
+    """
+
+    def __init__(
+        self,
+        spec: SessionSpec,
+        snr_db: float,
+        sjr_db: float,
+        faults: "FaultPlan | None" = None,
+    ) -> None:
+        self.spec = spec
+        self.snr_db = float(snr_db)
+        self.sjr_db = float(sjr_db)
+        self.faults = faults
+        config = spec.config
+        self.mtu = config.payload_bytes
+        self.whiten_key = spec.seed
+        self.jammer: "Jammer" = jammer_from_spec(spec.jammer, sample_rate=config.sample_rate)
+        self.generator: HopSeedGenerator = seed_generator_from_spec(spec.seed_generator)
+        self.medium = Medium(config.sample_rate)
+        # The rendezvous channel is the *pre-shared* configuration itself
+        # (config.seed): both ends always know it, and when the config
+        # hops it stays jam-resistant — a static rendezvous band would
+        # hand the follower a fixed target and drag every re-sync down
+        # with it.  The degraded fallback, by contrast, is deliberately
+        # the static widest band (maximum raw rate, no seed agreement
+        # needed).
+        self.rendezvous_tx = TxPath(config)
+        self.rendezvous_rx = RxPath(config)
+        widest = float(np.max(config.bandwidth_set.as_array()))
+        static = config.with_fixed_bandwidth(widest)
+        self.static_tx = TxPath(static)
+        self.static_rx = RxPath(static)
+        self.messages = spec.traffic.messages()
+        self.pending: deque[tuple[int, bytes]] = deque()
+        for message_id, message in enumerate(self.messages):
+            for frag in fragment_message(message, self.mtu, message_id, self.whiten_key):
+                self.pending.append((message_id, frag))
+        self.reassembler = Reassembler()
+        self.state = SessionState.IDLE
+        self.epoch = 0
+        self.data_counter = 0
+        self.hs_counter = 0
+        self.degraded_index = 0
+        self.budget = spec.slot_budget()
+        self.stats = SessionStats(
+            snr_db=self.snr_db,
+            sjr_db=self.sjr_db,
+            total_messages=len(self.messages),
+            payload_bits_total=8 * sum(len(m) for m in self.messages),
+            sample_rate=config.sample_rate,
+        )
+
+    # -- state machine plumbing -----------------------------------------------
+
+    def _enter(self, state: SessionState) -> None:
+        if state is self.state:
+            return
+        self.stats.transitions.append((self.stats.slots_used, self.state.value, state.value))
+        self.state = state
+
+    # -- slot primitives ------------------------------------------------------
+
+    def _transmit(
+        self,
+        tx: TxPath,
+        rx: RxPath,
+        payload: bytes,
+        packet_index: int,
+        rng: np.random.Generator,
+    ) -> tuple[bool, int]:
+        """One dwell slot on the air: ``(accepted, airtime_samples)``.
+
+        The RNG contract matches the link drivers: the jammer waveform is
+        drawn first (even when not injected), then the medium noise.
+        """
+        packet, air = tx.emit(packet_index=packet_index, payload=payload)
+        jam_wave = draw_jammer_wave(self.jammer, packet, self.sjr_db, rng)
+        block = self.medium.combine(
+            air, self.snr_db, jammer=jam_wave, sjr_db=self.sjr_db, rng=rng
+        )
+        outcome = rx.receive_packet(packet, block.samples, packet_index)
+        return outcome.accepted, packet.num_samples
+
+    def _data_slot(self, tx: TxPath, rx: RxPath, packet_index: int) -> bool:
+        """Transmit the head-of-queue fragment; requeue it on failure."""
+        message_id, frag = self.pending[0]
+        index = self.data_counter
+        self.data_counter += 1
+        rng = child_rng(self.spec.seed, "packet", str(index))
+        accepted, samples = self._transmit(tx, rx, frag, packet_index, rng)
+        stats = self.stats
+        stats.slots_used += 1
+        stats.airtime_samples += samples
+        stats.data_tx += 1
+        stats.transmissions.append(("data", index, accepted))
+        if not accepted:
+            self.pending.rotate(-1)
+            return False
+        self.pending.popleft()
+        stats.data_accepted += 1
+        try:
+            parsed = parse_fragment(frag, self.whiten_key)
+            message = self.reassembler.add(parsed)
+        except ProtocolError:
+            message = None
+        stats.reassembly_crc_failures = self.reassembler.crc_failures
+        if message is not None:
+            stats.delivered[message_id] = message
+        return True
+
+    def _control_slot(self, frag: bytes, label: str) -> Fragment | None:
+        """One handshake transmission over the rendezvous channel."""
+        index = self.hs_counter
+        self.hs_counter += 1
+        rng = child_rng(self.spec.seed, "handshake", str(index))
+        accepted, samples = self._transmit(
+            self.rendezvous_tx, self.rendezvous_rx, frag, index, rng
+        )
+        stats = self.stats
+        stats.slots_used += 1
+        stats.airtime_samples += samples
+        stats.handshake_tx += 1
+        stats.transmissions.append((label, index, accepted))
+        if not accepted:
+            return None
+        stats.handshake_accepted += 1
+        try:
+            return parse_fragment(frag, self.whiten_key)
+        except ProtocolError:
+            return None
+
+    # -- handshake / re-sync --------------------------------------------------
+
+    def _handshake_payload(self, kind: PacketKind) -> bytes:
+        epoch_seed = self.generator.seed_for_epoch(self.epoch)
+        chunk = self.epoch.to_bytes(4, "big") + seed_commitment(epoch_seed).to_bytes(4, "big")
+        assert len(chunk) == HANDSHAKE_CHUNK_BYTES
+        return build_fragment(
+            kind, self.epoch % 256, 0, 1, chunk, self.mtu, self.whiten_key
+        )
+
+    def _handshake_exchange(self) -> bool:
+        """One handshake attempt: seed offer plus acknowledgment.
+
+        The transmitter offers ``(epoch, commitment)`` over the
+        rendezvous channel; the receiver recomputes the commitment from
+        its own generator and, on agreement, acknowledges.  Both frames
+        must decode for the attempt to succeed.
+        """
+        offer = self._control_slot(self._handshake_payload(PacketKind.HANDSHAKE), "handshake")
+        if offer is None or offer.kind is not PacketKind.HANDSHAKE:
+            return False
+        offered_epoch = int.from_bytes(offer.chunk[:4], "big")
+        offered_commit = int.from_bytes(offer.chunk[4:HANDSHAKE_CHUNK_BYTES], "big")
+        local_commit = seed_commitment(self.generator.seed_for_epoch(offered_epoch))
+        if local_commit != offered_commit:
+            return False
+        ack = self._control_slot(self._handshake_payload(PacketKind.HANDSHAKE_ACK), "ack")
+        return ack is not None and ack.kind is PacketKind.HANDSHAKE_ACK
+
+    def _sync_episode(self) -> bool:
+        """Run one full handshake episode (rounds x attempts, with backoff).
+
+        Returns True when the session reaches SYNCED.  Returns False when
+        the slot budget ran out mid-episode (state unchanged) or the
+        retry budget was exhausted (session DEGRADED).
+        """
+        spec = self.spec
+        retries = int(spec.resync_retries or 1)
+        timeout = int(spec.sync_timeout or 1)
+        for round_index in range(retries):
+            if round_index > 0:
+                backoff = min(spec.backoff_base << round_index, MAX_BACKOFF_SLOTS)
+                self.stats.slots_used += backoff
+            for attempt in range(timeout):
+                if self.stats.slots_used >= self.budget:
+                    return False
+                if (
+                    attempt == 0
+                    and self.faults is not None
+                    and self.faults.should("drop-handshake", str(self.epoch), str(round_index))
+                ):
+                    # Lost before the air: one slot elapses, nothing is
+                    # transmitted, and no RNG substream is consumed.
+                    self.stats.slots_used += 1
+                    self.stats.handshake_dropped += 1
+                    self.stats.transmissions.append(("drop-handshake", round_index, False))
+                    continue
+                if self._handshake_exchange():
+                    self._enter(SessionState.SYNCED)
+                    return True
+        self._degrade()
+        return False
+
+    def _degrade(self) -> None:
+        """Give up on seed sync: static widest band, watchdogs off."""
+        self.stats.degraded = True
+        self._enter(SessionState.DEGRADED)
+
+    # -- epochs ---------------------------------------------------------------
+
+    def _epoch_paths(self) -> tuple[TxPath, RxPath]:
+        """TX/RX paths for the current epoch (RX possibly fault-desynced)."""
+        epoch_seed = self.generator.seed_for_epoch(self.epoch)
+        rx_seed = epoch_seed
+        if self.faults is not None and self.faults.should("desync", str(self.epoch)):
+            rx_seed = derive_seed(epoch_seed, "desynced")
+            self.stats.desync_injected += 1
+        config = self.spec.config
+        return (
+            TxPath(replace(config, seed=epoch_seed)),
+            RxPath(replace(config, seed=rx_seed)),
+        )
+
+    def _run_epoch(self) -> bool:
+        """Run one SYNCED data epoch; returns False when a watchdog fired."""
+        spec = self.spec
+        tx, rx = self._epoch_paths()
+        epoch_tx = 0
+        epoch_accepted = 0
+        streak = 0
+        for packet_index in range(spec.packets_per_epoch):
+            if not self.pending or self.stats.slots_used >= self.budget:
+                break
+            accepted = self._data_slot(tx, rx, packet_index)
+            epoch_tx += 1
+            if accepted:
+                epoch_accepted += 1
+                streak = 0
+            else:
+                streak += 1
+                if streak >= spec.crc_fail_threshold:
+                    return False
+        if epoch_tx and self.pending and epoch_accepted / epoch_tx < spec.min_epoch_utilization:
+            return False
+        return True
+
+    # -- top level ------------------------------------------------------------
+
+    def run(self) -> SessionStats:
+        """Drive the session to completion (or slot-budget exhaustion)."""
+        stats = self.stats
+        self._enter(SessionState.HANDSHAKE)
+        self._sync_episode()
+        while self.pending and stats.slots_used < self.budget:
+            if self.state is SessionState.DEGRADED:
+                index = self.degraded_index
+                self.degraded_index += 1
+                self._data_slot(self.static_tx, self.static_rx, index)
+                continue
+            if self.state is not SessionState.SYNCED:
+                break  # slot budget died inside a handshake episode
+            if self._run_epoch():
+                self.epoch += 1
+                stats.epochs_completed += 1
+                continue
+            stats.desync_count += 1
+            self._enter(SessionState.DESYNCED)
+            detection_slot = stats.slots_used
+            self.epoch += 1  # abandon the poisoned epoch
+            self._enter(SessionState.RESYNC)
+            if self._sync_episode():
+                stats.resync_count += 1
+                stats.resync_latencies.append(stats.slots_used - detection_slot)
+        stats.final_state = self.state.value
+        return stats
+
+
+def simulate_session(
+    spec: SessionSpec,
+    snr_db: float,
+    sjr_db: float,
+    faults: "FaultPlan | None" = None,
+) -> SessionStats:
+    """Run one session at one operating point; see :class:`SessionManager`."""
+    return SessionManager(spec, snr_db, sjr_db, faults=faults).run()

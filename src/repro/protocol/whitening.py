@@ -1,0 +1,91 @@
+"""Payload whitening with the Fibonacci LFSR x^7 + x^4 + 1.
+
+Long runs of identical payload bytes produce spectral lines that a
+reactive jammer can key on; XOR-ing the payload with a pseudo-random
+keystream flattens the spectrum regardless of content.  The keystream
+generator is the 7-bit Fibonacci LFSR with polynomial x^7 + x^4 + 1 —
+the whitening sequence of IEEE 802.15.4g and Bluetooth LE — whose
+127-state cycle visits every non-zero state, so any non-zero 7-bit seed
+selects a phase of the same maximal-length sequence.
+
+Because whitening is a keystream XOR, it is an involution:
+``whiten(whiten(data, s), s) == data`` for every payload and every valid
+seed — the property the hypothesis wall in
+``tests/test_properties_protocol.py`` proves exhaustively.
+"""
+
+from __future__ import annotations
+
+from repro.utils.rng import derive_seed
+
+__all__ = [
+    "LFSR_ORDER",
+    "DEFAULT_WHITEN_SEED",
+    "whitening_sequence",
+    "whiten",
+    "fragment_whiten_seed",
+]
+
+#: register width of the whitening LFSR (x^7 + x^4 + 1)
+LFSR_ORDER = 7
+
+#: all-ones initial state, the 802.15.4g convention
+DEFAULT_WHITEN_SEED = 0x7F
+
+_STATE_MASK = (1 << LFSR_ORDER) - 1
+
+
+def _check_seed(seed: int) -> int:
+    if isinstance(seed, bool) or not isinstance(seed, int):
+        raise ValueError(f"whitening seed must be an integer, got {seed!r}")
+    if not 1 <= seed <= _STATE_MASK:
+        raise ValueError(
+            f"whitening seed must be a non-zero {LFSR_ORDER}-bit state "
+            f"(1..{_STATE_MASK}), got {seed}"
+        )
+    return seed
+
+
+def whitening_sequence(num_bytes: int, seed: int = DEFAULT_WHITEN_SEED) -> bytes:
+    """``num_bytes`` of the x^7 + x^4 + 1 keystream starting from ``seed``.
+
+    One keystream bit per LFSR step (the register's low bit), packed
+    LSB-first into bytes.  The zero state is unreachable from any valid
+    seed, so the stream never degenerates.
+    """
+    _check_seed(seed)
+    if num_bytes < 0:
+        raise ValueError(f"num_bytes must be >= 0, got {num_bytes}")
+    state = seed
+    out = bytearray(num_bytes)
+    for i in range(num_bytes):
+        byte = 0
+        for bit in range(8):
+            byte |= (state & 1) << bit
+            feedback = (state ^ (state >> 3)) & 1  # taps at x^7 and x^4
+            state = (state >> 1) | (feedback << (LFSR_ORDER - 1))
+        out[i] = byte
+    return bytes(out)
+
+
+def whiten(data: bytes, seed: int = DEFAULT_WHITEN_SEED) -> bytes:
+    """XOR ``data`` with the whitening keystream (an involution).
+
+    Applying :func:`whiten` twice with the same seed returns the input
+    unchanged, which is why transmitter and receiver share one code path.
+    """
+    stream = whitening_sequence(len(data), seed)
+    return bytes(a ^ b for a, b in zip(bytes(data), stream))
+
+
+def fragment_whiten_seed(base_seed: int, message_id: int, frag_index: int) -> int:
+    """The per-fragment whitening phase of a session's keystream.
+
+    Derived from the session's whitening key and the fragment coordinates
+    through the repo's keyed-hash seed derivation, then folded into the
+    non-zero 7-bit state space — both ends compute it independently from
+    shared data, and no two fragments of a message share a phase (up to
+    the 127-state cycle).
+    """
+    raw = derive_seed(int(base_seed), "whiten", str(int(message_id)), str(int(frag_index)))
+    return (raw % _STATE_MASK) + 1

@@ -18,8 +18,19 @@ entries — is provable only if faults can be *produced* on demand.  The
     With probability ``p`` a just-written :class:`~repro.runtime.cache.
     ResultCache` entry is bit-flipped on disk; the checksum layer must
     detect, quarantine and recompute it.
+``drop-handshake:p``
+    With probability ``p`` a session-layer handshake attempt is dropped
+    before it reaches the air (:mod:`repro.protocol.session`); the
+    re-sync retry budget must absorb the loss.
+``desync:p``
+    With probability ``p`` a session epoch starts with the receiver on a
+    perturbed hop seed, forcing genuine PHY decode failures until the
+    desync watchdogs fire and the handshake re-synchronizes.
 ``seed:n`` / ``hang-seconds:s``
     Fault-stream seed (default 0) and hang duration (default 30 s).
+
+Each kind may appear at most once in a spec — a duplicated kind is a
+configuration error and is rejected, not silently last-wins.
 
 Draws follow the repo's substream discipline: every decision is an
 independent ``child_rng(seed, "fault", kind, *labels)`` stream, so a
@@ -44,7 +55,7 @@ from repro.utils.rng import child_rng
 __all__ = ["FaultPlan", "InjectedCrash", "inject_faults", "FAULT_KINDS", "DEFAULT_HANG_SECONDS"]
 
 #: injectable fault kinds accepted in a ``REPRO_FAULTS`` spec
-FAULT_KINDS = ("crash", "hang", "corrupt-cache")
+FAULT_KINDS = ("crash", "hang", "corrupt-cache", "drop-handshake", "desync")
 
 #: how long an injected hang sleeps unless the spec overrides it
 DEFAULT_HANG_SECONDS = 30.0
@@ -61,7 +72,11 @@ class FaultPlan:
     Attributes
     ----------
     crash, hang, corrupt_cache:
-        Per-attempt / per-entry injection probabilities in ``[0, 1]``.
+        Per-attempt / per-entry runtime injection probabilities in
+        ``[0, 1]``.
+    drop_handshake, desync:
+        Protocol-level injection probabilities consumed by
+        :mod:`repro.protocol.session` (per handshake round / per epoch).
     seed:
         Root seed of the fault decision streams.
     hang_seconds:
@@ -71,6 +86,8 @@ class FaultPlan:
     crash: float = 0.0
     hang: float = 0.0
     corrupt_cache: float = 0.0
+    drop_handshake: float = 0.0
+    desync: float = 0.0
     seed: int = 0
     hang_seconds: float = DEFAULT_HANG_SECONDS
 
@@ -79,9 +96,11 @@ class FaultPlan:
         """Parse a ``kind:probability,...`` spec string.
 
         Raises ``ValueError`` naming ``source`` on unknown kinds, bad
-        numbers or probabilities outside ``[0, 1]``.
+        numbers, probabilities outside ``[0, 1]``, or a kind that appears
+        more than once.
         """
         values: dict[str, float] = {}
+        seen: set[str] = set()
         seed = 0
         hang_seconds = DEFAULT_HANG_SECONDS
         for part in spec.split(","):
@@ -96,6 +115,11 @@ class FaultPlan:
                     f"{source}: entry {part!r} must be 'kind:value' "
                     f"(kinds: {', '.join(FAULT_KINDS)}, plus seed / hang-seconds)"
                 )
+            if key in seen:
+                raise ValueError(
+                    f"{source}: fault kind {key!r} appears more than once"
+                )
+            seen.add(key)
             if key == "seed":
                 try:
                     seed = int(raw)
@@ -132,6 +156,8 @@ class FaultPlan:
             crash=values.get("crash", 0.0),
             hang=values.get("hang", 0.0),
             corrupt_cache=values.get("corrupt-cache", 0.0),
+            drop_handshake=values.get("drop-handshake", 0.0),
+            desync=values.get("desync", 0.0),
             seed=seed,
             hang_seconds=hang_seconds,
         )
@@ -150,13 +176,23 @@ class FaultPlan:
         """Whether fault ``kind`` fires for the substream named by ``labels``.
 
         A pure function of ``(seed, kind, labels)`` — the same plan makes
-        the same decision in any process, any number of times.
+        the same decision in any process, any number of times.  An
+        unregistered ``kind`` raises a field-named ``ValueError`` (it
+        would otherwise silently desynchronize caller and plan).
         """
-        probability = {
+        probabilities = {
             "crash": self.crash,
             "hang": self.hang,
             "corrupt-cache": self.corrupt_cache,
-        }[kind]
+            "drop-handshake": self.drop_handshake,
+            "desync": self.desync,
+        }
+        if kind not in probabilities:
+            raise ValueError(
+                f"FaultPlan.should: unknown fault kind {kind!r} "
+                f"(expected one of {', '.join(FAULT_KINDS)})"
+            )
+        probability = probabilities[kind]
         if probability <= 0.0:
             return False
         return float(child_rng(self.seed, "fault", kind, *labels).random()) < probability

@@ -158,9 +158,15 @@ class TestNetworkRun:
     def test_run_requires_exactly_one_spec_kind(self, tmp_path, capsys):
         path = self.network_spec(tmp_path)
         assert main(["run"]) == 2
-        assert "exactly one of --scenario, --network or --tournament" in capsys.readouterr().err
+        assert (
+            "exactly one of --scenario, --network, --tournament or --session"
+            in capsys.readouterr().err
+        )
         assert main(["run", "--scenario", path, "--network", path]) == 2
-        assert "exactly one of --scenario, --network or --tournament" in capsys.readouterr().err
+        assert (
+            "exactly one of --scenario, --network, --tournament or --session"
+            in capsys.readouterr().err
+        )
 
     def test_bad_network_file_exits_two(self, tmp_path, capsys):
         bad = self.network_spec(tmp_path, links=[])

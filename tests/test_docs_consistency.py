@@ -132,7 +132,7 @@ class TestEnvKnobs:
         assert self.code_knobs() == {
             "REPRO_WORKERS", "REPRO_BATCH", "REPRO_CACHE", "REPRO_SCALE",
             "REPRO_TIMEOUT", "REPRO_RETRIES", "REPRO_CHECKPOINT", "REPRO_FAULTS",
-            "REPRO_BACKEND",
+            "REPRO_BACKEND", "REPRO_SYNC_RETRIES", "REPRO_SYNC_TIMEOUT",
         }
 
     def test_api_guide_documents_runtime_knobs(self):
@@ -175,11 +175,17 @@ class TestExampleScenarios:
     def test_every_example_scenario_validates(self):
         from repro.arena import ArenaSpec
         from repro.network import NetworkSpec
+        from repro.protocol import SessionSpec
         from repro.scenario import Scenario
 
         for path in self.scenario_files():
             with open(path) as fh:
                 data = json.load(fh)
+            if "traffic" in data and "links" not in data and "jammers" not in data:
+                session = SessionSpec.load(path)  # raises SessionError on any bad field
+                assert session.points(), path
+                assert SessionSpec.from_dict(session.to_dict()).to_dict() == session.to_dict()
+                continue
             if "links" in data:
                 network = NetworkSpec.load(path)  # raises NetworkError on any bad field
                 assert network.num_links, path

@@ -92,6 +92,17 @@ class TestFaultPlanParsing:
         monkeypatch.setenv("REPRO_FAULTS", "crash:0.5,seed:3")
         assert FaultPlan.from_env() == FaultPlan(crash=0.5, seed=3)
 
+    def test_protocol_kinds_parse_into_fields(self):
+        plan = FaultPlan.parse("drop-handshake:0.3, desync:0.2, seed:9")
+        assert plan == FaultPlan(drop_handshake=0.3, desync=0.2, seed=9)
+        assert plan.crash == plan.hang == plan.corrupt_cache == 0.0
+
+    def test_duplicate_kind_rejected_with_kind_named(self):
+        with pytest.raises(ValueError, match="'crash' appears more than once"):
+            FaultPlan.parse("crash:0.1,crash:0.2")
+        with pytest.raises(ValueError, match="'desync' appears more than once"):
+            FaultPlan.parse("desync:0.1,hang:0.2,desync:0.1")
+
 
 class TestFaultDeterminism:
     def test_should_is_pure(self):
@@ -114,6 +125,19 @@ class TestFaultDeterminism:
         plan = FaultPlan()
         for i in range(32):
             assert not plan.should("crash", str(i))
+
+    def test_should_rejects_unknown_kind_by_name(self):
+        plan = FaultPlan(crash=0.5)
+        with pytest.raises(ValueError, match="unknown fault kind 'oom'"):
+            plan.should("oom", "0")
+
+    def test_protocol_kind_draws_are_independent_substreams(self):
+        seed = crashing_seed(16, kind="desync")
+        plan = FaultPlan(drop_handshake=0.5, desync=0.5, seed=seed)
+        desync = [plan.should("desync", str(i)) for i in range(16)]
+        drops = [plan.should("drop-handshake", str(i)) for i in range(16)]
+        assert any(desync)
+        assert desync != drops  # keyed per-kind, not a shared coin
 
 
 class TestResolvers:
